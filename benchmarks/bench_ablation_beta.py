@@ -1,0 +1,20 @@
+"""Ablation A5: the degree-of-declustering granularity parameter beta.
+
+Expectation (Section V-A): growth triggers when ``N_sup > beta *
+N_con``, so eager (small) betas recruit spare nodes sooner than
+reluctant (large) betas.  The observable is the time at which the
+cluster reaches its final size.
+"""
+
+
+def test_ablation_beta(benchmark, figure):
+    exp = figure(benchmark, "ablation_beta", scale=0.05)
+
+    betas = exp.series("beta")
+    t_growth = exp.series("t_last_growth_s")
+    finals = exp.series("final_active")
+    assert betas == sorted(betas)
+    # Eager growth finishes no later than reluctant growth.
+    assert t_growth[0] <= t_growth[-1]
+    # Everybody eventually absorbs the load (growth is about timing).
+    assert min(finals) >= 4

@@ -1,0 +1,25 @@
+"""Memory-limited slaves: the paper's disk-I/O future-work extension.
+
+Expectation: with per-slave memory at or above the window share nothing
+spills and performance matches the in-memory system; shrinking memory
+spills a growing fraction to disk, inflating probe time (busy seconds)
+and, once the node saturates, the production delay.
+"""
+
+
+def test_ablation_memory(benchmark, figure):
+    exp = figure(benchmark, "ablation_memory", scale=0.05)
+
+    rows = exp.rows
+    unlimited = rows[0]
+    assert unlimited["memory_over_window"] == float("inf")
+    assert unlimited["disk_gb_read"] == 0.0
+
+    tightest = rows[-1]
+    assert tightest["disk_gb_read"] > 0.0
+    assert tightest["avg_busy_s"] > unlimited["avg_busy_s"]
+    assert tightest["avg_delay_s"] >= unlimited["avg_delay_s"]
+
+    # Disk traffic grows monotonically as memory shrinks.
+    disk = [r["disk_gb_read"] for r in rows]
+    assert disk == sorted(disk)

@@ -1,0 +1,15 @@
+"""Ablation A2: the level of indirection (number of hash partitions).
+
+Expectation: delay is flat over a wide middle range — the paper's 60
+partitions is an uncritical choice; fine tuning bounds probe scans
+regardless of the partition count.
+"""
+
+
+def test_ablation_npart(benchmark, figure):
+    exp = figure(benchmark, "ablation_npart")
+
+    delays = exp.series("avg_delay_s")
+    # No pathological configuration: all delays within 3x of the best.
+    best = min(delays)
+    assert max(delays) < 3 * best

@@ -1,0 +1,17 @@
+"""Ablation A1: sensitivity to the tuning parameter theta.
+
+Expectation: a huge theta behaves like no tuning (probes scan whole
+partitions, CPU rises); the paper's 1.5 MB sits in the flat optimum.
+"""
+
+
+def test_ablation_theta(benchmark, figure):
+    exp = figure(benchmark, "ablation_theta")
+
+    rows = {row["theta_mb_fullscale"]: row for row in exp.rows}
+    thetas = sorted(rows)
+    # The largest theta approaches no-tuning behaviour: more CPU than
+    # the paper's default.
+    assert rows[thetas[-1]]["avg_cpu_s"] > rows[1.5]["avg_cpu_s"]
+    # Smaller thetas split more.
+    assert rows[thetas[0]]["splits"] >= rows[thetas[-1]]["splits"]

@@ -1,0 +1,17 @@
+"""Ablation A3: supplier threshold sensitivity.
+
+Expectation: lower thresholds trigger rebalancing earlier (at least as
+many moves as high thresholds); the default 0.5 performs on par with
+the best setting.
+"""
+
+
+def test_ablation_thresholds(benchmark, figure):
+    exp = figure(benchmark, "ablation_thresholds")
+
+    rows = {row["th_sup"]: row for row in exp.rows}
+    sups = sorted(rows)
+    assert rows[sups[0]]["moves"] >= rows[sups[-1]]["moves"]
+    best = min(row["avg_delay_s"] for row in exp.rows)
+    default = rows[0.5]["avg_delay_s"] if 0.5 in rows else best
+    assert default < 2.5 * best

@@ -1,0 +1,39 @@
+"""Ablation A4: our system vs ATR vs CTR (Section VII's comparison).
+
+Expectations:
+
+* at a per-node-absorbable rate, ATR concentrates ~the full two-stream
+  window on the segment node (multiples of our per-node max window);
+* at a rate that needs the whole cluster, ATR's one-node-at-a-time
+  processing saturates and its delay dwarfs ours;
+* CTR forwards every tuple to every node: its slaves receive ~N times
+  our payload bytes at any rate.
+"""
+
+
+def _row(exp, rate, system):
+    return next(
+        r for r in exp.rows if r["rate"] == rate and r["system"] == system
+    )
+
+
+def test_baselines_skew(benchmark, figure):
+    exp = figure(benchmark, "baselines_skew", scale=0.05)
+
+    for b in sorted(set(exp.series("b_skew"))):
+        rows = [r for r in exp.rows if r["b_skew"] == b]
+        fair, stress = 1200.0, 3000.0
+
+        ours_fair = _row(exp, fair, "ours")
+        atr_fair = _row(exp, fair, "atr")
+        assert atr_fair["max_window_mb"] > 2.0 * ours_fair["max_window_mb"]
+
+        ours_stress = _row(exp, stress, "ours")
+        atr_stress = _row(exp, stress, "atr")
+        assert atr_stress["avg_delay_s"] > 2.0 * ours_stress["avg_delay_s"]
+
+        for rate in (fair, stress):
+            ctr = _row(exp, rate, "ctr")
+            ours = _row(exp, rate, "ours")
+            assert ctr["slave_bytes_mb"] > 2.0 * ours["slave_bytes_mb"]
+        assert rows  # non-empty per skew

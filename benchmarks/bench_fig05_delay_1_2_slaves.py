@@ -1,0 +1,24 @@
+"""Figure 5: average production delay vs arrival rate, 1-2 slaves.
+
+Paper shape: each curve is flat at low rates and rises sharply at its
+saturation point; 2 slaves saturate at roughly twice the rate of 1.
+"""
+
+
+def test_fig05(benchmark, figure):
+    exp = figure(benchmark, "fig05")
+
+    one = exp.series("avg_delay_s", where={"slaves": 1})
+    two = exp.series("avg_delay_s", where={"slaves": 2})
+    rates_1 = exp.series("rate", where={"slaves": 1})
+
+    # One slave saturates within the swept range: the delay at the top
+    # rate dwarfs the delay at the bottom.
+    assert one[-1] > 3 * one[0]
+    # Two slaves stay comfortable at rates that overwhelm one.
+    top = rates_1[-1]
+    two_at_top = exp.series(
+        "avg_delay_s", where={"slaves": 2, "rate": top}
+    )[0]
+    assert two_at_top < one[-1] / 2
+    assert len(two) == len(one)

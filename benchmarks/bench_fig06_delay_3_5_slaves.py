@@ -1,0 +1,23 @@
+"""Figure 6: average production delay vs arrival rate, 3-5 slaves.
+
+Paper shape: below saturation all curves sit near a couple of seconds;
+capacity grows with the slave count (more slaves keep the delay flat to
+higher rates).
+"""
+
+
+def test_fig06(benchmark, figure):
+    exp = figure(benchmark, "fig06")
+
+    rates = sorted(set(exp.series("rate")))
+    top = rates[-1]
+    d3 = exp.series("avg_delay_s", where={"slaves": 3, "rate": top})[0]
+    d5 = exp.series("avg_delay_s", where={"slaves": 5, "rate": top})[0]
+    # At the top rate (~8000 t/s) 3 slaves are deep in overload while 5
+    # are near their capacity edge.
+    assert d5 < d3
+    # At the bottom rate everyone is comfortable (delay ~ an epoch or two).
+    bottom = rates[0]
+    for n in (3, 4, 5):
+        d = exp.series("avg_delay_s", where={"slaves": n, "rate": bottom})[0]
+        assert d < 5.0

@@ -1,0 +1,33 @@
+"""Figure 7: average CPU time vs rate, fine tuning on/off (4 slaves).
+
+Paper shape: without fine tuning CPU time rises much faster with rate;
+with fine tuning the curve stays well below (about half at high rates).
+"""
+
+
+def test_fig07(benchmark, figure):
+    exp = figure(benchmark, "fig07", scale=0.05)
+
+    rates = sorted(set(exp.series("rate")))
+    ratios = []
+    for rate in rates:
+        tuned = exp.series(
+            "avg_cpu_s", where={"rate": rate, "fine_tuning": True}
+        )[0]
+        untuned = exp.series(
+            "avg_cpu_s", where={"rate": rate, "fine_tuning": False}
+        )[0]
+        # Tuning never costs CPU...
+        assert tuned <= 1.05 * untuned
+        ratios.append(untuned / max(tuned, 1e-9))
+    # ...and wins clearly somewhere in the swept range.  (At the very
+    # top both hit the 100%-utilization ceiling; at the very bottom
+    # partitions sit below 2*theta and the curves coincide.)
+    assert max(ratios) > 1.2
+
+    # At the lowest rate the two coincide (partitions near 2*theta).
+    assert ratios[0] < 1.35
+
+    # Both curves increase with rate.
+    tuned_series = exp.series("avg_cpu_s", where={"fine_tuning": True})
+    assert tuned_series == sorted(tuned_series)

@@ -1,0 +1,27 @@
+"""Figure 8: average delay vs rate *without* fine tuning (4 slaves).
+
+Paper shape: delay explodes near 4000 t/s (tens of seconds), while the
+fine-tuned system at the same rate sits near 2 s (compare Figure 6).
+"""
+
+from repro.analysis.experiments import base_config
+from repro.core.system import JoinSystem
+
+
+def test_fig08(benchmark, figure):
+    exp = figure(benchmark, "fig08", scale=0.05)
+
+    delays = exp.series("avg_delay_s")
+    rates = exp.series("rate")
+    # Saturation blow-up within the sweep (the paper reports ~48 s at
+    # 4000 t/s over its 10-minute measurement; our shorter window shows
+    # the same divergence at smaller magnitude).
+    assert delays == sorted(delays)
+    assert delays[-1] > 3 * delays[0]
+
+    # The paper's headline comparison: at the rate that melts the
+    # untuned system, the tuned system still answers in ~epoch time.
+    tuned = JoinSystem(
+        base_config(0.05).with_(num_slaves=4, rate=float(rates[-1]))
+    ).run()
+    assert tuned.avg_delay < delays[-1] / 2

@@ -1,0 +1,18 @@
+"""Figure 9: idle time & communication overhead vs rate
+(no fine tuning, 4 slaves).
+
+Paper shape: idle time falls towards zero as the rate approaches the
+~4000 t/s saturation point; communication overhead grows mildly and
+monotonically.
+"""
+
+
+def test_fig09(benchmark, figure):
+    exp = figure(benchmark, "fig09")
+
+    idle = exp.series("idle_s")
+    comm = exp.series("comm_s")
+    assert idle == sorted(idle, reverse=True)  # monotone decreasing
+    assert idle[-1] < 0.25 * idle[0]  # near-saturation at 4000
+    assert comm == sorted(comm)  # monotone increasing
+    assert comm[-1] < idle[0]  # comm stays a minor cost

@@ -1,0 +1,28 @@
+"""Figure 10: idle time & communication overhead vs rate
+(fine tuning, 4 slaves).
+
+Paper shape: with fine tuning, idle time reaches zero only near
+6000 t/s — 50% more capacity than Figure 9's no-tuning system — and
+fine tuning itself adds no communication overhead.
+"""
+
+from repro.analysis.experiments import run_experiment
+from benchmarks.conftest import BENCH_SCALE
+
+
+def test_fig10(benchmark, figure):
+    exp = figure(benchmark, "fig10")
+
+    rows_by_rate = {row["rate"]: row for row in exp.rows}
+    rates = sorted(rows_by_rate)
+    idle = [rows_by_rate[r]["idle_s"] for r in rates]
+    assert idle == sorted(idle, reverse=True)
+    assert idle[-1] < 0.25 * idle[0]  # saturation reached near 6000
+
+    # "Fine tuning incurs no communication overhead": at rates both
+    # figures cover, the comm curves agree.
+    noft = run_experiment("fig09", scale=BENCH_SCALE, quick=True)
+    for row in noft.rows:
+        if row["rate"] in rows_by_rate:
+            ft_comm = rows_by_rate[row["rate"]]["comm_s"]
+            assert abs(ft_comm - row["comm_s"]) < 0.1 * max(row["comm_s"], 1e-9)

@@ -1,0 +1,23 @@
+"""Figure 11: communication overhead vs total nodes (rate 1500 t/s).
+
+Paper shape: per-node communication time decreases with the degree of
+declustering; the aggregate over all slaves increases roughly linearly;
+the adaptive variant's aggregate stays low (it refuses to spread a
+light load over needless nodes).
+"""
+
+
+def test_fig11(benchmark, figure):
+    exp = figure(benchmark, "fig11", scale=0.05)
+
+    nodes = exp.series("nodes")
+    per_node = exp.series("per_node_s")
+    aggregate = exp.series("aggregate_s")
+    adaptive = exp.series("adaptive_aggregate_s")
+
+    assert per_node == sorted(per_node, reverse=True)
+    assert aggregate == sorted(aggregate)
+    # Adaptive aggregate at the largest cluster stays below the
+    # non-adaptive aggregate (it uses fewer nodes at 1500 t/s).
+    assert adaptive[-1] < aggregate[-1]
+    assert nodes[0] == 1

@@ -1,0 +1,20 @@
+"""Figure 12: communication overhead vs rate, min/max/avg over the 4
+slaves.
+
+Paper shape: communication time grows with the arrival rate, and the
+serial distribution order makes it non-uniform across slaves, with the
+divergence widening as the rate grows.
+"""
+
+
+def test_fig12(benchmark, figure):
+    exp = figure(benchmark, "fig12")
+
+    avg = exp.series("avg_s")
+    assert avg == sorted(avg)  # grows with rate
+
+    spread_low = exp.rows[0]["max_s"] - exp.rows[0]["min_s"]
+    spread_high = exp.rows[-1]["max_s"] - exp.rows[-1]["min_s"]
+    assert spread_high >= spread_low  # divergence widens
+    for row in exp.rows:
+        assert row["min_s"] <= row["avg_s"] <= row["max_s"]

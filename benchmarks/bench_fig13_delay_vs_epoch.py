@@ -1,0 +1,16 @@
+"""Figure 13: average production delay vs distribution epoch (3 slaves).
+
+Paper shape: delay decreases roughly linearly as the epoch shrinks —
+tuples wait about half an epoch in the master's buffer.
+"""
+
+
+def test_fig13(benchmark, figure):
+    exp = figure(benchmark, "fig13")
+
+    epochs = exp.series("dist_epoch_s")
+    delays = exp.series("avg_delay_s")
+    assert delays == sorted(delays)  # monotone in the epoch
+    # Roughly linear: delay grows by at least a third of the epoch
+    # increase (the master-side wait component is epoch/2).
+    assert (delays[-1] - delays[0]) > 0.3 * (epochs[-1] - epochs[0])

@@ -1,0 +1,13 @@
+"""Figure 14: communication overhead vs distribution epoch (3 slaves).
+
+Paper shape: the overhead rises steeply as the epoch shrinks (more
+messages for the same payload) — the tradeoff against Figure 13.
+"""
+
+
+def test_fig14(benchmark, figure):
+    exp = figure(benchmark, "fig14")
+
+    comm = exp.series("comm_s")
+    assert comm == sorted(comm, reverse=True)  # shrinking epoch costs more
+    assert comm[0] > 2 * comm[-1]  # steep, not marginal

@@ -1,0 +1,107 @@
+"""Micro-benchmarks of the hot kernels (true pytest-benchmark targets).
+
+These are the inner loops the HPC guides say to profile before
+optimizing: the vectorized probe, key generation, hash partitioning,
+directory routing and the DES event loop.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.hashing import directory_hash, partition_of
+from repro.core.partition_group import JoinGeometry, PartitionGroup
+from repro.core.probe import probe_sorted
+from repro.simul.kernel import Simulator
+from repro.workload.bmodel import BModelKeys
+
+
+@pytest.fixture(scope="module")
+def probe_inputs():
+    rng = np.random.default_rng(0)
+    n_window, n_probe = 100_000, 64
+    window_key = np.sort(rng.integers(0, 1_000_000, n_window))
+    window_ts = rng.uniform(0, 600, n_window)
+    probe_key = rng.integers(0, 1_000_000, n_probe)
+    probe_ts = rng.uniform(500, 600, n_probe)
+    seq = np.arange(n_probe)
+    return probe_ts, probe_key, seq, window_key, window_ts
+
+
+def test_probe_kernel(benchmark, probe_inputs):
+    """One head-block probe against a 100k-tuple sorted window."""
+    probe_ts, probe_key, seq, window_key, window_ts = probe_inputs
+    result = benchmark(
+        probe_sorted,
+        probe_ts,
+        probe_key,
+        seq,
+        window_key,
+        window_ts,
+        None,
+        600.0,
+    )
+    assert result.n_pairs >= 0
+
+
+def test_bmodel_generation(benchmark):
+    """Drawing one distribution epoch's worth of skewed keys."""
+    model = BModelKeys(10_000_001, 0.7, np.random.default_rng(0))
+    keys = benchmark(model.draw, 12_000)
+    assert len(keys) == 12_000
+
+
+def test_partition_hash(benchmark):
+    keys = np.random.default_rng(0).integers(0, 10_000_001, 12_000)
+    pids = benchmark(partition_of, keys, 60)
+    assert pids.max() < 60
+
+
+def test_directory_hash(benchmark):
+    keys = np.random.default_rng(0).integers(0, 10_000_001, 12_000)
+    g = benchmark(directory_hash, keys)
+    assert len(g) == 12_000
+
+
+def test_directory_routing(benchmark):
+    from repro.data.tuples import TupleBatch
+
+    geometry = JoinGeometry(64, 4096, 32 * 1024, 600.0, True, 64)
+    group = PartitionGroup(0, geometry)
+    rng = np.random.default_rng(0)
+    keys = rng.integers(0, 10_000_001, 20_000)
+    # Fill the single initial mini-group, then split to a fixed point
+    # so routing exercises a real multi-level directory.
+    patterns, buckets = group.route(keys)
+    for pattern in sorted(buckets):
+        mini = buckets[pattern].payload
+        idx = np.flatnonzero(patterns == pattern)
+        mini.windows[0].install_committed(
+            TupleBatch.build(
+                ts=np.sort(rng.uniform(0, 600, len(idx))), key=keys[idx]
+            )
+        )
+    while group.oversized_buckets():
+        group.split_bucket(group.oversized_buckets()[0])
+    assert group.n_mini_groups > 4
+
+    batch_keys = rng.integers(0, 10_000_001, 4096)
+    patterns, buckets = benchmark(group.route, batch_keys)
+    assert len(patterns) == 4096
+
+
+def test_event_loop_throughput(benchmark):
+    """Raw kernel speed: schedule and process 10k timeouts."""
+
+    def run_loop():
+        sim = Simulator()
+
+        def ticker(sim):
+            for _ in range(10_000):
+                yield sim.timeout(0.001)
+
+        sim.process(ticker(sim))
+        sim.run(None)
+        return sim.now
+
+    now = benchmark(run_loop)
+    assert now == pytest.approx(10.0, rel=0.01)

@@ -1,0 +1,20 @@
+"""Section V-B: sub-group communication and the master's peak buffer.
+
+Paper equation: ``M_buf = (r*t_d/2)(1 + 1/ng)`` per stream — with many
+groups the peak buffer approaches half the single-group value.
+"""
+
+
+def test_subgroup_buffer(benchmark, figure):
+    exp = figure(benchmark, "subgroup_buffer")
+
+    measured = exp.series("measured_peak_bytes")
+    bound = exp.series("analytic_bound_bytes")
+    # Peak shrinks as groups are added.
+    assert measured == sorted(measured, reverse=True)
+    # Measured peaks track the analytic bound within a factor ~2
+    # (Poisson fluctuations and block rounding on top of the formula).
+    for got, expect in zip(measured, bound):
+        assert 0.4 * expect < got < 2.5 * expect
+    # ng=4 saves a third or more of the ng=1 peak.
+    assert measured[-1] < 0.75 * measured[0]

@@ -1,0 +1,43 @@
+"""Benchmark harness configuration.
+
+Each ``bench_fig*.py`` regenerates one table/figure of the paper via
+the canned experiments in :mod:`repro.analysis.experiments` (quick
+sweep grids at a reduced geometric scale — see ``scaled()`` in
+repro/config.py; saturation rates and crossovers are scale-invariant),
+prints the series, asserts the paper's qualitative shape, and reports
+the wall time of the sweep through pytest-benchmark.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import run_experiment
+from repro.analysis.series import Experiment
+
+#: Geometric scale used by the benchmark sweeps (12 s windows, 24 s
+#: runs).  Saturation rates match the paper's full-scale system.
+BENCH_SCALE = 0.02
+
+
+@pytest.fixture
+def figure():
+    """Run a named experiment once under the benchmark timer and print
+    its table; returns the Experiment for shape assertions."""
+
+    def _run(benchmark, name: str, scale: float = BENCH_SCALE) -> Experiment:
+        result = benchmark.pedantic(
+            lambda: run_experiment(name, scale=scale, quick=True),
+            iterations=1,
+            rounds=1,
+        )
+        print()
+        print(result.render())
+        benchmark.extra_info["rows"] = result.rows
+        return result
+
+    return _run

@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Network monitoring: correlating flow records from two vantage points.
+
+The motivating workload of the paper's introduction: two high-rate
+event streams (flow records exported by two routers) joined on a flow
+key within a sliding window to detect end-to-end paths.  Traffic is
+bursty — here the rate triples mid-run — and the cluster must absorb
+the surge: buffer occupancies rise, slaves turn into *suppliers*, the
+master moves partition-groups toward *consumers*, and with adaptive
+declustering enabled the active slave set grows.
+
+Run:  python examples/network_monitoring.py
+"""
+
+from repro import JoinSystem, SystemConfig
+from repro.simul.rng import RngRegistry
+from repro.workload.arrivals import RateProfile
+from repro.workload.generator import TwoStreamWorkload
+
+
+def main() -> None:
+    cfg = (
+        SystemConfig.paper_defaults()
+        .scaled(0.05)
+        .with_(
+            num_slaves=5,
+            adaptive_declustering=True,
+            initial_active_slaves=2,  # start small, grow on demand
+            run_seconds=260.0,
+            warmup_seconds=40.0,
+            # React faster than the paper's default 20 s: one
+            # supplier sheds one partition-group per reorganization,
+            # so a shorter reorg epoch speeds the scale-out.
+            reorg_epoch=10.0,
+        )
+    )
+
+    # Flow records: calm 1000 t/s, surging to 6000 t/s at t=80 s.
+    # Scale-out is *gradual* by design (Section V-A): the degree of
+    # declustering grows one node per reorganization epoch and each
+    # supplier yields one partition-group per reorganization, so give
+    # the run a few minutes to absorb the surge.
+    surge_at, calm, surge = 80.0, 1000.0, 6000.0
+    profile = RateProfile.step(surge_at, calm, surge)
+    workload = TwoStreamWorkload.poisson_bmodel(
+        RngRegistry(cfg.seed), profile, cfg.b_skew, cfg.key_domain
+    )
+
+    print(f"flow rate     : {calm:g} t/s/stream, surging to {surge:g} at "
+          f"t={surge_at:g}s")
+    print(f"cluster       : {cfg.num_slaves} slaves available, "
+          f"{cfg.n_active_initial} active initially")
+    print("adaptive degree of declustering: ON (Section V-A)")
+    print()
+
+    result = JoinSystem(cfg, workload=workload).run()
+
+    print(result.summary())
+    print()
+    print("Degree-of-declustering trace (time, active slaves):")
+    if result.dod_trace:
+        for when, n in result.dod_trace:
+            phase = "surge" if when >= surge_at else "calm"
+            print(f"  t={when:7.1f}s  ->  {n} active ({phase})")
+    else:
+        print("  (no changes)")
+    print()
+    print(f"partition-group moves ordered: {result.master['moves_ordered']}")
+    print("Supplier/consumer counts at each reorganization "
+          "(time, suppliers, consumers, neutrals):")
+    for when, n_sup, n_con, n_neu in result.master["supplier_counts"]:
+        print(f"  t={when:7.1f}s  sup={n_sup}  con={n_con}  neu={n_neu}")
+
+    print()
+    print("Delay timeline (collector view, 20 s buckets):")
+    _print_timeline(result, cfg)
+
+    # The flip side of Section V-A's "keep the system minimally
+    # overloaded": an over-provisioned static cluster absorbs the surge
+    # instantly, but pays five nodes' worth of communication all along.
+    static = JoinSystem(
+        cfg.with_(adaptive_declustering=False, initial_active_slaves=None),
+        workload=TwoStreamWorkload.poisson_bmodel(
+            RngRegistry(cfg.seed), profile, cfg.b_skew, cfg.key_domain
+        ),
+    ).run()
+    print()
+    print("For contrast — all 5 nodes statically active (over-provisioned):")
+    _print_timeline(static, cfg)
+    print(
+        "\nThe over-provisioned cluster absorbs the surge instantly but "
+        "burns five nodes through the calm phase; the adaptive cluster "
+        "idles only one node when calm and pays for it with a gradual "
+        "recovery (one partition-group moves per reorganization — "
+        "Section V-A's deliberate trade)."
+    )
+
+
+def _print_timeline(result, cfg) -> None:
+    buckets: dict[int, list[tuple[int, float]]] = {}
+    for epoch, count, mean in result.delay_timeline:
+        t = (epoch + 1) * cfg.dist_epoch
+        buckets.setdefault(int(t // 20), []).append((count, mean))
+    for b in sorted(buckets):
+        rows = buckets[b]
+        total = sum(c for c, _ in rows)
+        mean = sum(c * m for c, m in rows) / max(total, 1)
+        marker = "#" * min(60, int(mean))
+        print(f"  t=[{b * 20:4d},{b * 20 + 20:4d})s  outputs={total:7d}  "
+              f"avg delay={mean:7.2f}s {marker}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Stock-trading surveillance: joining trades with quotes per symbol.
+
+A classic CQ workload (paper Section I): every trade must be correlated
+with recent quotes for the same symbol within a sliding window.  Symbol
+popularity is Zipf-distributed — a handful of hot tickers dominate —
+which concentrates whole partitions and makes the paper's
+**fine-grained partition tuning** matter: without it, the hot
+partitions' windows grow huge and every probe scans them end to end.
+
+This example runs the same surveillance workload twice (tuning on/off)
+and compares CPU time, delay and the split activity.
+
+Run:  python examples/stock_trading.py
+"""
+
+from repro import JoinSystem, SystemConfig
+from repro.simul.rng import RngRegistry
+from repro.workload.arrivals import PoissonArrivals, RateProfile
+from repro.workload.generator import StreamGenerator, TwoStreamWorkload
+from repro.workload.zipf import ZipfKeys
+
+
+def make_market_workload(cfg: SystemConfig, n_symbols: int = 100_000):
+    """Trades (stream 0) and quotes (stream 1) over Zipf-hot symbols."""
+    rng = RngRegistry(cfg.seed)
+    streams = []
+    for sid, name in ((0, "trades"), (1, "quotes")):
+        arrivals = PoissonArrivals(
+            RateProfile.constant(cfg.rate), rng.get(f"arrivals/{name}")
+        )
+        symbols = ZipfKeys(
+            n_symbols, 0.7, rng.get(f"symbols/{name}"), n_ranks=n_symbols
+        )
+        streams.append(StreamGenerator(sid, arrivals, symbols))
+    return TwoStreamWorkload(streams)
+
+
+def run_once(cfg: SystemConfig, fine_tuning: bool):
+    run_cfg = cfg.with_(fine_tuning=fine_tuning)
+    workload = make_market_workload(run_cfg)
+    return JoinSystem(run_cfg, workload=workload).run()
+
+
+def main() -> None:
+    cfg = (
+        SystemConfig.paper_defaults()
+        .scaled(0.05)
+        .with_(num_slaves=4, rate=3500.0)
+    )
+    print("trades x quotes equi-join on symbol, "
+          f"window {cfg.window_seconds:g}s, {cfg.rate:g} events/s/stream, "
+          f"{cfg.num_slaves} slaves")
+    print("symbol popularity: Zipf(0.7) over 100k tickers "
+          "(hot tickers dominate)\n")
+
+    tuned = run_once(cfg, fine_tuning=True)
+    untuned = run_once(cfg, fine_tuning=False)
+
+    header = f"{'':24}{'fine tuning':>14}{'no tuning':>14}"
+    print(header)
+    print("-" * len(header))
+    rows = [
+        ("avg production delay", f"{tuned.avg_delay:.2f} s",
+         f"{untuned.avg_delay:.2f} s"),
+        ("avg CPU per slave", f"{tuned.avg_cpu_time:.1f} s",
+         f"{untuned.avg_cpu_time:.1f} s"),
+        ("avg idle per slave", f"{tuned.avg_idle_time:.1f} s",
+         f"{untuned.avg_idle_time:.1f} s"),
+        ("join outputs", f"{tuned.outputs}", f"{untuned.outputs}"),
+        ("mini-group splits", f"{sum(s['splits'] for s in tuned.slaves)}",
+         f"{sum(s['splits'] for s in untuned.slaves)}"),
+        ("group moves", f"{tuned.master['moves_ordered']}",
+         f"{untuned.master['moves_ordered']}"),
+    ]
+    for label, a, b in rows:
+        print(f"{label:24}{a:>14}{b:>14}")
+
+    print()
+    speedup = untuned.avg_cpu_time / max(tuned.avg_cpu_time, 1e-9)
+    print(f"Partition tuning cuts join CPU by {speedup:.1f}x on this "
+          "workload (the paper's Figure 7 effect), because probes scan a")
+    print("bounded [theta, 2*theta] mini-group instead of a hot symbol's "
+          "entire partition.")
+
+
+if __name__ == "__main__":
+    main()

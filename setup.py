@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Kept alongside ``pyproject.toml`` so editable installs work in offline
+environments whose setuptools/pip lack PEP-660 wheel support
+(``pip install -e . --no-use-pep517`` falls back to this file).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,94 @@
+"""Closed-form capacity model (theory cross-check for the simulator).
+
+The utilization of one slave under the paper's workload follows from
+the block-NLJ cost model:
+
+    u(r, N) = (n_streams * r / N) * (tuple_cost + scan_byte_cost * s̄) / speed
+
+with ``s̄`` the mean bytes a probe scans: the opposite streams' share
+of the (mini-)partition.  Without fine tuning that share grows linearly
+with the rate; with fine tuning it is clamped into ``[theta, 2*theta]``
+by splitting.  The predicted saturation rate is ``u = 1``.
+
+``tests/integration/test_capacity_model.py`` checks that the simulated
+system saturates where this model says it should — theory and
+simulation agreeing is what lets a 60-second scaled run stand in for
+the paper's 20-minute testbed runs.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.config import SystemConfig
+
+
+def partition_bytes_per_stream(cfg: SystemConfig, rate: float) -> float:
+    """Steady-state bytes of one stream's window in one partition."""
+    return rate * cfg.window_seconds * cfg.tuple_bytes / cfg.npart
+
+
+def mean_scan_bytes(cfg: SystemConfig, rate: float) -> float:
+    """Expected bytes scanned by one probe (opposite streams' share)."""
+    opposite_streams = cfg.n_streams - 1
+    per_stream = partition_bytes_per_stream(cfg, rate)
+    if not cfg.fine_tuning:
+        return opposite_streams * per_stream
+    # Fine tuning keeps each mini-group (all streams) within
+    # [theta, 2*theta]; the long-run mean sits near 1.5*theta, of which
+    # the opposite streams' share is scanned.  Below theta nothing
+    # splits and the raw partition is scanned.
+    group = cfg.n_streams * per_stream
+    if group <= 2 * cfg.theta_bytes:
+        return opposite_streams * per_stream
+    mean_group = 1.5 * cfg.theta_bytes
+    return mean_group * opposite_streams / cfg.n_streams
+
+
+def utilization(
+    cfg: SystemConfig, rate: float, n_active: int, speed: float = 1.0
+) -> float:
+    """Predicted CPU utilization of one slave."""
+    per_tuple = (
+        cfg.cost.tuple_cost
+        + cfg.cost.scan_byte_cost * mean_scan_bytes(cfg, rate)
+    )
+    return (cfg.n_streams * rate / n_active) * per_tuple / speed
+
+
+def saturation_rate(
+    cfg: SystemConfig,
+    n_active: int,
+    speed: float = 1.0,
+    lo: float = 100.0,
+    hi: float = 100_000.0,
+) -> float:
+    """Rate at which the predicted utilization crosses 1 (bisection —
+    the no-tuning scan size itself depends on the rate)."""
+    if utilization(cfg, hi, n_active, speed) < 1.0:
+        return hi
+    for _ in range(64):
+        mid = 0.5 * (lo + hi)
+        if utilization(cfg, mid, n_active, speed) < 1.0:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+def capacity_table(
+    cfg: SystemConfig, max_slaves: int = 5
+) -> list[dict[str, t.Any]]:
+    """Predicted saturation rate per cluster size (tuned and untuned)."""
+    rows = []
+    for n in range(1, max_slaves + 1):
+        rows.append(
+            {
+                "slaves": n,
+                "tuned_capacity": saturation_rate(cfg, n),
+                "untuned_capacity": saturation_rate(
+                    cfg.with_(fine_tuning=False), n
+                ),
+            }
+        )
+    return rows

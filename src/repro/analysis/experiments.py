@@ -1,0 +1,617 @@
+"""Canned experiments: one per table/figure of the paper.
+
+Every function returns an :class:`~repro.analysis.series.Experiment`
+whose rows are the same series the figure plots.  All experiments run
+at a reduced geometric scale (default ``sigma = 0.05``: 30 s windows,
+60 s runs) — :meth:`~repro.config.SystemConfig.scaled` keeps saturation
+rates and split behaviour identical to the full-scale system, while
+absolute "seconds of overhead per run" shrink by ``sigma`` (multiply by
+``1/sigma`` to compare against the paper's 20-minute numbers).
+
+``quick=True`` coarsens the sweep grids (used by the pytest-benchmark
+harness); the full grids match the figures' x-axes.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+import numpy as np
+
+from repro.analysis.series import Experiment
+from repro.baselines import AtrSystem, CtrSystem, no_fine_tuning
+from repro.config import MIB, SystemConfig
+from repro.core.subgroups import max_master_buffer_bytes
+from repro.core.system import JoinSystem
+
+DEFAULT_SCALE = 0.05
+
+
+def base_config(scale: float = DEFAULT_SCALE) -> SystemConfig:
+    """Table I defaults at the requested geometric scale."""
+    cfg = SystemConfig.paper_defaults()
+    return cfg.scaled(scale) if scale != 1.0 else cfg
+
+
+def _run(cfg: SystemConfig):
+    return JoinSystem(cfg).run()
+
+
+def _rates(lo: int, hi: int, step: int, quick: bool) -> list[int]:
+    rates = list(range(lo, hi + 1, step))
+    if quick:
+        # Keep both endpoints (saturation lives at the top of the grid)
+        # plus the midpoint.
+        return sorted({rates[0], rates[len(rates) // 2], rates[-1]})
+    return rates
+
+
+# ---------------------------------------------------------------------------
+# Figures 5 and 6: average production delay vs stream arrival rate.
+# ---------------------------------------------------------------------------
+
+def fig05(scale: float = DEFAULT_SCALE, quick: bool = False) -> Experiment:
+    exp = Experiment(
+        name="fig05",
+        title="Average delay vs stream arrival rate (1-2 slaves)",
+        expectation=(
+            "Per slave count, delay stays low and flat until the load "
+            "saturates the system, then rises sharply; the saturation "
+            "rate roughly doubles from 1 slave (~1500-2000 t/s) to 2 "
+            "(~3000-3500 t/s)."
+        ),
+        columns=["slaves", "rate", "avg_delay_s"],
+    )
+    cfg = base_config(scale)
+    for n in (1, 2):
+        for rate in _rates(1000, 3500, 500, quick):
+            r = _run(cfg.with_(num_slaves=n, rate=float(rate)))
+            exp.add(slaves=n, rate=rate, avg_delay_s=r.avg_delay)
+    return exp
+
+
+def fig06(scale: float = DEFAULT_SCALE, quick: bool = False) -> Experiment:
+    exp = Experiment(
+        name="fig06",
+        title="Average delay vs stream arrival rate (3-5 slaves)",
+        expectation=(
+            "Same shape as Figure 5 at higher capacity: saturation near "
+            "4500-5000 t/s with 3 slaves, ~6000 with 4, ~7500-8000 with 5."
+        ),
+        columns=["slaves", "rate", "avg_delay_s"],
+    )
+    cfg = base_config(scale)
+    for n in (3, 4, 5):
+        for rate in _rates(1000, 8000, 1000, quick):
+            r = _run(cfg.with_(num_slaves=n, rate=float(rate)))
+            exp.add(slaves=n, rate=rate, avg_delay_s=r.avg_delay)
+    return exp
+
+
+# ---------------------------------------------------------------------------
+# Figures 7-10: the fine-tuning ablation (4 slaves).
+# ---------------------------------------------------------------------------
+
+def fig07(scale: float = DEFAULT_SCALE, quick: bool = False) -> Experiment:
+    exp = Experiment(
+        name="fig07",
+        title="Average CPU time vs rate, with and without fine tuning (4 slaves)",
+        expectation=(
+            "Without fine tuning, per-probe scans grow with the window "
+            "partitions and CPU time rises sharply with rate (hitting "
+            "the capacity ceiling near 4000 t/s); with fine tuning the "
+            "scan is bounded by [theta, 2*theta] and CPU grows roughly "
+            "linearly, staying well below the no-tuning curve."
+        ),
+        columns=["rate", "fine_tuning", "avg_cpu_s"],
+    )
+    cfg = base_config(scale).with_(num_slaves=4)
+    for rate in _rates(1500, 6000, 500, quick):
+        for ft in (False, True):
+            run_cfg = cfg.with_(rate=float(rate), fine_tuning=ft)
+            r = _run(run_cfg)
+            exp.add(rate=rate, fine_tuning=ft, avg_cpu_s=r.avg_cpu_time)
+    return exp
+
+
+def fig08(scale: float = DEFAULT_SCALE, quick: bool = False) -> Experiment:
+    exp = Experiment(
+        name="fig08",
+        title="Average delay vs rate without fine tuning (4 slaves)",
+        expectation=(
+            "Delay blows up near 4000 t/s — versus ~2 s at the same "
+            "rate with fine tuning (compare Figure 6's 4-slave curve)."
+        ),
+        columns=["rate", "avg_delay_s"],
+    )
+    cfg = no_fine_tuning(base_config(scale).with_(num_slaves=4))
+    # Saturation delay accumulates over time; give the overload room to
+    # build up (the paper measures over a 10-minute window).
+    duration = cfg.run_seconds - cfg.warmup_seconds
+    cfg = cfg.with_(run_seconds=cfg.warmup_seconds + 3 * duration)
+    for rate in _rates(1500, 4000, 500, quick):
+        r = _run(cfg.with_(rate=float(rate)))
+        exp.add(rate=rate, avg_delay_s=r.avg_delay)
+    return exp
+
+
+def _idle_comm(
+    name: str, title: str, expectation: str, fine_tuning: bool,
+    hi_rate: int, scale: float, quick: bool,
+) -> Experiment:
+    exp = Experiment(
+        name=name,
+        title=title,
+        expectation=expectation,
+        columns=["rate", "idle_s", "comm_s"],
+    )
+    cfg = base_config(scale).with_(num_slaves=4, fine_tuning=fine_tuning)
+    for rate in _rates(1500, hi_rate, 500, quick):
+        r = _run(cfg.with_(rate=float(rate)))
+        exp.add(rate=rate, idle_s=r.avg_idle_time, comm_s=r.avg_comm_time)
+    return exp
+
+
+def fig09(scale: float = DEFAULT_SCALE, quick: bool = False) -> Experiment:
+    return _idle_comm(
+        "fig09",
+        "Idle time and communication overhead vs rate "
+        "(no fine tuning, 4 slaves)",
+        "Idle time falls to ~zero at ~4000 t/s (saturation); "
+        "communication overhead grows mildly and is unaffected by "
+        "(absent) tuning.",
+        fine_tuning=False,
+        hi_rate=4000,
+        scale=scale,
+        quick=quick,
+    )
+
+
+def fig10(scale: float = DEFAULT_SCALE, quick: bool = False) -> Experiment:
+    return _idle_comm(
+        "fig10",
+        "Idle time and communication overhead vs rate "
+        "(fine tuning, 4 slaves)",
+        "With fine tuning the idle time reaches ~zero only near "
+        "6000 t/s; the tuning itself incurs no communication overhead "
+        "(the comm curve matches Figure 9 at equal rates).",
+        fine_tuning=True,
+        hi_rate=6000,
+        scale=scale,
+        quick=quick,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figures 11 and 12: communication overhead.
+# ---------------------------------------------------------------------------
+
+def fig11(scale: float = DEFAULT_SCALE, quick: bool = False) -> Experiment:
+    exp = Experiment(
+        name="fig11",
+        title="Communication overhead vs total nodes (rate 1500 t/s)",
+        expectation=(
+            "Per-node communication time decreases with more nodes "
+            "(payload splits N ways) while the aggregate over all "
+            "slaves increases roughly linearly (per-message overhead "
+            "multiplies).  The adaptive variant keeps the degree of "
+            "declustering low at this light load, so its aggregate "
+            "stays near the small-N value."
+        ),
+        columns=["nodes", "per_node_s", "aggregate_s", "adaptive_aggregate_s"],
+    )
+    cfg = base_config(scale).with_(rate=1500.0)
+    nodes = (1, 3, 5) if quick else (1, 2, 3, 4, 5)
+    duration = cfg.run_seconds - cfg.warmup_seconds
+    for n in nodes:
+        r = _run(cfg.with_(num_slaves=n))
+        # The adaptive system sheds one node per reorganization epoch;
+        # let it settle before the measurement window opens so the
+        # comparison reflects steady state (as the paper's runs do),
+        # not the one-off state-movement cost of shrinking.
+        settle = max(cfg.warmup_seconds, (n + 1) * cfg.reorg_epoch)
+        adaptive = _run(
+            cfg.with_(
+                num_slaves=n,
+                adaptive_declustering=True,
+                warmup_seconds=settle,
+                run_seconds=settle + duration,
+            )
+        )
+        active = [s for s in adaptive.slaves if s["comm_time"] > 0]
+        exp.add(
+            nodes=n,
+            per_node_s=r.avg_comm_time,
+            aggregate_s=r.aggregate_comm_time,
+            adaptive_aggregate_s=adaptive.aggregate_comm_time,
+        )
+        exp.notes.append(
+            f"adaptive with {n} nodes available settled on "
+            f"{adaptive.final_active_slaves} active "
+            f"({len(active)} slaves saw traffic)"
+        )
+    return exp
+
+
+def fig12(scale: float = DEFAULT_SCALE, quick: bool = False) -> Experiment:
+    exp = Experiment(
+        name="fig12",
+        title="Communication overhead vs rate (min/max/avg over 4 slaves)",
+        expectation=(
+            "Communication time grows with rate (payload per epoch "
+            "grows).  The serial distribution order makes it non-uniform "
+            "across slaves, and the divergence (max-min) widens with "
+            "rate."
+        ),
+        columns=["rate", "min_s", "avg_s", "max_s"],
+    )
+    cfg = base_config(scale).with_(num_slaves=4)
+    for rate in _rates(1500, 6000, 500, quick):
+        r = _run(cfg.with_(rate=float(rate)))
+        # Per-slave communication time includes the rendezvous wait for
+        # the master's serial distribution — that wait is exactly what
+        # makes the paper's per-slave comm times diverge (a slave may
+        # idle while the master serves the slaves before it).
+        comms = [s["comm_time"] + s["idle_time"] for s in r.slaves]
+        exp.add(
+            rate=rate,
+            min_s=min(comms),
+            avg_s=float(np.mean(comms)),
+            max_s=max(comms),
+        )
+    return exp
+
+
+# ---------------------------------------------------------------------------
+# Figures 13 and 14: the distribution-epoch tradeoff (3 slaves).
+# ---------------------------------------------------------------------------
+
+_EPOCHS = (0.25, 0.5, 1.0, 2.0, 3.0, 5.0, 7.0)
+
+
+def fig13(scale: float = DEFAULT_SCALE, quick: bool = False) -> Experiment:
+    exp = Experiment(
+        name="fig13",
+        title="Average production delay vs distribution epoch (3 slaves)",
+        expectation=(
+            "Delay decreases roughly linearly as the epoch shrinks "
+            "(tuples wait ~half an epoch at the master before "
+            "distribution)."
+        ),
+        columns=["dist_epoch_s", "avg_delay_s"],
+    )
+    cfg = base_config(scale).with_(num_slaves=3, rate=1500.0)
+    epochs = _EPOCHS[::3] if quick else _EPOCHS
+    for td in epochs:
+        r = _run(_epoch_cfg(cfg, td))
+        exp.add(dist_epoch_s=td, avg_delay_s=r.avg_delay)
+    return exp
+
+
+def _epoch_cfg(cfg: SystemConfig, td: float) -> SystemConfig:
+    """Vary the distribution epoch, stretching short runs so every
+    epoch length still fits several epochs past warm-up."""
+    return cfg.with_(
+        dist_epoch=td,
+        reorg_epoch=max(20.0, 10 * td),
+        run_seconds=max(cfg.run_seconds, cfg.warmup_seconds + 12 * td),
+    )
+
+
+def fig14(scale: float = DEFAULT_SCALE, quick: bool = False) -> Experiment:
+    exp = Experiment(
+        name="fig14",
+        title="Communication overhead vs distribution epoch (3 slaves)",
+        expectation=(
+            "Shorter epochs mean more messages for the same payload, so "
+            "per-slave communication overhead rises steeply as the "
+            "epoch shrinks (the tradeoff against Figure 13's delay)."
+        ),
+        columns=["dist_epoch_s", "comm_s"],
+    )
+    cfg = base_config(scale).with_(num_slaves=3, rate=1500.0)
+    base_duration = cfg.run_seconds - cfg.warmup_seconds
+    epochs = _EPOCHS[::3] if quick else _EPOCHS
+    for td in epochs:
+        run_cfg = _epoch_cfg(cfg, td)
+        r = _run(run_cfg)
+        # Runs for long epochs are stretched; normalize the cumulative
+        # communication time back to the common measurement duration.
+        norm = base_duration / (run_cfg.run_seconds - run_cfg.warmup_seconds)
+        exp.add(dist_epoch_s=td, comm_s=r.avg_comm_time * norm)
+    return exp
+
+
+# ---------------------------------------------------------------------------
+# Section V-B equation: sub-group communication and the master buffer.
+# ---------------------------------------------------------------------------
+
+def subgroup_buffer(scale: float = DEFAULT_SCALE, quick: bool = False) -> Experiment:
+    exp = Experiment(
+        name="subgroup_buffer",
+        title="Master buffer peak vs number of sub-groups (Section V-B)",
+        expectation=(
+            "The measured peak master buffer tracks the analytic bound "
+            "M_buf = (r*t_d/2)(1 + 1/ng) per stream: about half the "
+            "single-group peak as ng grows."
+        ),
+        columns=["subgroups", "measured_peak_bytes", "analytic_bound_bytes"],
+    )
+    cfg = base_config(scale).with_(num_slaves=4, rate=3000.0)
+    # Reorganization epochs collapse the slot structure (all slaves
+    # sync at the epoch boundary), which would mask the sub-group
+    # buffer saving; push reorgs past the run to measure V-B cleanly.
+    cfg = cfg.with_(reorg_epoch=10 * cfg.run_seconds)
+    for ng in (1, 2, 4):
+        r = _run(cfg.with_(num_subgroups=ng))
+        bound = max_master_buffer_bytes(
+            cfg.rate, cfg.dist_epoch, ng, cfg.tuple_bytes
+        )
+        exp.add(
+            subgroups=ng,
+            measured_peak_bytes=r.master["max_buffer_bytes"],
+            analytic_bound_bytes=int(bound),
+        )
+    return exp
+
+
+# ---------------------------------------------------------------------------
+# Ablations beyond the paper's figures (DESIGN.md A1-A5).
+# ---------------------------------------------------------------------------
+
+def ablation_theta(scale: float = DEFAULT_SCALE, quick: bool = False) -> Experiment:
+    exp = Experiment(
+        name="ablation_theta",
+        title="Sensitivity to the partition tuning parameter theta",
+        expectation=(
+            "Too large a theta behaves like no tuning (long scans); "
+            "very small theta adds split churn with diminishing returns "
+            "— CPU time is minimized at an intermediate value."
+        ),
+        columns=["theta_mb_fullscale", "avg_cpu_s", "avg_delay_s", "splits"],
+    )
+    cfg = base_config(scale).with_(num_slaves=4, rate=5000.0)
+    thetas = (0.25, 1.5, 6.0) if quick else (0.25, 0.5, 1.0, 1.5, 3.0, 6.0)
+    for theta_mb in thetas:
+        run_cfg = cfg.with_(
+            theta_bytes=max(cfg.block_bytes, int(theta_mb * MIB * scale))
+        )
+        r = _run(run_cfg)
+        exp.add(
+            theta_mb_fullscale=theta_mb,
+            avg_cpu_s=r.avg_cpu_time,
+            avg_delay_s=r.avg_delay,
+            splits=sum(s["splits"] for s in r.slaves),
+        )
+    return exp
+
+
+def ablation_npart(scale: float = DEFAULT_SCALE, quick: bool = False) -> Experiment:
+    exp = Experiment(
+        name="ablation_npart",
+        title="Level of indirection: number of hash partitions",
+        expectation=(
+            "Very few partitions limit balance granularity (load "
+            "balancing moves huge chunks); very many add bookkeeping. "
+            "Delay is flat over a wide middle range — the paper's 60 is "
+            "uncritical."
+        ),
+        columns=["npart", "avg_delay_s", "avg_cpu_s", "moves"],
+    )
+    cfg = base_config(scale).with_(num_slaves=4, rate=4000.0)
+    nparts = (12, 60, 120) if quick else (12, 30, 60, 120, 240)
+    for npart in nparts:
+        r = _run(cfg.with_(npart=npart))
+        exp.add(
+            npart=npart,
+            avg_delay_s=r.avg_delay,
+            avg_cpu_s=r.avg_cpu_time,
+            moves=r.master["moves_ordered"],
+        )
+    return exp
+
+
+def ablation_thresholds(
+    scale: float = DEFAULT_SCALE, quick: bool = False
+) -> Experiment:
+    exp = Experiment(
+        name="ablation_thresholds",
+        title="Supplier threshold sensitivity",
+        expectation=(
+            "On a non-dedicated cluster (one slave at 45% speed due to "
+            "background load), a lower supplier threshold triggers "
+            "rebalancing earlier and sheds more groups off the slow "
+            "node; an overly high threshold leaves the imbalance "
+            "uncorrected and raises delay."
+        ),
+        columns=["th_sup", "avg_delay_s", "moves"],
+    )
+    # The paper's motivating scenario: heterogeneous background load.
+    # Rebalancing converges one group per reorganization, so run long
+    # enough for several reorganizations inside the measurement.
+    cfg = base_config(scale).with_(
+        num_slaves=4,
+        rate=3500.0,
+        slave_speeds=(1.0, 1.0, 0.45, 1.0),
+    )
+    cfg = cfg.with_(
+        warmup_seconds=2 * cfg.reorg_epoch,
+        run_seconds=2 * cfg.reorg_epoch + 6 * cfg.reorg_epoch,
+    )
+    sups = (0.1, 0.5, 0.9) if quick else (0.05, 0.1, 0.3, 0.5, 0.7, 0.9)
+    for th in sups:
+        r = _run(cfg.with_(th_sup=th))
+        exp.add(
+            th_sup=th, avg_delay_s=r.avg_delay, moves=r.master["moves_ordered"]
+        )
+    return exp
+
+
+def ablation_beta(scale: float = DEFAULT_SCALE, quick: bool = False) -> Experiment:
+    exp = Experiment(
+        name="ablation_beta",
+        title="Degree-of-declustering granularity parameter beta",
+        expectation=(
+            "Small beta recruits new nodes eagerly (growth triggers "
+            "even when plenty of consumers could absorb the load); "
+            "large beta grows only reluctantly.  The observable effect "
+            "is the *time* the cluster takes to reach its final size — "
+            "eager betas get there sooner.  Beta only bites when "
+            "suppliers and consumers coexist, so the cluster is "
+            "heterogeneous (non-dedicated nodes at different speeds)."
+        ),
+        columns=[
+            "beta",
+            "final_active",
+            "t_last_growth_s",
+            "avg_delay_s",
+        ],
+    )
+    # One slow (background-loaded) supplier among fast consumers, plus
+    # a spare node: whether the spare is recruited is exactly the
+    # N_sup > beta * N_con comparison.
+    cfg = base_config(scale).with_(
+        num_slaves=5,
+        rate=2800.0,
+        slave_speeds=(0.4, 1.0, 1.0, 1.0, 1.0),
+        adaptive_declustering=True,
+        initial_active_slaves=4,
+    )
+    # Growth decisions happen once per reorganization; give each
+    # configuration enough reorganizations to express its beta.
+    cfg = cfg.with_(
+        warmup_seconds=2 * cfg.reorg_epoch,
+        run_seconds=10 * cfg.reorg_epoch,
+    )
+    betas = (0.1, 0.5, 0.9) if quick else (0.1, 0.3, 0.5, 0.7, 0.9)
+    for beta in betas:
+        r = _run(cfg.with_(beta=beta))
+        t_last = r.dod_trace[-1][0] if r.dod_trace else 0.0
+        exp.add(
+            beta=beta,
+            final_active=r.final_active_slaves,
+            t_last_growth_s=t_last,
+            avg_delay_s=r.avg_delay,
+        )
+    return exp
+
+
+def ablation_memory(scale: float = DEFAULT_SCALE, quick: bool = False) -> Experiment:
+    exp = Experiment(
+        name="ablation_memory",
+        title="Memory-limited slaves: disk spill (the paper's disk-I/O "
+        "future work)",
+        expectation=(
+            "With enough memory, nothing spills and performance matches "
+            "the in-memory system.  As per-slave memory drops below the "
+            "window share, probes pay disk reads on the spilled "
+            "fraction: CPU+I/O time rises and so does delay once the "
+            "node saturates."
+        ),
+        columns=[
+            "memory_over_window",
+            "avg_delay_s",
+            "avg_busy_s",
+            "disk_gb_read",
+        ],
+    )
+    cfg = base_config(scale).with_(num_slaves=4, rate=3000.0)
+    # Per-slave steady-state window share (both streams).
+    share = int(
+        2 * cfg.rate * cfg.window_seconds * cfg.tuple_bytes / cfg.num_slaves
+    )
+    fractions = (None, 0.5, 0.25) if quick else (None, 1.0, 0.5, 0.25, 0.125)
+    for fraction in fractions:
+        memory = None if fraction is None else max(
+            cfg.block_bytes, int(share * fraction)
+        )
+        r = _run(cfg.with_(slave_memory_bytes=memory))
+        exp.add(
+            memory_over_window=float("inf") if fraction is None else fraction,
+            avg_delay_s=r.avg_delay,
+            avg_busy_s=r.avg_cpu_time,
+            disk_gb_read=sum(s["disk_bytes_read"] for s in r.slaves) / 1e9,
+        )
+    return exp
+
+
+def baselines_skew(scale: float = DEFAULT_SCALE, quick: bool = False) -> Experiment:
+    exp = Experiment(
+        name="baselines_skew",
+        title="Ours vs ATR vs CTR (4 slaves): fair load and stress load",
+        expectation=(
+            "At a rate one node can absorb (1200 t/s), ATR works but "
+            "concentrates ~the whole two-stream window on the segment "
+            "node (max window per node is ~N times ours).  At a rate "
+            "that needs the cluster (3000 t/s), ATR's one-node-at-a-"
+            "time processing saturates and its delay explodes while "
+            "ours stays flat.  CTR forwards every tuple to every node, "
+            "paying ~Nx our network bytes at any rate."
+        ),
+        columns=[
+            "b_skew",
+            "rate",
+            "system",
+            "avg_delay_s",
+            "max_window_mb",
+            "slave_bytes_mb",
+        ],
+    )
+    cfg = base_config(scale).with_(num_slaves=4)
+    skews = (0.7,) if quick else (0.5, 0.7, 0.9)
+    for b in skews:
+        for rate in (1200.0, 3000.0):
+            run_cfg = cfg.with_(b_skew=b, rate=rate)
+            ours = _run(run_cfg)
+            atr = AtrSystem(run_cfg).run()
+            ctr = CtrSystem(run_cfg).run()
+            for label, res in (("ours", ours), ("atr", atr), ("ctr", ctr)):
+                received = sum(s["bytes_received"] for s in res.slaves)
+                exp.add(
+                    b_skew=b,
+                    rate=rate,
+                    system=label,
+                    avg_delay_s=res.avg_delay,
+                    max_window_mb=res.max_window_bytes / 1e6,
+                    slave_bytes_mb=received / 1e6,
+                )
+    return exp
+
+
+# ---------------------------------------------------------------------------
+
+EXPERIMENTS: dict[str, t.Callable[..., Experiment]] = {
+    fn.__name__: fn
+    for fn in (
+        fig05,
+        fig06,
+        fig07,
+        fig08,
+        fig09,
+        fig10,
+        fig11,
+        fig12,
+        fig13,
+        fig14,
+        subgroup_buffer,
+        ablation_theta,
+        ablation_npart,
+        ablation_thresholds,
+        ablation_beta,
+        ablation_memory,
+        baselines_skew,
+    )
+}
+
+
+def run_experiment(
+    name: str, scale: float = DEFAULT_SCALE, quick: bool = False
+) -> Experiment:
+    """Run one named experiment (see :data:`EXPERIMENTS`)."""
+    try:
+        fn = EXPERIMENTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}"
+        ) from None
+    return fn(scale=scale, quick=quick)

@@ -1,0 +1,122 @@
+"""Terminal line plots for experiment series.
+
+No plotting dependency is available offline, so the CLI renders
+figures as Unicode scatter/line charts — enough to eyeball the same
+shapes the paper's gnuplot figures show.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+_DOT = "o"
+_MARKS = "ox+*#@%&"
+
+
+def ascii_plot(
+    series: t.Mapping[str, t.Sequence[tuple[float, float]]],
+    width: int = 64,
+    height: int = 18,
+    x_label: str = "",
+    y_label: str = "",
+    title: str = "",
+) -> str:
+    """Render named ``(x, y)`` series as a text chart.
+
+    Each series gets its own marker; the legend maps markers to names.
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def put(x: float, y: float, mark: str) -> None:
+        col = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+        grid[height - 1 - row][col] = mark
+
+    legend = []
+    for i, (name, pts) in enumerate(series.items()):
+        mark = _MARKS[i % len(_MARKS)]
+        legend.append(f"{mark} = {name}")
+        for x, y in pts:
+            put(x, y, mark)
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_hi:>10.3g} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{y_lo:>10.3g} ┤" + "".join(grid[-1]))
+    lines.append(" " * 10 + " └" + "─" * width)
+    footer = f"{x_lo:<12.4g}{x_label:^{max(0, width - 24)}}{x_hi:>12.4g}"
+    lines.append(" " * 12 + footer)
+    if y_label:
+        lines.append(f"    y: {y_label}    " + "   ".join(legend))
+    else:
+        lines.append("    " + "   ".join(legend))
+    return "\n".join(lines)
+
+
+def plot_experiment(exp: t.Any) -> str:
+    """Best-effort chart of an Experiment: the first column is x, the
+    numeric columns are y series, and an optional low-cardinality
+    label column (e.g. ``slaves``, ``system``) splits series."""
+    if not exp.rows:
+        return "(no data)"
+    columns = exp.columns
+    x_col = columns[0]
+    numeric = [
+        c
+        for c in columns[1:]
+        if all(isinstance(r.get(c), (int, float)) for r in exp.rows)
+    ]
+    # A grouping column: a low-cardinality int/str column (not a float
+    # metric) listed before the metrics, e.g. ``slaves`` or ``system``.
+    group_col = None
+    for c in columns[:2]:
+        if c == x_col:
+            continue
+        values = {r.get(c) for r in exp.rows}
+        discrete = all(
+            isinstance(v, (int, str)) and not isinstance(v, bool)
+            and not isinstance(v, float)
+            for v in values
+        )
+        if discrete and 1 < len(values) <= 6:
+            group_col = c
+            break
+    if group_col is None and not all(
+        isinstance(r.get(x_col), (int, float)) for r in exp.rows
+    ):
+        return "(not plottable)"
+
+    series: dict[str, list[tuple[float, float]]] = {}
+    y_cols = [c for c in numeric if c != group_col][:3]
+    for row in exp.rows:
+        x = row[x_col]
+        if not isinstance(x, (int, float)) or x == float("inf"):
+            continue
+        for y_col in y_cols:
+            y = row[y_col]
+            if not isinstance(y, (int, float)):
+                continue
+            name = (
+                f"{group_col}={row[group_col]} {y_col}"
+                if group_col
+                else y_col
+            )
+            series.setdefault(name, []).append((float(x), float(y)))
+    return ascii_plot(
+        series, x_label=x_col, title=f"{exp.name}: {exp.title}"
+    )

@@ -1,0 +1,65 @@
+"""Experiment result containers."""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from repro.analysis.tables import format_table
+
+
+@dataclasses.dataclass
+class Experiment:
+    """One reproduced table/figure: metadata plus result rows."""
+
+    #: Short id, e.g. ``"fig05"``.
+    name: str
+    #: Human title, e.g. ``"Average delay vs stream rate (1-2 slaves)"``.
+    title: str
+    #: What the paper's figure shows and what shape to expect.
+    expectation: str
+    #: Column names in print order.
+    columns: list[str]
+    #: One dict per data point.
+    rows: list[dict[str, t.Any]] = dataclasses.field(default_factory=list)
+    #: Free-form notes accumulated while running.
+    notes: list[str] = dataclasses.field(default_factory=list)
+
+    def add(self, **row: t.Any) -> None:
+        self.rows.append(row)
+
+    def series(self, key: str, where: dict[str, t.Any] | None = None) -> list:
+        """Column *key* of all rows matching *where* (for assertions)."""
+        out = []
+        for row in self.rows:
+            if where and any(row.get(k) != v for k, v in where.items()):
+                continue
+            out.append(row[key])
+        return out
+
+    def render(self) -> str:
+        head = f"== {self.name}: {self.title} ==\n{self.expectation}\n"
+        body = format_table(self.rows, self.columns)
+        tail = "".join(f"\nnote: {n}" for n in self.notes)
+        return head + body + tail
+
+    def to_markdown(self) -> str:
+        """Markdown section (used to build EXPERIMENTS.md)."""
+        lines = [f"### {self.name} — {self.title}", "", self.expectation, ""]
+        lines.append("| " + " | ".join(self.columns) + " |")
+        lines.append("|" + "---|" * len(self.columns))
+        for row in self.rows:
+            lines.append(
+                "| "
+                + " | ".join(_fmt(row.get(c)) for c in self.columns)
+                + " |"
+            )
+        for n in self.notes:
+            lines.append(f"\n*{n}*")
+        return "\n".join(lines) + "\n"
+
+
+def _fmt(value: t.Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

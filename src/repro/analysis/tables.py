@@ -1,0 +1,36 @@
+"""Plain-text table rendering for experiment output."""
+
+from __future__ import annotations
+
+import typing as t
+
+
+def _fmt(value: t.Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    rows: t.Sequence[t.Mapping[str, t.Any]],
+    columns: t.Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render rows of dicts as an aligned ASCII table."""
+    if not rows:
+        return "(no rows)"
+    cols = list(columns) if columns else list(rows[0].keys())
+    cells = [[_fmt(row.get(c, "")) for c in cols] for row in rows]
+    widths = [
+        max(len(c), *(len(line[i]) for line in cells)) for i, c in enumerate(cols)
+    ]
+    out = []
+    if title:
+        out.append(title)
+    out.append("  ".join(c.ljust(w) for c, w in zip(cols, widths)))
+    out.append("  ".join("-" * w for w in widths))
+    for line in cells:
+        out.append("  ".join(v.rjust(w) for v, w in zip(line, widths)))
+    return "\n".join(out)

@@ -1,0 +1,36 @@
+"""Baseline and comparison systems.
+
+* :mod:`~repro.baselines.variants` — configuration variants of the main
+  system used by the paper's own ablations: no fine-tuning
+  (Figures 7–10), static partitioning without load balancing, and
+  non-adaptive declustering (Figure 11).
+* :mod:`~repro.baselines.centralized` — a single centralized join node
+  (no cluster, no distribution overhead): the "capacity of one machine"
+  reference point.
+* :mod:`~repro.baselines.atr` — Aligned Tuple Routing (Gu et al., ICDE
+  2007): segment-based routing of the master stream, duplicated slave
+  stream at segment boundaries; the paper's Section VII argues it
+  circulates rather than balances load and concentrates whole windows
+  on one node.
+* :mod:`~repro.baselines.ctr` — simplified Coordinated Tuple Routing:
+  window segments spread over all nodes, every incoming tuple forwarded
+  to every node holding opposite-window state; high network overhead.
+"""
+
+from repro.baselines.atr import AtrSystem
+from repro.baselines.centralized import CentralizedJoin
+from repro.baselines.ctr import CtrSystem
+from repro.baselines.variants import (
+    no_fine_tuning,
+    non_adaptive,
+    static_partitioning,
+)
+
+__all__ = [
+    "AtrSystem",
+    "CtrSystem",
+    "CentralizedJoin",
+    "no_fine_tuning",
+    "static_partitioning",
+    "non_adaptive",
+]

@@ -1,0 +1,34 @@
+"""Configuration variants of the main system used as baselines.
+
+These are the comparison points of the paper's own evaluation; each is
+a one-liner so experiment code reads declaratively.
+"""
+
+from __future__ import annotations
+
+from repro.config import SystemConfig
+
+
+def no_fine_tuning(cfg: SystemConfig) -> SystemConfig:
+    """Disable fine-grained partition tuning (Figures 7-10's baseline).
+
+    Every partition-group stays a single mini-partition-group of
+    unbounded size, so per-probe scan cost grows linearly with the
+    arrival rate.
+    """
+    return cfg.with_(fine_tuning=False)
+
+
+def static_partitioning(cfg: SystemConfig) -> SystemConfig:
+    """Disable supplier->consumer load balancing.
+
+    The initial round-robin placement is kept for the whole run; skew
+    or background-load imbalance is never corrected.
+    """
+    return cfg.with_(load_balancing=False)
+
+
+def non_adaptive(cfg: SystemConfig) -> SystemConfig:
+    """Fix the degree of declustering at the full slave count
+    (Figure 11's non-adaptive comparison)."""
+    return cfg.with_(adaptive_declustering=False)

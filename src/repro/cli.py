@@ -1,0 +1,131 @@
+"""Command-line interface.
+
+Examples::
+
+    swjoin run --rate 3000 --slaves 4 --scale 0.05
+    swjoin experiment fig07 --scale 0.05
+    swjoin experiment all --out EXPERIMENTS.generated.md
+    swjoin list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+import typing as t
+
+from repro._version import __version__
+from repro.analysis.experiments import DEFAULT_SCALE, EXPERIMENTS, run_experiment
+from repro.config import SystemConfig
+from repro.core.system import JoinSystem
+
+
+def _add_run_parser(sub: t.Any) -> None:
+    p = sub.add_parser("run", help="run one simulated cluster configuration")
+    p.add_argument("--rate", type=float, default=1500.0, help="tuples/s/stream")
+    p.add_argument("--slaves", type=int, default=4)
+    p.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    p.add_argument("--b-skew", type=float, default=0.7)
+    p.add_argument("--npart", type=int, default=60)
+    p.add_argument("--dist-epoch", type=float, default=2.0)
+    p.add_argument("--subgroups", type=int, default=1)
+    p.add_argument("--seed", type=int, default=20130724)
+    p.add_argument("--no-fine-tuning", action="store_true")
+    p.add_argument("--adaptive", action="store_true",
+                   help="enable adaptive degree of declustering")
+    p.add_argument("--no-load-balancing", action="store_true")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    cfg = SystemConfig.paper_defaults()
+    if args.scale != 1.0:
+        cfg = cfg.scaled(args.scale)
+    cfg = cfg.with_(
+        rate=args.rate,
+        num_slaves=args.slaves,
+        b_skew=args.b_skew,
+        npart=args.npart,
+        dist_epoch=args.dist_epoch,
+        num_subgroups=args.subgroups,
+        seed=args.seed,
+        fine_tuning=not args.no_fine_tuning,
+        adaptive_declustering=args.adaptive,
+        load_balancing=not args.no_load_balancing,
+    )
+    started = time.perf_counter()
+    result = JoinSystem(cfg).run()
+    elapsed = time.perf_counter() - started
+    print(result.summary())
+    print(f"(simulated {cfg.run_seconds:g}s in {elapsed:.1f}s wall)")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    names = sorted(EXPERIMENTS) if args.name == "all" else [args.name]
+    sections = []
+    for name in names:
+        started = time.perf_counter()
+        exp = run_experiment(name, scale=args.scale, quick=args.quick)
+        elapsed = time.perf_counter() - started
+        print(exp.render())
+        if args.plot:
+            from repro.analysis.plots import plot_experiment
+
+            print()
+            print(plot_experiment(exp))
+        print(f"({elapsed:.1f}s wall)\n")
+        sections.append(exp.to_markdown())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(f"# Generated experiment results (v{__version__})\n\n")
+            fh.write("\n".join(sections))
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    width = max(len(n) for n in EXPERIMENTS)
+    for name in sorted(EXPERIMENTS):
+        doc = (EXPERIMENTS[name].__doc__ or "").strip().splitlines()
+        print(f"{name.ljust(width)}  {doc[0] if doc else ''}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="swjoin",
+        description=(
+            "Parallel windowed stream joins over a (simulated) "
+            "shared-nothing cluster — reproduction of Chakraborty & "
+            "Singh, CLUSTER 2013."
+        ),
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+    _add_run_parser(sub)
+
+    p = sub.add_parser("experiment", help="reproduce a paper figure")
+    p.add_argument("name", help="experiment id (e.g. fig07) or 'all'")
+    p.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    p.add_argument("--quick", action="store_true", help="coarse sweep grid")
+    p.add_argument("--plot", action="store_true", help="ASCII chart too")
+    p.add_argument("--out", help="also write markdown to this file")
+
+    sub.add_parser("list", help="list available experiments")
+    return parser
+
+
+def main(argv: t.Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "list":
+        return _cmd_list(args)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,322 @@
+"""Configuration dataclasses.
+
+:class:`SystemConfig.paper_defaults` encodes Table I of the paper:
+
+======================  =======  =========================================
+Parameter               Default  Comment
+======================  =======  =========================================
+``W_i``                 10 min   window length (both streams)
+``lambda``              1500     average arrival rate (tuples/sec/stream)
+``b``                   0.7      b-model skew of join-attribute values
+``Th_con``              0.01     consumer threshold (buffer occupancy)
+``Th_sup``              0.5      supplier threshold (buffer occupancy)
+``theta``               1.5 MB   partition tuning parameter
+``block``               4 KB     block size
+``t_d``                 2 s      distribution epoch
+``t_r``                 20 s     reorganization epoch
+``npart``               60       hash partitions (level of indirection)
+``buffer``              1 MB     per-slave stream-tuple buffer
+tuple size              64 B     (Section VI-A)
+join-attribute domain   [0,1e7]  (Section VI-A)
+run / warm-up           20/10 m  (Section VI-A)
+======================  =======  =========================================
+
+Because full 20-minute runs are slow in pure Python, ``scaled(sigma)``
+shrinks window length, run length, warm-up and ``theta`` by ``sigma``
+while multiplying the per-byte CPU scan cost by ``1/sigma``.  Per-probe
+scanned bytes are proportional to ``rate * W / npart``, so this keeps
+every saturation point and split/merge decision at the same *rates* as
+the full-scale system — only absolute "seconds of overhead per run"
+shrink by ``sigma``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigError
+
+KIB = 1024
+MIB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class CostModelConfig:
+    """Calibrated CPU cost model for the simulated slaves.
+
+    The join module charges ``tuple_cost`` per probing tuple plus
+    ``scan_byte_cost`` per byte of the opposite (mini-)partition scanned
+    by the block nested-loop join.  The two anchor points used for
+    calibration (Section VI of the paper, 4 slaves):
+
+    * *without* fine tuning the system saturates near 4000 tuples/s/stream;
+    * *with* fine tuning it saturates near 6000 tuples/s/stream.
+
+    Solving the utilization equations at those points gives the defaults
+    below (see ``docs in repro/core/costmodel.py``).
+    """
+
+    #: Fixed CPU seconds charged per probing tuple (hashing, block
+    #: bookkeeping, result construction).
+    tuple_cost: float = 1.21e-4
+    #: CPU seconds per probing tuple per byte of window data scanned by
+    #: its block nested-loop probe (comparison work is the cross
+    #: product of fresh tuples and scanned tuples).
+    scan_byte_cost: float = 1.885e-10
+    #: CPU seconds per byte moved during a partition-group state
+    #: transfer (extraction + installation on the two slaves).
+    state_move_byte_cost: float = 4.0e-9
+    #: CPU seconds per byte for expiring tuples from a window.
+    expire_byte_cost: float = 1.0e-11
+    #: Seconds per byte read back from disk when window state exceeds a
+    #: slave's memory (the paper's future-work extension; ~50 MB/s
+    #: sequential read on the era's disks).  Charged once per probe
+    #: over the spilled fraction of the scanned bytes.
+    disk_read_byte_cost: float = 2.0e-8
+
+    def validated(self) -> "CostModelConfig":
+        for name in (
+            "tuple_cost",
+            "scan_byte_cost",
+            "state_move_byte_cost",
+            "expire_byte_cost",
+            "disk_read_byte_cost",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} must be non-negative")
+        return self
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Modeled cluster interconnect (Gigabit Ethernet + mpiJava stack).
+
+    ``per_message_overhead`` and ``per_byte_overhead`` model the
+    fixed-schedule TCP/MPI connection handling and (de)serialization
+    costs that dominate the paper's reported communication overhead;
+    raw gigabit wire time is comparatively negligible.
+    """
+
+    #: One-way propagation latency (s).
+    latency: float = 1.0e-4
+    #: Link bandwidth (bytes/s); Gigabit Ethernet ~ 125 MB/s.
+    bandwidth: float = 125.0e6
+    #: Fixed per-message cost charged to both endpoints (s).
+    per_message_overhead: float = 15.0e-3
+    #: Per-byte serialization/deserialization cost charged to both
+    #: endpoints (s/byte).
+    per_byte_overhead: float = 2.5e-7
+
+    def validated(self) -> "NetworkConfig":
+        if self.bandwidth <= 0:
+            raise ConfigError("bandwidth must be positive")
+        for name in ("latency", "per_message_overhead", "per_byte_overhead"):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} must be non-negative")
+        return self
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Wire time for a message of *nbytes* payload."""
+        return self.latency + nbytes / self.bandwidth
+
+    def endpoint_overhead(self, nbytes: int) -> float:
+        """CPU-side comm overhead charged to each endpoint."""
+        return self.per_message_overhead + nbytes * self.per_byte_overhead
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Full configuration of a master/slaves/collector join run."""
+
+    # -- workload ---------------------------------------------------------
+    #: Number of joining streams.  The paper's model (Section II) is
+    #: n-way; its prototype and all reproduced figures use 2.
+    n_streams: int = 2
+    #: Average Poisson arrival rate per stream (tuples/second).
+    rate: float = 1500.0
+    #: b-model bias of the join-attribute distribution (0.5 = uniform).
+    b_skew: float = 0.7
+    #: Join-attribute domain is the integer range [0, key_domain).
+    key_domain: int = 10_000_001
+    #: Logical tuple size on the wire and in windows (bytes).
+    tuple_bytes: int = 64
+
+    # -- join operator ----------------------------------------------------
+    #: Sliding window length, seconds (same for both streams).
+    window_seconds: float = 600.0
+    #: Number of hash partitions (level of indirection, Section IV-C).
+    npart: int = 60
+    #: Block size in bytes (Section VI-A).
+    block_bytes: int = 4096
+    #: Partition tuning parameter theta, bytes: partition-groups are kept
+    #: within [theta, 2*theta] (Section IV-D).
+    theta_bytes: int = int(1.5 * MIB)
+    #: Enable fine-grained partition tuning (extendible hashing).
+    fine_tuning: bool = True
+
+    # -- cluster ----------------------------------------------------------
+    #: Number of slave nodes available.
+    num_slaves: int = 4
+    #: Relative CPU speed per slave (None = homogeneous).  The paper's
+    #: cluster is non-dedicated: background load varies per node; a
+    #: speed of 0.5 models a slave whose CPU is half-consumed by other
+    #: applications.
+    slave_speeds: tuple[float, ...] | None = None
+    #: Memory allotted to the per-slave stream-tuple buffer (bytes).
+    slave_buffer_bytes: int = 1 * MIB
+    #: Memory available per slave for window state, bytes.  None (the
+    #: paper's assumption, Section VI-A) means every node holds its
+    #: windows in RAM; a finite value spills the excess to disk and
+    #: probes pay :attr:`CostModelConfig.disk_read_byte_cost` on the
+    #: spilled fraction (the paper's disk-I/O future work).
+    slave_memory_bytes: int | None = None
+    #: Number of sub-groups for slot-based communication (Section V-B).
+    num_subgroups: int = 1
+
+    # -- epochs and load balancing ---------------------------------------
+    #: Distribution epoch t_d, seconds.
+    dist_epoch: float = 2.0
+    #: Reorganization epoch t_r, seconds.
+    reorg_epoch: float = 20.0
+    #: Consumer threshold on average buffer occupancy.
+    th_con: float = 0.01
+    #: Supplier threshold on average buffer occupancy.
+    th_sup: float = 0.5
+    #: Enable supplier->consumer partition-group migration.
+    load_balancing: bool = True
+
+    # -- degree of declustering (Section V-A) ------------------------------
+    #: Adapt the number of active slaves at run time.
+    adaptive_declustering: bool = False
+    #: Granularity parameter beta: grow when N_sup > beta * N_con.
+    beta: float = 0.5
+    #: Initial number of active slaves (defaults to all).
+    initial_active_slaves: int | None = None
+
+    # -- run --------------------------------------------------------------
+    #: Simulated run length, seconds (paper: 20 minutes).
+    run_seconds: float = 1200.0
+    #: Warm-up before metrics are gathered, seconds (paper: 10 minutes).
+    warmup_seconds: float = 600.0
+    #: Root seed for all random substreams.
+    seed: int = 20130724
+    #: Geometry scale factor recorded by :meth:`scaled` (1.0 = paper).
+    scale: float = 1.0
+
+    # -- substrates --------------------------------------------------------
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    cost: CostModelConfig = field(default_factory=CostModelConfig)
+
+    # ----------------------------------------------------------------------
+    @classmethod
+    def paper_defaults(cls) -> "SystemConfig":
+        """Table I of the paper, verbatim."""
+        return cls()
+
+    def with_(self, **changes: t.Any) -> "SystemConfig":
+        """Functional update; unknown keys raise :class:`ConfigError`."""
+        names = {f.name for f in dataclasses.fields(self)}
+        unknown = set(changes) - names
+        if unknown:
+            raise ConfigError(f"unknown config field(s): {sorted(unknown)}")
+        return replace(self, **changes).validated()
+
+    def scaled(self, sigma: float) -> "SystemConfig":
+        """Shrink run geometry by *sigma*, preserving saturation shape.
+
+        Window, run length, warm-up, theta and the slave buffer scale by
+        ``sigma``; the per-byte scan cost scales by ``1/sigma`` so a
+        given arrival *rate* loads a slave exactly as much as at full
+        scale.  Epochs are left untouched.
+        """
+        if not 0 < sigma <= 1:
+            raise ConfigError(f"scale factor must be in (0, 1]: {sigma!r}")
+        return self.with_(
+            window_seconds=self.window_seconds * sigma,
+            run_seconds=self.run_seconds * sigma,
+            warmup_seconds=self.warmup_seconds * sigma,
+            theta_bytes=max(self.block_bytes, int(self.theta_bytes * sigma)),
+            slave_buffer_bytes=max(
+                self.block_bytes, int(self.slave_buffer_bytes * sigma)
+            ),
+            slave_memory_bytes=(
+                None
+                if self.slave_memory_bytes is None
+                else max(self.block_bytes, int(self.slave_memory_bytes * sigma))
+            ),
+            cost=replace(self.cost, scan_byte_cost=self.cost.scan_byte_cost / sigma),
+            scale=self.scale * sigma,
+        )
+
+    # ----------------------------------------------------------------------
+    @property
+    def tuples_per_block(self) -> int:
+        return self.block_bytes // self.tuple_bytes
+
+    def speed_of(self, slave_index: int) -> float:
+        """Relative CPU speed of the *slave_index*-th slave."""
+        if self.slave_speeds is None:
+            return 1.0
+        return self.slave_speeds[slave_index]
+
+    @property
+    def n_active_initial(self) -> int:
+        n = (
+            self.num_slaves
+            if self.initial_active_slaves is None
+            else self.initial_active_slaves
+        )
+        return max(1, min(n, self.num_slaves))
+
+    def validated(self) -> "SystemConfig":
+        if not 2 <= self.n_streams <= 8:
+            raise ConfigError("n_streams must lie in [2, 8]")
+        if self.rate <= 0:
+            raise ConfigError("rate must be positive")
+        if not 0.0 <= self.b_skew <= 1.0:
+            raise ConfigError("b_skew must lie in [0, 1]")
+        if self.key_domain < 1:
+            raise ConfigError("key_domain must be >= 1")
+        if self.tuple_bytes < 1 or self.block_bytes < self.tuple_bytes:
+            raise ConfigError("need tuple_bytes >= 1 and block_bytes >= tuple_bytes")
+        if self.block_bytes % self.tuple_bytes:
+            raise ConfigError("block_bytes must be a multiple of tuple_bytes")
+        if self.window_seconds <= 0:
+            raise ConfigError("window_seconds must be positive")
+        if self.npart < 1:
+            raise ConfigError("npart must be >= 1")
+        if self.theta_bytes < self.block_bytes:
+            raise ConfigError("theta_bytes must be at least one block")
+        if self.num_slaves < 1:
+            raise ConfigError("num_slaves must be >= 1")
+        if self.slave_speeds is not None:
+            if len(self.slave_speeds) != self.num_slaves:
+                raise ConfigError(
+                    "slave_speeds must have one entry per slave"
+                )
+            if any(s <= 0 for s in self.slave_speeds):
+                raise ConfigError("slave speeds must be positive")
+        if not 1 <= self.num_subgroups <= self.num_slaves:
+            raise ConfigError("num_subgroups must be in [1, num_slaves]")
+        if self.dist_epoch <= 0 or self.reorg_epoch <= 0:
+            raise ConfigError("epochs must be positive")
+        if self.reorg_epoch < self.dist_epoch:
+            raise ConfigError("reorg_epoch must be >= dist_epoch")
+        if not 0 <= self.th_con < self.th_sup <= 1:
+            raise ConfigError("need 0 <= th_con < th_sup <= 1")
+        if not 0 < self.beta < 1:
+            raise ConfigError("beta must lie in (0, 1)")
+        if self.run_seconds <= 0 or not 0 <= self.warmup_seconds < self.run_seconds:
+            raise ConfigError("need 0 <= warmup_seconds < run_seconds")
+        if self.slave_buffer_bytes < self.block_bytes:
+            raise ConfigError("slave_buffer_bytes must hold at least one block")
+        if (
+            self.slave_memory_bytes is not None
+            and self.slave_memory_bytes < self.block_bytes
+        ):
+            raise ConfigError("slave_memory_bytes must hold at least one block")
+        self.network.validated()
+        self.cost.validated()
+        return self

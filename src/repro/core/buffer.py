@@ -1,0 +1,95 @@
+"""The master's partitioned buffer (Section IV-B, Figure 3).
+
+Incoming tuples land in one *mini-buffer* per hash partition.  The
+buffer also owns the **mapping** between partition ids and slave nodes;
+draining for a slave concatenates exactly the mini-buffers of the
+partitions currently assigned to it, merged across streams in timestamp
+order (the machine-independent merged format of the paper, with the
+stream-id column identifying sources).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.core.hashing import partition_of
+from repro.data.tuples import TupleBatch
+from repro.errors import ProtocolError
+
+
+class MasterBuffer:
+    """Partitioned tuple buffer + partition->slave mapping."""
+
+    def __init__(self, npart: int, tuple_bytes: int) -> None:
+        self.npart = int(npart)
+        self.tuple_bytes = int(tuple_bytes)
+        self._minibuffers: list[deque[TupleBatch]] = [
+            deque() for _ in range(npart)
+        ]
+        self._bytes_per_pid = np.zeros(npart, dtype=np.int64)
+        self.mapping: dict[int, int] = {}
+        #: Per-slave timestamp of the last drain (epoch_start of the
+        #: next shipment).
+        self.last_drain: dict[int, float] = {}
+
+    # -- mapping ---------------------------------------------------------
+    def assign_round_robin(self, slaves: list[int], start_time: float = 0.0) -> None:
+        """Initial placement: partitions dealt round-robin to *slaves*."""
+        if not slaves:
+            raise ProtocolError("cannot assign partitions to an empty slave set")
+        for pid in range(self.npart):
+            self.mapping[pid] = slaves[pid % len(slaves)]
+        for s in slaves:
+            self.last_drain.setdefault(s, start_time)
+
+    def pids_of(self, slave: int) -> list[int]:
+        return sorted(p for p, s in self.mapping.items() if s == slave)
+
+    def remap(self, pid: int, dst: int) -> None:
+        if pid not in self.mapping:
+            raise ProtocolError(f"unknown partition {pid}")
+        self.mapping[pid] = dst
+        self.last_drain.setdefault(dst, 0.0)
+
+    # -- data ----------------------------------------------------------------
+    def ingest(self, batch: TupleBatch) -> None:
+        """File a freshly generated batch into the mini-buffers."""
+        if not len(batch):
+            return
+        pids = partition_of(batch.key, self.npart)
+        for pid in np.unique(pids):
+            sub = batch.take(np.flatnonzero(pids == pid))
+            self._minibuffers[int(pid)].append(sub)
+            self._bytes_per_pid[int(pid)] += sub.payload_bytes(self.tuple_bytes)
+
+    def drain_for(self, slave: int, now: float) -> tuple[TupleBatch, float]:
+        """Remove and return all buffered tuples of *slave*'s partitions.
+
+        Returns ``(batch, epoch_start)`` where ``epoch_start`` is the
+        time of the previous drain for this slave (the shipment's
+        coverage interval starts there).
+        """
+        parts: list[TupleBatch] = []
+        for pid in self.pids_of(slave):
+            queue = self._minibuffers[pid]
+            if queue:
+                parts.extend(queue)
+                queue.clear()
+                self._bytes_per_pid[pid] = 0
+        epoch_start = self.last_drain.get(slave, 0.0)
+        self.last_drain[slave] = now
+        merged = TupleBatch.concat(parts)
+        if len(merged) > 1:
+            order = np.argsort(merged.ts, kind="stable")
+            merged = merged.take(order)
+        return merged, epoch_start
+
+    # -- accounting ------------------------------------------------------------
+    @property
+    def total_bytes(self) -> int:
+        return int(self._bytes_per_pid.sum())
+
+    def bytes_of(self, slave: int) -> int:
+        return int(sum(self._bytes_per_pid[pid] for pid in self.pids_of(slave)))

@@ -1,0 +1,164 @@
+"""Backend-agnostic cluster wiring.
+
+:func:`build_cluster` assembles master, slaves and collector around any
+runtime/transport pair — the DES backend (used by
+:class:`~repro.core.system.JoinSystem`), or the thread backend (used by
+the live examples and the cross-backend tests).
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.config import SystemConfig
+from repro.core.buffer import MasterBuffer
+from repro.core.collector import CollectorMetrics, CollectorNode
+from repro.core.costmodel import CostModel
+from repro.core.declustering import DeclusteringController
+from repro.core.join_module import JoinModule
+from repro.core.master import MasterNode
+from repro.core.metrics import MasterMetrics, MeasurementWindow, SlaveMetrics
+from repro.core.partition_group import JoinGeometry
+from repro.core.slave import SlaveNode
+from repro.core.subgroups import build_schedules
+from repro.mp.comm import Communicator
+from repro.simul.rng import RngRegistry
+from repro.workload.generator import TwoStreamWorkload
+
+MASTER_ID = 0
+COLLECTOR_ID = 1
+
+
+def slave_node_id(index: int) -> int:
+    """Node id of the *index*-th slave (master=0, collector=1)."""
+    return 2 + index
+
+
+class Cluster(t.NamedTuple):
+    """Everything :func:`build_cluster` wires together."""
+
+    master: MasterNode
+    slaves: list[SlaveNode]
+    collector: CollectorNode
+    master_metrics: MasterMetrics
+    slave_metrics: list[SlaveMetrics]
+    collector_metrics: CollectorMetrics
+    buffer: MasterBuffer
+    workload: t.Any
+    gate: MeasurementWindow
+
+    def processes(self) -> list[tuple[str, t.Generator]]:
+        """All node generators, named, ready to spawn on a runtime."""
+        out = [("master", self.master.run())]
+        for slave in self.slaves:
+            for i, gen in enumerate(slave.processes()):
+                kind = ("comm", "join")[i]
+                out.append((f"slave{slave.node_id}.{kind}", gen))
+        for i, gen in enumerate(self.collector.processes()):
+            out.append((f"collector.recv{i}", gen))
+        return out
+
+
+def geometry_of(cfg: SystemConfig) -> JoinGeometry:
+    return JoinGeometry(
+        tuples_per_block=cfg.tuples_per_block,
+        block_bytes=cfg.block_bytes,
+        theta_bytes=cfg.theta_bytes,
+        window_seconds=cfg.window_seconds,
+        fine_tuning=cfg.fine_tuning,
+        tuple_bytes=cfg.tuple_bytes,
+        n_streams=cfg.n_streams,
+    )
+
+
+def build_cluster(
+    cfg: SystemConfig,
+    runtime: t.Any,
+    transport: t.Any,
+    workload: t.Any = None,
+    collect_pairs: bool = False,
+) -> Cluster:
+    """Wire a full cluster on the given runtime/transport backends.
+
+    ``transport`` must provide ``endpoint(node_id, stats)``;
+    ``runtime`` must satisfy :class:`~repro.runtime.base.Runtime` plus
+    ``make_lock``/``make_queue``.
+    """
+    cfg = cfg.validated()
+    gate = MeasurementWindow(cfg.warmup_seconds, cfg.run_seconds)
+    rng = RngRegistry(cfg.seed)
+    workload = workload or TwoStreamWorkload.poisson_bmodel(
+        rng, cfg.rate, cfg.b_skew, cfg.key_domain, n_streams=cfg.n_streams
+    )
+    geometry = geometry_of(cfg)
+
+    slave_ids = [slave_node_id(i) for i in range(cfg.num_slaves)]
+    active_ids = slave_ids[: cfg.n_active_initial]
+    schedules = build_schedules(active_ids, cfg.num_subgroups, cfg.dist_epoch)
+
+    buffer = MasterBuffer(cfg.npart, cfg.tuple_bytes)
+    buffer.assign_round_robin(active_ids)
+
+    master_metrics = MasterMetrics(gate)
+    master = MasterNode(
+        cfg,
+        runtime,
+        Communicator(transport.endpoint(MASTER_ID, master_metrics)),
+        buffer,
+        workload,
+        DeclusteringController(cfg, rng.get("controller")),
+        master_metrics,
+        slave_ids,
+        COLLECTOR_ID,
+    )
+
+    slaves: list[SlaveNode] = []
+    slave_metrics: list[SlaveMetrics] = []
+    for index, node_id in enumerate(slave_ids):
+        metrics = SlaveMetrics(node_id, gate)
+        module = JoinModule(
+            node_id,
+            geometry,
+            CostModel(cfg.cost, speed=cfg.speed_of(index)),
+            cfg.npart,
+            metrics,
+            collect_pairs=collect_pairs,
+            memory_bytes=cfg.slave_memory_bytes,
+        )
+        for pid in buffer.pids_of(node_id):
+            module.add_partition(pid)
+        slaves.append(
+            SlaveNode(
+                node_id,
+                cfg,
+                runtime,
+                Communicator(transport.endpoint(node_id, metrics)),
+                module,
+                metrics,
+                MASTER_ID,
+                COLLECTOR_ID,
+                schedules.get(node_id),
+                active=node_id in active_ids,
+            )
+        )
+        slave_metrics.append(metrics)
+
+    collector_metrics = CollectorMetrics(gate)
+    collector = CollectorNode(
+        COLLECTOR_ID,
+        Communicator(transport.endpoint(COLLECTOR_ID, collector_metrics)),
+        collector_metrics,
+        slave_ids,
+    )
+
+    return Cluster(
+        master,
+        slaves,
+        collector,
+        master_metrics,
+        slave_metrics,
+        collector_metrics,
+        buffer,
+        workload,
+        gate,
+    )

@@ -1,0 +1,128 @@
+"""Load classification, supplier/consumer pairing, and the adaptive
+degree of declustering (Sections IV-C and V-A).
+
+At every reorganization epoch the master:
+
+1. classifies each active slave by its average buffer occupancy ``f``:
+   **supplier** if ``f > Th_sup``, **consumer** if ``f < Th_con``,
+   **neutral** otherwise;
+2. adapts the degree of declustering when enabled —
+
+   * *shrink* by one node when no supplier exists (the whole system is
+     under-loaded; the paper keeps the system "minimally overloaded by
+     ensuring at least one supplier");
+   * *grow* by one node when ``N_sup > beta * N_con`` (too few
+     consumers to absorb the suppliers' load);
+
+3. pairs each supplier with a unique consumer by a single scan and has
+   the supplier yield **one randomly selected partition-group**;
+4. drains a deactivated node by moving *all* of its partition-groups to
+   the remaining least-loaded non-supplier slaves, round-robin.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+import numpy as np
+
+from repro.config import SystemConfig
+from repro.core.protocol import MoveDirective
+
+
+class Classification(t.NamedTuple):
+    suppliers: tuple[int, ...]
+    consumers: tuple[int, ...]
+    neutrals: tuple[int, ...]
+
+
+class ReorgPlan(t.NamedTuple):
+    """Everything the master decides at one reorganization epoch."""
+
+    moves: tuple[MoveDirective, ...]
+    activate: tuple[int, ...]
+    deactivate: tuple[int, ...]
+    classification: Classification
+
+    @property
+    def participants(self) -> tuple[int, ...]:
+        nodes = {m.src for m in self.moves} | {m.dst for m in self.moves}
+        return tuple(sorted(nodes))
+
+
+class DeclusteringController:
+    """The master's reorganization policy."""
+
+    def __init__(self, cfg: SystemConfig, rng: np.random.Generator) -> None:
+        self.cfg = cfg
+        self.rng = rng
+
+    # -- step 1: classification -------------------------------------------
+    def classify(self, occupancy: t.Mapping[int, float]) -> Classification:
+        suppliers, consumers, neutrals = [], [], []
+        for node in sorted(occupancy):
+            f = occupancy[node]
+            if f > self.cfg.th_sup:
+                suppliers.append(node)
+            elif f < self.cfg.th_con:
+                consumers.append(node)
+            else:
+                neutrals.append(node)
+        return Classification(tuple(suppliers), tuple(consumers), tuple(neutrals))
+
+    # -- steps 2-4: the full plan ----------------------------------------------
+    def plan(
+        self,
+        occupancy: t.Mapping[int, float],
+        inactive: t.Sequence[int],
+        ownership: t.Mapping[int, t.Sequence[int]],
+    ) -> ReorgPlan:
+        """Decide moves and degree-of-declustering changes.
+
+        ``occupancy`` maps each *active* slave to its reported average
+        buffer occupancy; ``ownership`` maps each active slave to the
+        partition ids it currently holds.
+        """
+        cls = self.classify(occupancy)
+        activate: list[int] = []
+        deactivate: list[int] = []
+
+        if self.cfg.adaptive_declustering:
+            n_sup, n_con = len(cls.suppliers), len(cls.consumers)
+            if n_sup == 0 and len(occupancy) > 1:
+                candidates = list(cls.consumers) or list(cls.neutrals)
+                if candidates:
+                    victim = min(candidates, key=lambda s: (occupancy[s], s))
+                    deactivate.append(victim)
+            elif n_sup > self.cfg.beta * n_con and inactive:
+                activate.append(min(inactive))
+
+        moves: list[MoveDirective] = []
+
+        # Supplier -> consumer moves (one group per supplier).  Newly
+        # activated nodes join the consumer pool with occupancy 0.
+        if self.cfg.load_balancing:
+            consumer_pool = [
+                c for c in cls.consumers if c not in deactivate
+            ] + activate
+            for supplier, consumer in zip(cls.suppliers, consumer_pool):
+                pids = list(ownership.get(supplier, ()))
+                if not pids:
+                    continue
+                pid = int(self.rng.choice(pids))
+                moves.append(MoveDirective(pid, supplier, consumer))
+
+        # Drain deactivated nodes entirely.
+        for victim in deactivate:
+            survivors = [
+                s
+                for s in sorted(occupancy)
+                if s != victim and s not in cls.suppliers
+            ] or [s for s in sorted(occupancy) if s != victim]
+            survivors.sort(key=lambda s: (occupancy[s], s))
+            for i, pid in enumerate(sorted(ownership.get(victim, ()))):
+                moves.append(
+                    MoveDirective(int(pid), victim, survivors[i % len(survivors)])
+                )
+
+        return ReorgPlan(tuple(moves), tuple(activate), tuple(deactivate), cls)

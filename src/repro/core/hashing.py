@@ -1,0 +1,52 @@
+"""Hash functions for partitioning and fine tuning.
+
+Two independent hashes are derived from the join-attribute value:
+
+* ``H(k) % npart`` — the partition hash that routes a tuple to one of
+  the ``npart`` stream partitions (the master's level of indirection);
+* ``g(k)`` — the directory hash whose least-significant bits index the
+  extendible-hash directory inside a partition-group (Section IV-D).
+
+Both are built from the splitmix64 finalizer (a well-mixed bijection on
+64-bit words), vectorized over numpy int64 arrays.  Independence between
+``H`` and ``g`` matters: fine tuning must be able to split the tuples of
+a single partition, so ``g`` cannot be a function of ``H(k) % npart``
+alone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_U64 = np.uint64
+_PARTITION_SALT = _U64(0x9E3779B97F4A7C15)
+_DIRECTORY_SALT = _U64(0xD1B54A32D192ED03)
+
+
+def _splitmix64(x: np.ndarray) -> np.ndarray:
+    """The splitmix64 finalizer, elementwise on uint64."""
+    x = (x + _U64(0x9E3779B97F4A7C15)).astype(_U64)
+    x = (x ^ (x >> _U64(30))) * _U64(0xBF58476D1CE4E5B9)
+    x = (x ^ (x >> _U64(27))) * _U64(0x94D049BB133111EB)
+    return x ^ (x >> _U64(31))
+
+
+def partition_of(keys: np.ndarray, npart: int) -> np.ndarray:
+    """Partition id in ``[0, npart)`` for each key (vectorized)."""
+    with np.errstate(over="ignore"):
+        h = _splitmix64(keys.astype(np.int64).view(_U64) ^ _PARTITION_SALT)
+    return (h % _U64(npart)).astype(np.int64)
+
+
+def directory_hash(keys: np.ndarray) -> np.ndarray:
+    """The extendible-hashing hash ``g(k)`` (uint64, full width)."""
+    with np.errstate(over="ignore"):
+        return _splitmix64(keys.astype(np.int64).view(_U64) ^ _DIRECTORY_SALT)
+
+
+def directory_index(gvals: np.ndarray, global_depth: int) -> np.ndarray:
+    """Directory slot for each ``g`` value: its ``global_depth`` LSBs."""
+    if global_depth == 0:
+        return np.zeros(len(gvals), dtype=np.int64)
+    mask = _U64((1 << global_depth) - 1)
+    return (gvals & mask).astype(np.int64)

@@ -1,0 +1,210 @@
+"""The master node (Algorithm 1).
+
+The master ingests the streams into its partitioned buffer, distributes
+the buffered tuples to the active slaves at every distribution epoch
+(sub-group by sub-group, serially within a group — the source of the
+communication-time divergence of Figure 12), and runs the
+reorganization protocol at every reorganization epoch:
+
+1. collect :class:`~repro.core.protocol.SlaveSync` load reports;
+2. let the :class:`~repro.core.declustering.DeclusteringController`
+   classify slaves and plan moves / degree-of-declustering changes;
+3. send each active slave its :class:`~repro.core.protocol.ReorgOrder`
+   (with its new slot schedule and clock stamp — Algorithm 1 line 18);
+4. ship pending tuples to non-participants immediately, collect
+   :class:`~repro.core.protocol.MoveAck` from participants, then ship
+   to them too (the ordering the paper specifies).
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+
+from repro.config import SystemConfig
+from repro.core.buffer import MasterBuffer
+from repro.core.declustering import DeclusteringController
+from repro.core.metrics import MasterMetrics
+from repro.core.protocol import (
+    Activate,
+    Halt,
+    MoveAck,
+    ReorgOrder,
+    Shipment,
+    SlaveSync,
+)
+from repro.core.subgroups import build_schedules, groups_in_order
+from repro.mp.comm import Communicator
+
+
+class MasterNode:
+    """Master process: tuple ingestion, distribution, reorganization."""
+
+    def __init__(
+        self,
+        cfg: SystemConfig,
+        runtime: t.Any,
+        comm: Communicator,
+        buffer: MasterBuffer,
+        workload: t.Any,
+        controller: DeclusteringController,
+        metrics: MasterMetrics,
+        slave_ids: t.Sequence[int],
+        collector_id: int,
+    ) -> None:
+        self.cfg = cfg
+        self.rt = runtime
+        self.comm = comm
+        self.buffer = buffer
+        self.workload = workload
+        self.controller = controller
+        self.metrics = metrics
+        self.all_slaves = sorted(slave_ids)
+        self.collector_id = collector_id
+        self.active = self.all_slaves[: cfg.n_active_initial]
+        self.inactive = self.all_slaves[cfg.n_active_initial :]
+        self.schedules = build_schedules(
+            self.active, cfg.num_subgroups, cfg.dist_epoch
+        )
+        self._next_gen_time = 0.0
+        #: Latest load report per slave (refreshed every sync).
+        self.latest_reports: dict[int, t.Any] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def _reorg_every(self) -> int:
+        return max(1, round(self.cfg.reorg_epoch / self.cfg.dist_epoch))
+
+    def _is_reorg_epoch(self, k: int) -> bool:
+        return (k + 1) % self._reorg_every == 0
+
+    def run(self) -> t.Generator:
+        """The master's main loop (a node generator)."""
+        cfg = self.cfg
+        k = 0
+        while (k + 2) * cfg.dist_epoch <= cfg.run_seconds + 1e-9:
+            if self._is_reorg_epoch(k):
+                yield from self._reorg_round(k)
+            else:
+                yield from self._distribution_round(k)
+            self.metrics.epochs += 1
+            k += 1
+        yield from self._halt_round(k)
+
+    # -- workload ingestion ------------------------------------------------
+    def _generate_upto(self, now: float) -> None:
+        if now > self._next_gen_time:
+            batch = self.workload.generate(self._next_gen_time, now)
+            self.buffer.ingest(batch)
+            self.metrics.tuples_ingested += len(batch)
+            self._next_gen_time = now
+        self.metrics.sample_buffer(now, self.buffer.total_bytes)
+
+    # -- normal epoch -----------------------------------------------------------
+    def _distribution_round(self, k: int) -> t.Generator:
+        rt, comm, cfg = self.rt, self.comm, self.cfg
+        t_dist = (k + 1) * cfg.dist_epoch
+        groups = groups_in_order(self.active, cfg.num_subgroups)
+        slot_len = cfg.dist_epoch / len(groups)
+        for g, members in enumerate(groups):
+            yield rt.sleep_until(t_dist + g * slot_len)
+            self._generate_upto(rt.now())
+            for s in members:
+                sync = yield from comm.recv_expect(s, SlaveSync)
+                self.latest_reports[s] = sync.report
+                yield from self._ship_to(k, s)
+
+    def _ship_to(self, k: int, slave: int) -> t.Generator:
+        now = self.rt.now()
+        batch, epoch_start = self.buffer.drain_for(slave, now)
+        yield self.comm.send(slave, Shipment(k, epoch_start, now, batch))
+
+    # -- reorganization epoch --------------------------------------------------------
+    def _reorg_round(self, k: int) -> t.Generator:
+        rt, comm, cfg = self.rt, self.comm, self.cfg
+        yield rt.sleep_until((k + 1) * cfg.dist_epoch)
+        self._generate_upto(rt.now())
+
+        actives = list(self.active)
+        for s in actives:
+            sync = yield from comm.recv_expect(s, SlaveSync)
+            self.latest_reports[s] = sync.report
+
+        occupancy = {
+            s: self.latest_reports[s].avg_occupancy for s in actives
+        }
+        ownership = {s: self.buffer.pids_of(s) for s in actives}
+        plan = self.controller.plan(occupancy, self.inactive, ownership)
+        cls = plan.classification
+        self.metrics.supplier_counts.append(
+            (rt.now(), len(cls.suppliers), len(cls.consumers), len(cls.neutrals))
+        )
+
+        new_active = sorted(
+            (set(actives) | set(plan.activate)) - set(plan.deactivate)
+        )
+        schedules = build_schedules(new_active, cfg.num_subgroups, cfg.dist_epoch)
+
+        for s in plan.activate:
+            yield comm.send(s, Activate(k, clock=rt.now(), schedule=schedules[s]))
+
+        order_targets = sorted(set(actives) | set(plan.activate))
+        acks_expected: dict[int, int] = {}
+        for s in order_targets:
+            outgoing = tuple(m for m in plan.moves if m.src == s)
+            incoming = tuple(m for m in plan.moves if m.dst == s)
+            yield comm.send(
+                s,
+                ReorgOrder(
+                    k,
+                    outgoing=outgoing,
+                    incoming=incoming,
+                    deactivate=s in plan.deactivate,
+                    clock=rt.now(),
+                    schedule=schedules.get(s),
+                ),
+            )
+            if outgoing or incoming:
+                acks_expected[s] = len(outgoing) + len(incoming)
+
+        # The mapping changes take effect now: tuples buffered for a
+        # moved partition will be shipped to the new owner below.
+        for m in plan.moves:
+            self.buffer.remap(m.pid, m.dst)
+        self.metrics.moves_ordered += len(plan.moves)
+
+        participants = set(acks_expected)
+        deactivated = set(plan.deactivate)
+        for s in order_targets:
+            if s not in participants and s not in deactivated:
+                yield from self._ship_to(k, s)
+        for s in sorted(acks_expected):
+            for _ in range(acks_expected[s]):
+                yield from comm.recv_expect(s, MoveAck)
+        for s in sorted(participants):
+            if s not in deactivated:
+                yield from self._ship_to(k, s)
+
+        if len(new_active) != len(actives):
+            self.metrics.dod_changes.append((rt.now(), len(new_active)))
+        self.active = new_active
+        self.inactive = sorted(set(self.all_slaves) - set(new_active))
+        self.schedules = schedules
+        self.metrics.reorgs += 1
+
+    # -- shutdown ----------------------------------------------------------------
+    def _halt_round(self, k: int) -> t.Generator:
+        """One final exchange: answer each slave's sync with Halt."""
+        rt, comm, cfg = self.rt, self.comm, self.cfg
+        t_dist = (k + 1) * cfg.dist_epoch
+        if self._is_reorg_epoch(k):
+            yield rt.sleep_until(t_dist)
+            order = list(self.active)
+        else:
+            order = [s for g in groups_in_order(self.active, cfg.num_subgroups) for s in g]
+            yield rt.sleep_until(t_dist)
+        for s in order:
+            yield from comm.recv_expect(s, SlaveSync)
+            yield comm.send(s, Halt(k))
+        for s in self.inactive:
+            yield comm.send(s, Halt(k))

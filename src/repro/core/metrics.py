@@ -1,0 +1,256 @@
+"""Metrics collection (Section VI-A's evaluation metrics).
+
+The paper reports, per run:
+
+* **average production delay** — for an output tuple joining ``s1`` and
+  ``s2`` with ``s1.t > s2.t``, the delay is ``Tclock - s1.t`` at the
+  moment the output is produced;
+* **communication time** — time a node spends sending/receiving;
+* **idle time** — time a node waits for its communication slot;
+* **total CPU time** — join processing work;
+* **window size within a node** — storage held by a slave.
+
+All recordings are gated on a shared *measurement window*: the paper
+starts gathering after a warm-up equal to the window length so windows
+are full and the system is in steady state.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+import numpy as np
+
+#: Log-spaced delay histogram edges, seconds (1 ms .. ~17 min).
+DELAY_BIN_EDGES: np.ndarray = np.logspace(-3, 3, 61)
+
+
+class MeasurementWindow:
+    """Shared gate: records count only inside ``[start, stop]``."""
+
+    __slots__ = ("start", "stop")
+
+    def __init__(self, start: float, stop: float = float("inf")) -> None:
+        self.start = float(start)
+        self.stop = float(stop)
+
+    def active(self, now: float) -> bool:
+        return self.start <= now <= self.stop
+
+    def overlap(self, t0: float, t1: float) -> float:
+        """Length of ``[t0, t1]`` inside the measurement window."""
+        return max(0.0, min(t1, self.stop) - max(t0, self.start))
+
+
+class DelayStats:
+    """Streaming statistics over production delays."""
+
+    __slots__ = ("count", "total", "minimum", "maximum", "histogram")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = 0.0
+        self.histogram = np.zeros(len(DELAY_BIN_EDGES) + 1, dtype=np.int64)
+
+    def record(self, delays: np.ndarray) -> None:
+        n = len(delays)
+        if n == 0:
+            return
+        self.count += n
+        self.total += float(delays.sum())
+        self.minimum = min(self.minimum, float(delays.min()))
+        self.maximum = max(self.maximum, float(delays.max()))
+        self.histogram += np.bincount(
+            np.searchsorted(DELAY_BIN_EDGES, delays), minlength=len(self.histogram)
+        )[: len(self.histogram)]
+
+    def merge(self, other: "DelayStats") -> None:
+        self.count += other.count
+        self.total += other.total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+        self.histogram += other.histogram
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Approximate percentile from the log-spaced histogram."""
+        if self.count == 0:
+            return 0.0
+        target = q / 100.0 * self.count
+        cum = np.cumsum(self.histogram)
+        idx = int(np.searchsorted(cum, target, side="left"))
+        idx = min(idx, len(DELAY_BIN_EDGES) - 1)
+        return float(DELAY_BIN_EDGES[idx])
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "min": self.minimum if self.count else 0.0,
+            "max": self.maximum,
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+        }
+
+
+class SlaveMetrics:
+    """Per-slave counters, gated on the measurement window."""
+
+    def __init__(self, node_id: int, gate: MeasurementWindow) -> None:
+        self.node_id = node_id
+        self.gate = gate
+        self.delays = DelayStats()
+        #: Outputs not yet reported to the collector (same gating as
+        #: ``delays`` so collector totals match local totals exactly).
+        self.unreported = DelayStats()
+        # CPU accounting (seconds of modeled work inside the gate).
+        self.cpu_probe = 0.0
+        self.cpu_expire = 0.0
+        self.cpu_tuning = 0.0
+        self.cpu_state_move = 0.0
+        # Communication accounting (filled by the transport layer).
+        self.comm_time = 0.0
+        self.idle_time = 0.0
+        self.bytes_received = 0
+        self.bytes_sent = 0
+        self.messages = 0
+        # Window / buffer accounting.
+        self.max_window_bytes = 0
+        self.occupancy_samples: list[tuple[float, float]] = []
+        self.tuples_processed = 0
+        self.outputs_emitted = 0
+        self.splits = 0
+        self.merges = 0
+        self.disk_bytes_read = 0
+        self.groups_moved_in = 0
+        self.groups_moved_out = 0
+        self.state_bytes_moved = 0
+        #: (probe_seq_or_s1, window_seq_or_s2) pairs, test mode only.
+        self.pairs: list[np.ndarray] = []
+        self.active_time = 0.0
+
+    # -- recording -----------------------------------------------------------
+    @property
+    def cpu_total(self) -> float:
+        return (
+            self.cpu_probe + self.cpu_expire + self.cpu_tuning + self.cpu_state_move
+        )
+
+    def charge_cpu(self, kind: str, t0: float, t1: float) -> None:
+        span = self.gate.overlap(t0, t1)
+        if span <= 0.0:
+            return
+        if kind == "probe":
+            self.cpu_probe += span
+        elif kind == "expire":
+            self.cpu_expire += span
+        elif kind == "tune":
+            self.cpu_tuning += span
+        elif kind == "state_move":
+            self.cpu_state_move += span
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown cpu kind {kind!r}")
+
+    def record_outputs(self, emit_time: float, newer_ts: np.ndarray) -> None:
+        if len(newer_ts) == 0 or not self.gate.active(emit_time):
+            return
+        self.outputs_emitted += len(newer_ts)
+        delays = emit_time - newer_ts
+        self.delays.record(delays)
+        self.unreported.record(delays)
+
+    def pop_unreported(self) -> DelayStats:
+        """Drain the outputs accumulated since the last collector report."""
+        stats, self.unreported = self.unreported, DelayStats()
+        return stats
+
+    def record_comm(self, t0: float, t1: float, nbytes: int, sent: bool) -> None:
+        span = self.gate.overlap(t0, t1)
+        if span > 0.0:
+            self.comm_time += span
+        if self.gate.active(t1):
+            self.messages += 1
+            if sent:
+                self.bytes_sent += nbytes
+            else:
+                self.bytes_received += nbytes
+
+    def record_idle(self, t0: float, t1: float) -> None:
+        span = self.gate.overlap(t0, t1)
+        if span > 0.0:
+            self.idle_time += span
+
+    def sample_window(self, now: float, window_bytes: int) -> None:
+        if self.gate.active(now):
+            self.max_window_bytes = max(self.max_window_bytes, window_bytes)
+
+    def sample_occupancy(self, now: float, occupancy: float) -> None:
+        # Occupancy drives the load balancer at all times; samples are
+        # kept unconditionally, tagged with their timestamp.
+        self.occupancy_samples.append((now, occupancy))
+
+    def snapshot(self) -> dict[str, t.Any]:
+        return {
+            "node": self.node_id,
+            "cpu_total": self.cpu_total,
+            "cpu_probe": self.cpu_probe,
+            "cpu_expire": self.cpu_expire,
+            "cpu_tuning": self.cpu_tuning,
+            "cpu_state_move": self.cpu_state_move,
+            "comm_time": self.comm_time,
+            "idle_time": self.idle_time,
+            "bytes_received": self.bytes_received,
+            "bytes_sent": self.bytes_sent,
+            "messages": self.messages,
+            "max_window_bytes": self.max_window_bytes,
+            "outputs": self.outputs_emitted,
+            "tuples_processed": self.tuples_processed,
+            "splits": self.splits,
+            "merges": self.merges,
+            "disk_bytes_read": self.disk_bytes_read,
+            "delay": self.delays.snapshot(),
+        }
+
+
+class MasterMetrics:
+    """Master-side counters."""
+
+    def __init__(self, gate: MeasurementWindow) -> None:
+        self.gate = gate
+        self.comm_time = 0.0
+        self.idle_time = 0.0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.messages = 0
+        self.max_buffer_bytes = 0
+        self.tuples_ingested = 0
+        self.epochs = 0
+        self.reorgs = 0
+        self.moves_ordered = 0
+        self.dod_changes: list[tuple[float, int]] = []
+        self.supplier_counts: list[tuple[float, int, int, int]] = []
+
+    def record_comm(self, t0: float, t1: float, nbytes: int, sent: bool) -> None:
+        span = self.gate.overlap(t0, t1)
+        if span > 0.0:
+            self.comm_time += span
+        if self.gate.active(t1):
+            self.messages += 1
+            if sent:
+                self.bytes_sent += nbytes
+            else:
+                self.bytes_received += nbytes
+
+    def record_idle(self, t0: float, t1: float) -> None:
+        span = self.gate.overlap(t0, t1)
+        if span > 0.0:
+            self.idle_time += span
+
+    def sample_buffer(self, now: float, nbytes: int) -> None:
+        if self.gate.active(now):
+            self.max_buffer_bytes = max(self.max_buffer_bytes, nbytes)

@@ -1,0 +1,170 @@
+"""Wire protocol between master, slaves and collector.
+
+The communication pattern is *fixed* (Section III): every exchange
+happens at a scheduled point of the epoch structure, so each message
+type corresponds to exactly one step of the schedule.  Receiving an
+unexpected type raises :class:`~repro.errors.ProtocolError` in the node
+loops.
+
+Payload sizes: tuple-bearing messages cost ``n * tuple_bytes`` wire
+bytes (the paper's 64 B machine-independent tuple format); control
+messages cost a small fixed size.
+"""
+
+from __future__ import annotations
+
+import typing as t
+from dataclasses import dataclass
+
+from repro.core.partition_group import PartitionGroupState
+from repro.core.subgroups import SlotSchedule
+from repro.data.tuples import TupleBatch
+
+#: Wire size of a bare control message (headers + a few ints).
+CONTROL_BYTES = 64
+#: Wire size of a per-epoch load report.
+REPORT_BYTES = 96
+#: Wire size of a per-epoch result report to the collector (stats +
+#: log-spaced delay histogram).
+RESULT_REPORT_BYTES = 640
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class: every message knows its wire size."""
+
+    def wire_bytes(self, tuple_bytes: int) -> int:
+        return CONTROL_BYTES
+
+
+@dataclass(frozen=True)
+class Shipment(Message):
+    """Master -> slave: the tuples of one distribution epoch.
+
+    Tuples of both streams travel merged, distinguished by the
+    stream-id column (the paper's augmented-attribute option).
+    ``epoch_start`` lets the slave compute its exact expiry cutoff.
+    """
+
+    epoch: int
+    epoch_start: float
+    epoch_end: float
+    batch: TupleBatch
+
+    def wire_bytes(self, tuple_bytes: int) -> int:
+        return CONTROL_BYTES + len(self.batch) * tuple_bytes
+
+
+@dataclass(frozen=True)
+class LoadReport(Message):
+    """Slave -> master: average buffer occupancy over the last epochs."""
+
+    epoch: int
+    avg_occupancy: float
+    last_occupancy: float
+    window_bytes: int
+
+    def wire_bytes(self, tuple_bytes: int) -> int:
+        return REPORT_BYTES
+
+
+class MoveDirective(t.NamedTuple):
+    """One partition-group move: partition ``pid`` from ``src`` to ``dst``."""
+
+    pid: int
+    src: int
+    dst: int
+
+
+@dataclass(frozen=True)
+class ReorgOrder(Message):
+    """Master -> slave at a reorganization epoch.
+
+    Carries the moves this slave participates in (as supplier and/or
+    consumer), whether the slave is being deactivated afterwards, and a
+    clock-synchronization stamp (Algorithm 1, line 18).
+    """
+
+    epoch: int
+    outgoing: tuple[MoveDirective, ...] = ()
+    incoming: tuple[MoveDirective, ...] = ()
+    deactivate: bool = False
+    clock: float = 0.0
+    #: This slave's communication slot from the next epoch on.
+    schedule: SlotSchedule | None = None
+
+    def wire_bytes(self, tuple_bytes: int) -> int:
+        return CONTROL_BYTES + 24 * (len(self.outgoing) + len(self.incoming))
+
+
+@dataclass(frozen=True)
+class StateTransfer(Message):
+    """Supplier slave -> consumer slave: a partition-group's state."""
+
+    pid: int
+    state: PartitionGroupState
+    buffered: TupleBatch
+
+    def wire_bytes(self, tuple_bytes: int) -> int:
+        n = self.state.n_tuples + len(self.buffered)
+        return CONTROL_BYTES + n * tuple_bytes
+
+
+@dataclass(frozen=True)
+class MoveAck(Message):
+    """Slave -> master: one side of a state move completed."""
+
+    pid: int
+    role: str  # "supplier" | "consumer"
+
+
+@dataclass(frozen=True)
+class Activate(Message):
+    """Master -> slave: join the active set at the next epoch."""
+
+    epoch: int
+    clock: float = 0.0
+    schedule: SlotSchedule | None = None
+
+
+@dataclass(frozen=True)
+class ResultReport(Message):
+    """Slave -> collector: per-epoch output statistics.
+
+    The collector merges statistics (a :class:`~repro.core.metrics.DelayStats`
+    snapshot) rather than raw result tuples — see DESIGN.md, "known
+    deviations".
+    """
+
+    epoch: int
+    stats: t.Any  # DelayStats
+
+    def wire_bytes(self, tuple_bytes: int) -> int:
+        return RESULT_REPORT_BYTES
+
+
+@dataclass(frozen=True)
+class Halt(Message):
+    """Master -> everyone: end of run, shut down cleanly."""
+
+    epoch: int
+
+
+@dataclass(frozen=True)
+class SlaveSync(Message):
+    """Slave -> master: per-epoch hello carrying the load sample.
+
+    This is the slave-initiated connection of the fixed schedule: the
+    slave contacts the master at its slot, hands over its status, and
+    the master answers with the epoch's Shipment (or ReorgOrder).
+    """
+
+    epoch: int
+    report: LoadReport
+
+    def wire_bytes(self, tuple_bytes: int) -> int:
+        return REPORT_BYTES
+
+
+MasterToSlave = t.Union[Shipment, ReorgOrder, Activate, Halt]
+SlaveToMaster = t.Union[SlaveSync, MoveAck]

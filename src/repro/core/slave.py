@@ -1,0 +1,266 @@
+"""The slave node (Figure 2's right-hand box).
+
+A slave runs **two cooperating processes**, mirroring the paper's
+software components (each node of the testbed has two CPUs):
+
+* the **comm module** (:meth:`SlaveNode.comm_loop`) follows the fixed
+  communication schedule: at its slot of every distribution epoch it
+  sends a :class:`~repro.core.protocol.SlaveSync` (carrying the load
+  report), receives the epoch's shipment, and forwards per-epoch result
+  statistics to the collector.  At reorganization epochs it executes
+  the state-movement protocol (supplier and/or consumer role) and acts
+  on degree-of-declustering orders.  An inactive slave blocks waiting
+  for :class:`~repro.core.protocol.Activate`.
+
+* the **join module driver** (:meth:`SlaveNode.join_loop`) consumes
+  shipments from an internal queue and executes the join module's work
+  units, charging their modeled CPU cost to virtual time.
+
+The two share the join state under a lock; the comm module only touches
+it for state moves, so a long processing pass delays a state move — as
+it would on the real system — but never deadlocks.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.config import SystemConfig
+from repro.core.join_module import JoinModule
+from repro.core.metrics import SlaveMetrics
+from repro.core.protocol import (
+    Activate,
+    Halt,
+    LoadReport,
+    MoveAck,
+    ReorgOrder,
+    ResultReport,
+    Shipment,
+    SlaveSync,
+    StateTransfer,
+)
+from repro.core.subgroups import SlotSchedule
+from repro.mp.comm import Communicator
+
+#: Sentinel waking the join loop for shutdown.
+HALT_TOKEN = object()
+#: Sentinel waking the join loop to look for newly buffered work.
+WAKE_TOKEN = object()
+
+_CPU_KIND = {"probe": "probe", "expire": "expire", "tune": "tune"}
+
+
+class SlaveNode:
+    """One slave: comm loop + join loop over a shared join module."""
+
+    def __init__(
+        self,
+        node_id: int,
+        cfg: SystemConfig,
+        runtime: t.Any,
+        comm: Communicator,
+        module: JoinModule,
+        metrics: SlaveMetrics,
+        master_id: int,
+        collector_id: int,
+        schedule: SlotSchedule | None,
+        active: bool,
+    ) -> None:
+        self.node_id = node_id
+        self.cfg = cfg
+        self.rt = runtime
+        self.comm = comm
+        self.module = module
+        self.metrics = metrics
+        self.master_id = master_id
+        self.collector_id = collector_id
+        self.schedule = schedule
+        self.active = active
+        self.epoch = 0
+        # Share the module's cost model so a non-dedicated slave's
+        # reduced speed also applies to its state-move work.
+        self.cost_model = module.cost_model
+        self.lock = runtime.make_lock(f"slave{node_id}.state")
+        self.work_queue = runtime.make_queue(f"slave{node_id}.work")
+        self._halted = False
+        self._occ_sum = 0.0
+        self._occ_n = 0
+        self._last_occ = 0.0
+
+    # ------------------------------------------------------------------
+    def processes(self) -> list[t.Generator]:
+        return [self.comm_loop(), self.join_loop()]
+
+    @property
+    def _reorg_every(self) -> int:
+        return max(1, round(self.cfg.reorg_epoch / self.cfg.dist_epoch))
+
+    def _is_reorg_epoch(self, k: int) -> bool:
+        return (k + 1) % self._reorg_every == 0
+
+    # -- join loop ------------------------------------------------------
+    def join_loop(self) -> t.Generator:
+        rt, metrics = self.rt, self.metrics
+        while True:
+            token = yield self.work_queue.get()
+            if token is HALT_TOKEN:
+                return
+            if not self.module.has_work:
+                continue
+            yield self.lock.acquire()
+            for unit in self.module.work_units():
+                t0 = rt.now()
+                yield rt.cpu(unit.cost)
+                t1 = rt.now()
+                metrics.charge_cpu(_CPU_KIND[unit.kind], t0, t1)
+                unit.execute(t1)
+            metrics.sample_window(rt.now(), self.module.window_bytes)
+            self.lock.release()
+            if self.module.has_work:
+                # Backlog remains (a pass is bounded): re-arm ourselves
+                # so draining continues after state moves had a chance
+                # to take the lock.
+                yield self.work_queue.put(WAKE_TOKEN)
+
+    # -- comm loop ---------------------------------------------------------
+    def comm_loop(self) -> t.Generator:
+        rt, comm, td = self.rt, self.comm, self.cfg.dist_epoch
+        while not self._halted:
+            if not self.active:
+                msg = yield from comm.recv_expect(self.master_id, Activate, Halt)
+                if isinstance(msg, Halt):
+                    yield from self._shutdown()
+                    return
+                # Join the cluster: adopt the master's epoch counter and
+                # slot schedule, then take part in the current
+                # reorganization as a consumer.
+                self.epoch = msg.epoch
+                self.schedule = msg.schedule
+                self.active = True
+                halted = yield from self._reorg_exchange(self.epoch, send_sync=False)
+                if halted:
+                    yield from self._shutdown()
+                    return
+                yield from self._report_results(self.epoch)
+                self.epoch += 1
+                continue
+
+            k = self.epoch
+            reorg = self._is_reorg_epoch(k)
+            offset = 0.0 if reorg else self.schedule.slot_offset
+            yield rt.sleep_until((k + 1) * td + offset)
+            self._sample_occupancy()
+            if reorg:
+                halted = yield from self._reorg_exchange(k, send_sync=True)
+            else:
+                halted = yield from self._plain_exchange(k)
+            if halted:
+                yield from self._shutdown()
+                return
+            if self.active:
+                yield from self._report_results(k)
+            self.epoch = k + 1
+
+    # -- epoch exchanges --------------------------------------------------------
+    def _plain_exchange(self, k: int) -> t.Generator:
+        comm = self.comm
+        yield comm.send(self.master_id, SlaveSync(k, self._make_report(k)))
+        msg = yield from comm.recv_expect(self.master_id, Shipment, Halt)
+        if isinstance(msg, Halt):
+            return True
+        yield from self._accept_shipment(msg)
+        return False
+
+    def _accept_shipment(self, shipment: Shipment) -> t.Generator:
+        # Filing into the module's mini-buffers is safe alongside a
+        # running join pass (the pass picks the tuples up at its next
+        # drain); only state moves need the lock.
+        self.module.enqueue(shipment)
+        yield self.work_queue.put(WAKE_TOKEN)
+
+    def _reorg_exchange(self, k: int, send_sync: bool) -> t.Generator:
+        rt, comm, metrics = self.rt, self.comm, self.metrics
+        tuple_bytes = self.cfg.tuple_bytes
+        if send_sync:
+            yield comm.send(self.master_id, SlaveSync(k, self._make_report(k)))
+        self._reset_occupancy_window()
+        msg = yield from comm.recv_expect(self.master_id, ReorgOrder, Halt)
+        if isinstance(msg, Halt):
+            return True
+        order: ReorgOrder = msg
+        if order.schedule is not None:
+            self.schedule = order.schedule
+
+        # Supplier role: extract and ship partition-group states.
+        for mv in order.outgoing:
+            yield self.lock.acquire()
+            state, buffered = self.module.extract_partition(mv.pid)
+            self.lock.release()
+            nbytes = (state.n_tuples + len(buffered)) * tuple_bytes
+            t0 = rt.now()
+            yield rt.cpu(self.cost_model.state_move_cost(nbytes))
+            metrics.charge_cpu("state_move", t0, rt.now())
+            metrics.state_bytes_moved += nbytes
+            yield comm.send(mv.dst, StateTransfer(mv.pid, state, buffered))
+
+        # Consumer role: receive and install.
+        for mv in order.incoming:
+            transfer = yield from comm.recv_expect(mv.src, StateTransfer)
+            nbytes = (transfer.state.n_tuples + len(transfer.buffered)) * tuple_bytes
+            t0 = rt.now()
+            yield rt.cpu(self.cost_model.state_move_cost(nbytes))
+            metrics.charge_cpu("state_move", t0, rt.now())
+            metrics.state_bytes_moved += nbytes
+            yield self.lock.acquire()
+            self.module.install_partition(
+                transfer.pid, transfer.state, transfer.buffered
+            )
+            self.lock.release()
+            # The moved buffer may contain work; wake the join loop.
+            yield self.work_queue.put(WAKE_TOKEN)
+
+        for mv in order.outgoing:
+            yield comm.send(self.master_id, MoveAck(mv.pid, "supplier"))
+        for mv in order.incoming:
+            yield comm.send(self.master_id, MoveAck(mv.pid, "consumer"))
+
+        if order.deactivate:
+            self.active = False
+            return False
+
+        msg = yield from comm.recv_expect(self.master_id, Shipment, Halt)
+        if isinstance(msg, Halt):
+            return True
+        yield from self._accept_shipment(msg)
+        return False
+
+    # -- reporting ------------------------------------------------------------
+    def _sample_occupancy(self) -> None:
+        # The paper's metric is the fill fraction of a physical buffer,
+        # bounded by 1.0; the module's raw value can exceed 1 when the
+        # backlog would have overflowed the allotted memory.
+        occ = min(1.0, self.module.occupancy(self.cfg.slave_buffer_bytes))
+        self._occ_sum += occ
+        self._occ_n += 1
+        self._last_occ = occ
+        self.metrics.sample_occupancy(self.rt.now(), occ)
+
+    def _reset_occupancy_window(self) -> None:
+        self._occ_sum = 0.0
+        self._occ_n = 0
+
+    def _make_report(self, k: int) -> LoadReport:
+        avg = self._occ_sum / self._occ_n if self._occ_n else 0.0
+        return LoadReport(k, avg, self._last_occ, self.module.window_bytes)
+
+    def _report_results(self, k: int) -> t.Generator:
+        stats = self.metrics.pop_unreported()
+        yield self.comm.send(self.collector_id, ResultReport(k, stats))
+
+    def _shutdown(self) -> t.Generator:
+        self._halted = True
+        yield self.work_queue.put(HALT_TOKEN)
+        # Flush the outputs accumulated since the last report so the
+        # collector's totals match the slaves' local statistics.
+        yield from self._report_results(self.epoch)
+        yield self.comm.send(self.collector_id, Halt(self.epoch))

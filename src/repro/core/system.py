@@ -1,0 +1,239 @@
+"""System wiring and the run loop.
+
+:class:`JoinSystem` assembles a simulated cluster — master, slaves,
+collector, transport — from a :class:`~repro.config.SystemConfig`, runs
+it to completion on the DES kernel, and returns a :class:`RunResult`
+with every metric the paper's evaluation section reports.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+import numpy as np
+
+from repro.config import SystemConfig
+from repro.core.cluster import (
+    COLLECTOR_ID,
+    MASTER_ID,
+    Cluster,
+    build_cluster,
+    slave_node_id,
+)
+from repro.core.metrics import DelayStats
+from repro.errors import DeadlockError
+from repro.net.sim_transport import SimTransport
+from repro.runtime.sim import SimRuntime
+from repro.simul.kernel import Simulator
+
+__all__ = [
+    "JoinSystem",
+    "RunResult",
+    "collect_result",
+    "MASTER_ID",
+    "COLLECTOR_ID",
+    "slave_node_id",
+]
+
+
+@dataclasses.dataclass
+class RunResult:
+    """Everything measured during one run (inside the gate window)."""
+
+    cfg: SystemConfig
+    #: Wall duration of the measurement window (seconds).
+    duration: float
+    #: Merged production-delay statistics over all slaves.
+    delays: DelayStats
+    #: The collector's independently merged view (must match `delays`).
+    collector_delays: DelayStats
+    #: Per-slave metric snapshots (ordered by slave index).
+    slaves: list[dict[str, t.Any]]
+    master: dict[str, t.Any]
+    #: Degree-of-declustering trace [(time, n_active)].
+    dod_trace: list[tuple[float, int]]
+    #: Per-epoch collector timeline [(epoch, outputs, mean_delay_s)].
+    delay_timeline: list[tuple[int, int, float]]
+    tuples_generated: int
+    #: Join output pairs (only in collect_pairs mode).
+    pairs: np.ndarray | None = None
+
+    # -- headline metrics -------------------------------------------------
+    @property
+    def avg_delay(self) -> float:
+        """Average production delay, seconds (Figures 5, 6, 8, 13)."""
+        return self.delays.mean
+
+    @property
+    def outputs(self) -> int:
+        return self.delays.count
+
+    @property
+    def cpu_times(self) -> list[float]:
+        return [s["cpu_total"] for s in self.slaves]
+
+    @property
+    def avg_cpu_time(self) -> float:
+        """Average per-slave CPU time, seconds (Figure 7)."""
+        served = self.cpu_times
+        return float(np.mean(served)) if served else 0.0
+
+    @property
+    def comm_times(self) -> list[float]:
+        """Per-slave communication time, seconds (Figures 9-12, 14)."""
+        return [s["comm_time"] for s in self.slaves]
+
+    @property
+    def avg_comm_time(self) -> float:
+        return float(np.mean(self.comm_times)) if self.comm_times else 0.0
+
+    @property
+    def aggregate_comm_time(self) -> float:
+        return float(np.sum(self.comm_times))
+
+    @property
+    def idle_times(self) -> list[float]:
+        """Per-slave CPU idle time: measurement window minus join work
+        minus communication (Figures 9, 10)."""
+        return [
+            max(0.0, self.duration - s["cpu_total"] - s["comm_time"])
+            for s in self.slaves
+        ]
+
+    @property
+    def avg_idle_time(self) -> float:
+        return float(np.mean(self.idle_times)) if self.idle_times else 0.0
+
+    @property
+    def max_window_bytes(self) -> int:
+        return max((s["max_window_bytes"] for s in self.slaves), default=0)
+
+    @property
+    def final_active_slaves(self) -> int:
+        return self.dod_trace[-1][1] if self.dod_trace else self.cfg.n_active_initial
+
+    def to_dict(self) -> dict[str, t.Any]:
+        return {
+            "avg_delay": self.avg_delay,
+            "outputs": self.outputs,
+            "avg_cpu_time": self.avg_cpu_time,
+            "avg_comm_time": self.avg_comm_time,
+            "aggregate_comm_time": self.aggregate_comm_time,
+            "avg_idle_time": self.avg_idle_time,
+            "max_window_bytes": self.max_window_bytes,
+            "duration": self.duration,
+            "tuples_generated": self.tuples_generated,
+            "slaves": self.slaves,
+            "master": self.master,
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"run: rate={self.cfg.rate:g} t/s/stream, "
+            f"slaves={self.cfg.num_slaves}, "
+            f"fine_tuning={self.cfg.fine_tuning}, "
+            f"window={self.cfg.window_seconds:g}s, "
+            f"measured={self.duration:g}s",
+            f"  outputs: {self.outputs}  "
+            f"avg delay: {self.avg_delay:.3f}s  "
+            f"(p50={self.delays.percentile(50):.3f}s, "
+            f"p99={self.delays.percentile(99):.3f}s)",
+            f"  per-slave cpu: {[round(c, 1) for c in self.cpu_times]}s",
+            f"  per-slave comm: {[round(c, 2) for c in self.comm_times]}s",
+            f"  per-slave idle: {[round(c, 1) for c in self.idle_times]}s",
+            f"  max window: {self.max_window_bytes / 1e6:.2f} MB  "
+            f"moves: {self.master.get('moves_ordered', 0)}  "
+            f"splits: {sum(s['splits'] for s in self.slaves)}  "
+            f"merges: {sum(s['merges'] for s in self.slaves)}",
+        ]
+        if self.dod_trace:
+            lines.append(f"  degree-of-declustering trace: {self.dod_trace}")
+        return "\n".join(lines)
+
+
+class JoinSystem:
+    """One fully wired simulated cluster run."""
+
+    def __init__(
+        self,
+        cfg: SystemConfig,
+        collect_pairs: bool = False,
+        workload: t.Any = None,
+    ) -> None:
+        self.cfg = cfg.validated()
+        self.collect_pairs = collect_pairs
+        self._workload_override = workload
+
+    def run(self) -> RunResult:
+        cfg = self.cfg
+        sim = Simulator()
+        runtime = SimRuntime(sim)
+        transport = SimTransport(sim, cfg.network, cfg.tuple_bytes)
+        cluster = build_cluster(
+            cfg,
+            runtime,
+            transport,
+            workload=self._workload_override,
+            collect_pairs=self.collect_pairs,
+        )
+
+        processes = [
+            sim.process(gen, name=name) for name, gen in cluster.processes()
+        ]
+        sim.run(None)
+        stuck = [p.name for p in processes if p.is_alive]
+        if stuck:
+            raise DeadlockError(f"processes never finished: {stuck}")
+
+        return collect_result(cfg, cluster, self.collect_pairs)
+
+
+def collect_result(
+    cfg: SystemConfig, cluster: "Cluster", collect_pairs: bool
+) -> RunResult:
+    """Assemble a :class:`RunResult` from a finished cluster's metrics
+    (shared by the sim and thread backends)."""
+    merged = DelayStats()
+    for metrics in cluster.slave_metrics:
+        merged.merge(metrics.delays)
+
+    pairs: np.ndarray | None = None
+    if collect_pairs:
+        chunks = [c for m in cluster.slave_metrics for c in m.pairs]
+        pairs = (
+            np.concatenate(chunks)
+            if chunks
+            else np.empty((0, 2), dtype=np.int64)
+        )
+
+    master_metrics = cluster.master_metrics
+    master_snapshot = {
+        "comm_time": master_metrics.comm_time,
+        "idle_time": master_metrics.idle_time,
+        "bytes_sent": master_metrics.bytes_sent,
+        "bytes_received": master_metrics.bytes_received,
+        "messages": master_metrics.messages,
+        "max_buffer_bytes": master_metrics.max_buffer_bytes,
+        "tuples_ingested": master_metrics.tuples_ingested,
+        "epochs": master_metrics.epochs,
+        "reorgs": master_metrics.reorgs,
+        "moves_ordered": master_metrics.moves_ordered,
+        "supplier_counts": master_metrics.supplier_counts,
+    }
+
+    workload = cluster.workload
+    return RunResult(
+        cfg=cfg,
+        duration=cfg.run_seconds - cfg.warmup_seconds,
+        delays=merged,
+        collector_delays=cluster.collector.delays,
+        slaves=[m.snapshot() for m in cluster.slave_metrics],
+        master=master_snapshot,
+        dod_trace=list(master_metrics.dod_changes),
+        delay_timeline=cluster.collector.timeline_rows(),
+        tuples_generated=workload.tuples_generated
+        if hasattr(workload, "tuples_generated")
+        else master_metrics.tuples_ingested,
+        pairs=pairs,
+    )

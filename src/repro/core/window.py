@@ -1,0 +1,219 @@
+"""One stream's window data inside a mini-partition-group.
+
+A :class:`StreamWindow` holds:
+
+* the **committed** window tuples, in temporal (arrival) order so blocks
+  expire from the front — the reason the paper rejects sort-based join
+  algorithms (Section IV-D);
+* the **fresh head block**: up to one block of newly added tuples that
+  have not yet participated in a join.  Fresh tuples are excluded when
+  the *opposite* stream probes this window (the paper's duplicate
+  elimination rule) and are probed themselves when the head block fills
+  or the stream buffer drains (:meth:`flush` is called by the join
+  module at those points).
+
+A sorted-by-key index of the committed tuples is maintained lazily for
+the vectorized probe kernel; mutation marks it dirty and the next probe
+rebuilds it.  The simulated CPU cost of a probe is charged separately by
+the cost model and reflects the paper's block nested-loop scan, not this
+index.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.probe import ProbeResult, probe_sorted
+from repro.data.blocks import block_bytes_used, n_blocks
+from repro.data.soa import GrowableSoA
+from repro.data.tuples import KEY_DTYPE, SEQ_DTYPE, TS_DTYPE, TupleBatch
+
+
+class StreamWindow:
+    """Committed window + fresh head block for one stream."""
+
+    __slots__ = (
+        "stream_id",
+        "tuples_per_block",
+        "block_bytes",
+        "committed",
+        "_fresh_ts",
+        "_fresh_key",
+        "_fresh_seq",
+        "_fresh_n",
+        "_sorted_key",
+        "_sorted_ts",
+        "_sorted_seq",
+        "_index_dirty",
+    )
+
+    def __init__(
+        self, stream_id: int, tuples_per_block: int, block_bytes: int
+    ) -> None:
+        self.stream_id = int(stream_id)
+        self.tuples_per_block = int(tuples_per_block)
+        self.block_bytes = int(block_bytes)
+        self.committed = GrowableSoA()
+        self._fresh_ts = np.empty(tuples_per_block, TS_DTYPE)
+        self._fresh_key = np.empty(tuples_per_block, KEY_DTYPE)
+        self._fresh_seq = np.empty(tuples_per_block, SEQ_DTYPE)
+        self._fresh_n = 0
+        self._sorted_key: np.ndarray | None = None
+        self._sorted_ts: np.ndarray | None = None
+        self._sorted_seq: np.ndarray | None = None
+        self._index_dirty = True
+
+    # -- sizes -----------------------------------------------------------
+    @property
+    def n_committed(self) -> int:
+        return len(self.committed)
+
+    @property
+    def n_fresh(self) -> int:
+        return self._fresh_n
+
+    @property
+    def n_tuples(self) -> int:
+        return len(self.committed) + self._fresh_n
+
+    def bytes_used(self, tuple_bytes: int) -> int:
+        """Block-granular footprint (partial head block counts whole)."""
+        return block_bytes_used(
+            self.n_tuples, self.tuples_per_block, self.block_bytes
+        )
+
+    @property
+    def committed_blocks(self) -> int:
+        return n_blocks(len(self.committed), self.tuples_per_block)
+
+    @property
+    def committed_bytes(self) -> int:
+        """Block-granular bytes a probe of the opposite stream scans."""
+        return self.committed_blocks * self.block_bytes
+
+    # -- head-block protocol ------------------------------------------------
+    def head_space(self) -> int:
+        """Tuples the head block can still accept before it is full."""
+        return self.tuples_per_block - self._fresh_n
+
+    def append_fresh(
+        self, ts: np.ndarray, key: np.ndarray, seq: np.ndarray
+    ) -> None:
+        """Add tuples to the head block (must fit; see :meth:`head_space`)."""
+        n = len(ts)
+        if n == 0:
+            return
+        if n > self.head_space():
+            raise ValueError(
+                f"head block overflow: {n} tuples into {self.head_space()} slots"
+            )
+        f = self._fresh_n
+        self._fresh_ts[f : f + n] = ts
+        self._fresh_key[f : f + n] = key
+        self._fresh_seq[f : f + n] = seq
+        self._fresh_n = f + n
+
+    def fresh_view(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(ts, key, seq) views of the current fresh tuples."""
+        f = self._fresh_n
+        return self._fresh_ts[:f], self._fresh_key[:f], self._fresh_seq[:f]
+
+    def flush(self, opposite: "StreamWindow", window_seconds: float,
+              collect_pairs: bool = False) -> ProbeResult:
+        """Join the fresh tuples against *opposite*'s committed window
+        and commit them.
+
+        Fresh tuples of *opposite* are excluded (duplicate elimination):
+        they will produce those pairs themselves when they flush, by
+        which time this window's tuples are committed.
+        """
+        ts, key, seq = self.fresh_view()
+        result = opposite.probe_committed(
+            ts, key, seq, window_seconds, collect_pairs=collect_pairs
+        )
+        self.commit_fresh()
+        return result
+
+    # -- probing ----------------------------------------------------------
+    def probe_committed(
+        self,
+        probe_ts: np.ndarray,
+        probe_key: np.ndarray,
+        probe_seq: np.ndarray,
+        window_seconds: float,
+        collect_pairs: bool = False,
+    ) -> ProbeResult:
+        """Match *probe* tuples against this window's committed tuples."""
+        self._refresh_index(collect_pairs)
+        return probe_sorted(
+            probe_ts,
+            probe_key,
+            probe_seq,
+            self._sorted_key,
+            self._sorted_ts,
+            self._sorted_seq,
+            window_seconds,
+            collect_pairs=collect_pairs,
+        )
+
+    def sorted_view(
+        self, need_seq: bool = False
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+        """Committed tuples sorted by key: ``(key, ts, seq-or-None)``.
+
+        Used by the n-way composite prober; valid until the next
+        mutation of this window.
+        """
+        self._refresh_index(need_seq)
+        return self._sorted_key, self._sorted_ts, self._sorted_seq
+
+    def commit_fresh(self) -> None:
+        """Move the fresh head block to committed without probing
+        (the n-way prober has already matched it)."""
+        ts, key, seq = self.fresh_view()
+        if self._fresh_n:
+            self.committed.append(ts, key, seq)
+            self._fresh_n = 0
+            self._index_dirty = True
+
+    def _refresh_index(self, need_seq: bool) -> None:
+        if not self._index_dirty and not (need_seq and self._sorted_seq is None):
+            return
+        key = self.committed.key
+        order = np.argsort(key, kind="stable")
+        self._sorted_key = key[order]
+        self._sorted_ts = self.committed.ts[order]
+        self._sorted_seq = self.committed.seq[order] if need_seq else None
+        self._index_dirty = False
+
+    # -- expiry -------------------------------------------------------------
+    def expire_before(self, cutoff_ts: float) -> int:
+        """Drop committed tuples older than *cutoff_ts*; returns count.
+
+        Fresh tuples never expire: they arrived within the current
+        epoch, and the window length is far larger than an epoch.
+        """
+        dropped = self.committed.expire_before(cutoff_ts)
+        if dropped:
+            self._index_dirty = True
+        return dropped
+
+    # -- state movement --------------------------------------------------------
+    def extract_all(self) -> tuple[TupleBatch, TupleBatch]:
+        """Remove and return ``(committed, fresh)`` for the state mover."""
+        committed = self.committed.pop_all()
+        ts, key, seq = self.fresh_view()
+        fresh = TupleBatch(
+            ts.copy(),
+            key.copy(),
+            seq.copy(),
+            np.full(self._fresh_n, self.stream_id, dtype=np.uint8),
+        )
+        self._fresh_n = 0
+        self._index_dirty = True
+        return committed, fresh
+
+    def install_committed(self, batch: TupleBatch) -> None:
+        """Install moved committed tuples (consumer side of a state move)."""
+        self.committed.append(batch.ts, batch.key, batch.seq)
+        self._index_dirty = True

@@ -1,0 +1,137 @@
+"""Tuple batches: the unit of data exchanged between nodes.
+
+A :class:`TupleBatch` is an immutable-by-convention structure-of-arrays
+holding ``n`` stream tuples:
+
+* ``ts``     — arrival timestamp at the system (float64 seconds),
+* ``key``    — join-attribute value (int64),
+* ``seq``    — per-stream sequence number (int64), unique tuple identity,
+* ``stream`` — source stream id (uint8; the paper's "augmented stream-ID
+  attribute" used when tuples of several streams travel in one message).
+
+Logical wire/window size is ``n * tuple_bytes`` regardless of the
+in-memory representation.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+import numpy as np
+
+TS_DTYPE = np.float64
+KEY_DTYPE = np.int64
+SEQ_DTYPE = np.int64
+STREAM_DTYPE = np.uint8
+
+
+class TupleBatch:
+    """A batch of stream tuples in structure-of-arrays layout."""
+
+    __slots__ = ("ts", "key", "seq", "stream")
+
+    def __init__(
+        self,
+        ts: np.ndarray,
+        key: np.ndarray,
+        seq: np.ndarray,
+        stream: np.ndarray,
+    ) -> None:
+        n = len(ts)
+        if not (len(key) == len(seq) == len(stream) == n):
+            raise ValueError("all columns must have equal length")
+        self.ts = np.asarray(ts, dtype=TS_DTYPE)
+        self.key = np.asarray(key, dtype=KEY_DTYPE)
+        self.seq = np.asarray(seq, dtype=SEQ_DTYPE)
+        self.stream = np.asarray(stream, dtype=STREAM_DTYPE)
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def empty(cls) -> "TupleBatch":
+        return cls(
+            np.empty(0, TS_DTYPE),
+            np.empty(0, KEY_DTYPE),
+            np.empty(0, SEQ_DTYPE),
+            np.empty(0, STREAM_DTYPE),
+        )
+
+    @classmethod
+    def build(
+        cls,
+        ts: t.Sequence[float],
+        key: t.Sequence[int],
+        seq: t.Sequence[int] | None = None,
+        stream: int | t.Sequence[int] = 0,
+    ) -> "TupleBatch":
+        """Convenience constructor from Python sequences (tests, examples)."""
+        ts_arr = np.asarray(ts, dtype=TS_DTYPE)
+        n = len(ts_arr)
+        seq_arr = (
+            np.arange(n, dtype=SEQ_DTYPE)
+            if seq is None
+            else np.asarray(seq, dtype=SEQ_DTYPE)
+        )
+        stream_arr = (
+            np.full(n, stream, dtype=STREAM_DTYPE)
+            if np.isscalar(stream)
+            else np.asarray(stream, dtype=STREAM_DTYPE)
+        )
+        return cls(ts_arr, np.asarray(key, dtype=KEY_DTYPE), seq_arr, stream_arr)
+
+    @classmethod
+    def concat(cls, batches: t.Sequence["TupleBatch"]) -> "TupleBatch":
+        batches = [b for b in batches if len(b)]
+        if not batches:
+            return cls.empty()
+        if len(batches) == 1:
+            return batches[0]
+        return cls(
+            np.concatenate([b.ts for b in batches]),
+            np.concatenate([b.key for b in batches]),
+            np.concatenate([b.seq for b in batches]),
+            np.concatenate([b.stream for b in batches]),
+        )
+
+    # -- views ---------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.ts)
+
+    def slice(self, start: int, stop: int) -> "TupleBatch":
+        """Zero-copy sub-batch (numpy views)."""
+        return TupleBatch(
+            self.ts[start:stop],
+            self.key[start:stop],
+            self.seq[start:stop],
+            self.stream[start:stop],
+        )
+
+    def take(self, index: np.ndarray) -> "TupleBatch":
+        return TupleBatch(
+            self.ts[index], self.key[index], self.seq[index], self.stream[index]
+        )
+
+    def select(self, mask: np.ndarray) -> "TupleBatch":
+        return self.take(np.flatnonzero(mask))
+
+    def by_stream(self, stream_id: int) -> "TupleBatch":
+        """Tuples of one source stream (demultiplexing a merged message)."""
+        return self.select(self.stream == stream_id)
+
+    # -- accounting -----------------------------------------------------------
+    def payload_bytes(self, tuple_bytes: int) -> int:
+        """Logical wire/window size of the batch."""
+        return len(self) * tuple_bytes
+
+    def min_ts(self) -> float:
+        return float(self.ts.min()) if len(self) else float("inf")
+
+    def max_ts(self) -> float:
+        return float(self.ts.max()) if len(self) else float("-inf")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if not len(self):
+            return "<TupleBatch empty>"
+        return (
+            f"<TupleBatch n={len(self)} ts=[{self.ts[0]:.3f}..{self.ts[-1]:.3f}] "
+            f"streams={sorted(set(self.stream.tolist()))}>"
+        )

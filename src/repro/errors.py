@@ -1,0 +1,34 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch everything from this package with a single ``except`` clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SimulationError(ReproError):
+    """Raised for illegal operations on the simulation kernel."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when the event queue empties while processes are blocked."""
+
+
+class ChannelClosedError(ReproError):
+    """Raised when sending to or receiving from a closed channel."""
+
+
+class ConfigError(ReproError):
+    """Raised for invalid or inconsistent configuration values."""
+
+
+class ProtocolError(ReproError):
+    """Raised when a node receives a message violating the fixed
+    communication schedule (unexpected type, epoch, or sender)."""
+
+
+class CapacityError(ReproError):
+    """Raised when a bounded buffer would exceed its allotted capacity."""

@@ -1,0 +1,13 @@
+"""MPI-flavoured message passing on top of the transport layer.
+
+The paper implements its prototype on mpiJava/LAM-MPI; here the
+equivalent layer is a :class:`~repro.mp.comm.Communicator` providing
+blocking point-to-point ``send``/``recv`` plus the collective patterns
+the join protocol needs (serial broadcast, gather, barrier), all
+expressed as generators so they run unchanged on either runtime
+backend.
+"""
+
+from repro.mp.comm import Communicator
+
+__all__ = ["Communicator"]

@@ -1,0 +1,92 @@
+"""Blocking communicator and collectives.
+
+Point-to-point operations return awaitables to ``yield``; collectives
+are generator functions to ``yield from``.  Collectives are built from
+serial point-to-point exchanges — exactly how the paper's master
+distributes tuples, which is what creates the slot/ordering effects of
+Figures 12 and V-B.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.errors import ProtocolError
+
+
+class Endpoint(t.Protocol):
+    """Transport-backend endpoint (sim or thread)."""
+
+    node_id: int
+
+    def send(self, dst: int, message: t.Any) -> t.Any: ...  # pragma: no cover
+
+    def recv(self, src: int) -> t.Any: ...  # pragma: no cover
+
+
+class Communicator:
+    """A node's communication interface."""
+
+    def __init__(self, endpoint: Endpoint) -> None:
+        self.endpoint = endpoint
+
+    @property
+    def node_id(self) -> int:
+        return self.endpoint.node_id
+
+    # -- point to point ------------------------------------------------------
+    def send(self, dst: int, message: t.Any) -> t.Any:
+        """Awaitable: blocking send (rendezvous)."""
+        return self.endpoint.send(dst, message)
+
+    def recv(self, src: int) -> t.Any:
+        """Awaitable: blocking receive from *src*."""
+        return self.endpoint.recv(src)
+
+    def recv_expect(self, src: int, *types: type) -> t.Generator:
+        """Receive from *src* and type-check against the fixed schedule.
+
+        Usage: ``msg = yield from comm.recv_expect(src, Shipment, Halt)``.
+        """
+        message = yield self.endpoint.recv(src)
+        if types and not isinstance(message, types):
+            names = "/".join(tp.__name__ for tp in types)
+            raise ProtocolError(
+                f"node {self.node_id} expected {names} from {src}, "
+                f"got {type(message).__name__}"
+            )
+        return message
+
+    # -- collectives (serial, fixed order) -----------------------------------
+    def bcast(self, targets: t.Sequence[int], message: t.Any) -> t.Generator:
+        """Send *message* to each target in order (serial broadcast)."""
+        for dst in targets:
+            yield self.endpoint.send(dst, message)
+
+    def scatter(
+        self, payloads: t.Mapping[int, t.Any]
+    ) -> t.Generator:
+        """Send each target its own payload, in sorted target order."""
+        for dst in sorted(payloads):
+            yield self.endpoint.send(dst, payloads[dst])
+
+    def gather(self, sources: t.Sequence[int]) -> t.Generator:
+        """Receive one message from each source (in the given order);
+        returns ``{source: message}``."""
+        out: dict[int, t.Any] = {}
+        for src in sources:
+            out[src] = yield self.endpoint.recv(src)
+        return out
+
+    def barrier_root(self, members: t.Sequence[int], token: t.Any) -> t.Generator:
+        """Root side of a barrier: collect a token from every member,
+        then release them all."""
+        for src in members:
+            yield self.endpoint.recv(src)
+        for dst in members:
+            yield self.endpoint.send(dst, token)
+
+    def barrier_member(self, root: int, token: t.Any) -> t.Generator:
+        """Member side of a barrier rooted at *root*."""
+        yield self.endpoint.send(root, token)
+        yield self.endpoint.recv(root)

@@ -1,0 +1,142 @@
+"""Modeled rendezvous network on the DES kernel.
+
+Each directed node pair ``(src, dst)`` has an independent reliable
+channel.  A ``send`` and its matching ``recv`` *meet*: whichever side
+arrives first blocks (idle time); once both are present the transfer
+occupies both endpoints for::
+
+    endpoint_overhead(nbytes) + latency + nbytes / bandwidth
+
+seconds, after which the receiver resumes with the message.  Matching
+is FIFO per pair — with the paper's fixed communication schedule no
+other discipline is ever exercised, and tags are enforced at the
+protocol layer instead.
+"""
+
+from __future__ import annotations
+
+import typing as t
+from collections import deque
+
+from repro.config import NetworkConfig
+from repro.simul.events import Event
+from repro.simul.kernel import Simulator
+
+
+class CommStats(t.Protocol):
+    """What the transport records against (duck-typed; implemented by
+    SlaveMetrics / MasterMetrics / CollectorMetrics)."""
+
+    def record_comm(
+        self, t0: float, t1: float, nbytes: int, sent: bool
+    ) -> None: ...  # pragma: no cover
+
+    def record_idle(self, t0: float, t1: float) -> None: ...  # pragma: no cover
+
+
+class _Pending(t.NamedTuple):
+    event: Event
+    posted_at: float
+    stats: CommStats | None
+    message: t.Any  # None for receivers
+
+
+class _Pair:
+    __slots__ = ("senders", "receivers")
+
+    def __init__(self) -> None:
+        self.senders: deque[_Pending] = deque()
+        self.receivers: deque[_Pending] = deque()
+
+
+class SimTransport:
+    """All channels of one simulated cluster."""
+
+    def __init__(
+        self, sim: Simulator, network: NetworkConfig, tuple_bytes: int
+    ) -> None:
+        self.sim = sim
+        self.network = network.validated()
+        self.tuple_bytes = tuple_bytes
+        self._pairs: dict[tuple[int, int], _Pair] = {}
+        #: Total transfers completed (diagnostics).
+        self.n_transfers = 0
+        self.bytes_moved = 0
+
+    def endpoint(self, node_id: int, stats: CommStats | None = None) -> "SimEndpoint":
+        return SimEndpoint(self, node_id, stats)
+
+    # -- internals -----------------------------------------------------------
+    def _pair(self, src: int, dst: int) -> _Pair:
+        key = (src, dst)
+        pair = self._pairs.get(key)
+        if pair is None:
+            pair = self._pairs[key] = _Pair()
+        return pair
+
+    def _post_send(
+        self, src: int, dst: int, message: t.Any, stats: CommStats | None
+    ) -> Event:
+        event = self.sim.event(name=f"send:{src}->{dst}")
+        pair = self._pair(src, dst)
+        pair.senders.append(_Pending(event, self.sim.now, stats, message))
+        self._try_match(pair)
+        return event
+
+    def _post_recv(self, src: int, dst: int, stats: CommStats | None) -> Event:
+        event = self.sim.event(name=f"recv:{src}->{dst}")
+        pair = self._pair(src, dst)
+        pair.receivers.append(_Pending(event, self.sim.now, stats, None))
+        self._try_match(pair)
+        return event
+
+    def _try_match(self, pair: _Pair) -> None:
+        while pair.senders and pair.receivers:
+            send = pair.senders.popleft()
+            recv = pair.receivers.popleft()
+            self._transfer(send, recv)
+
+    def _transfer(self, send: _Pending, recv: _Pending) -> None:
+        now = self.sim.now
+        nbytes = self._message_bytes(send.message)
+        duration = self.network.endpoint_overhead(
+            nbytes
+        ) + self.network.transfer_time(nbytes)
+        done = now + duration
+        if send.stats is not None:
+            send.stats.record_idle(send.posted_at, now)
+            send.stats.record_comm(now, done, nbytes, sent=True)
+        if recv.stats is not None:
+            recv.stats.record_idle(recv.posted_at, now)
+            recv.stats.record_comm(now, done, nbytes, sent=False)
+        self.n_transfers += 1
+        self.bytes_moved += nbytes
+        send.event.succeed(None, delay=duration)
+        recv.event.succeed(send.message, delay=duration)
+
+    def _message_bytes(self, message: t.Any) -> int:
+        wire = getattr(message, "wire_bytes", None)
+        if wire is None:
+            return 64
+        return int(wire(self.tuple_bytes))
+
+
+class SimEndpoint:
+    """One node's handle on the transport."""
+
+    __slots__ = ("transport", "node_id", "stats")
+
+    def __init__(
+        self, transport: SimTransport, node_id: int, stats: CommStats | None
+    ) -> None:
+        self.transport = transport
+        self.node_id = node_id
+        self.stats = stats
+
+    def send(self, dst: int, message: t.Any) -> Event:
+        """Awaitable completing when *dst* has received *message*."""
+        return self.transport._post_send(self.node_id, dst, message, self.stats)
+
+    def recv(self, src: int) -> Event:
+        """Awaitable completing with the next message from *src*."""
+        return self.transport._post_recv(src, self.node_id, self.stats)

@@ -1,0 +1,96 @@
+"""Real rendezvous channels for the thread backend.
+
+Each directed pair gets an unbuffered handoff built from a depth-1
+queue plus an acknowledgement queue, giving the same blocking
+semantics as the simulated transport: ``send`` returns only once the
+receiver has taken the message.  Statistics record real elapsed times.
+"""
+
+from __future__ import annotations
+
+import queue
+import time
+import typing as t
+
+from repro.net.sim_transport import CommStats
+from repro.runtime.thread import Thunk
+
+
+class _Channel:
+    __slots__ = ("data", "ack")
+
+    def __init__(self) -> None:
+        self.data: queue.Queue = queue.Queue(maxsize=1)
+        self.ack: queue.Queue = queue.Queue(maxsize=1)
+
+
+class ThreadTransport:
+    """All channels of one in-process "live" cluster."""
+
+    def __init__(self, tuple_bytes: int, time_scale: float = 1.0) -> None:
+        self.tuple_bytes = tuple_bytes
+        self.time_scale = time_scale
+        self._origin = time.monotonic()
+        self._channels: dict[tuple[int, int], _Channel] = {}
+        self._lock = __import__("threading").Lock()
+
+    def _now(self) -> float:
+        return (time.monotonic() - self._origin) / self.time_scale
+
+    def _channel(self, src: int, dst: int) -> _Channel:
+        with self._lock:
+            key = (src, dst)
+            chan = self._channels.get(key)
+            if chan is None:
+                chan = self._channels[key] = _Channel()
+            return chan
+
+    def endpoint(self, node_id: int, stats: CommStats | None = None) -> "ThreadEndpoint":
+        return ThreadEndpoint(self, node_id, stats)
+
+    def _message_bytes(self, message: t.Any) -> int:
+        wire = getattr(message, "wire_bytes", None)
+        return 64 if wire is None else int(wire(self.tuple_bytes))
+
+
+class ThreadEndpoint:
+    """One node's handle on the thread transport."""
+
+    __slots__ = ("transport", "node_id", "stats")
+
+    def __init__(
+        self, transport: ThreadTransport, node_id: int, stats: CommStats | None
+    ) -> None:
+        self.transport = transport
+        self.node_id = node_id
+        self.stats = stats
+
+    def send(self, dst: int, message: t.Any) -> Thunk:
+        chan = self.transport._channel(self.node_id, dst)
+
+        def fn() -> None:
+            t0 = self.transport._now()
+            chan.data.put(message)
+            chan.ack.get()  # rendezvous: wait until taken
+            t1 = self.transport._now()
+            if self.stats is not None:
+                nbytes = self.transport._message_bytes(message)
+                self.stats.record_comm(t0, t1, nbytes, sent=True)
+
+        return Thunk(fn)
+
+    def recv(self, src: int) -> Thunk:
+        chan = self.transport._channel(src, self.node_id)
+
+        def fn() -> t.Any:
+            t0 = self.transport._now()
+            message = chan.data.get()
+            chan.ack.put(True)
+            t1 = self.transport._now()
+            if self.stats is not None:
+                nbytes = self.transport._message_bytes(message)
+                self.stats.record_idle(t0, t1)
+                self.stats.record_comm(t1, t1, nbytes, sent=False)
+            return message
+
+        return Thunk(fn)

@@ -1,0 +1,5 @@
+"""Reference implementations used as correctness oracles in tests."""
+
+from repro.reference.naive_join import naive_window_join
+
+__all__ = ["naive_window_join"]

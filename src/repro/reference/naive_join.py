@@ -1,0 +1,55 @@
+"""The textbook tuple-at-a-time sliding-window equi-join.
+
+Semantics (Section II of the paper): tuples ``a`` from stream 0 and
+``b`` from stream 1 join iff ``a.key == b.key`` and each was inside the
+other's window when the later of the two arrived — i.e.
+``|a.ts - b.ts| <= W``.
+
+This oracle is deliberately simple (no blocks, no partitions, no
+parallelism) and is used by property-based tests to check that the full
+master/slaves pipeline produces exactly the same multiset of join
+pairs under hash partitioning, head-block batching, fine-tuning
+splits/merges, repartitioning moves, and declustering changes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.tuples import TupleBatch
+
+
+def naive_window_join(batch: TupleBatch, window_seconds: float) -> np.ndarray:
+    """All join pairs of a two-stream batch.
+
+    Returns an ``(n, 2)`` int64 array of ``(stream-0 seq, stream-1 seq)``
+    pairs, sorted lexicographically (deterministic for comparisons).
+    """
+    s0 = batch.by_stream(0)
+    s1 = batch.by_stream(1)
+    if not len(s0) or not len(s1):
+        return np.empty((0, 2), dtype=np.int64)
+
+    order = np.argsort(s1.key, kind="stable")
+    k1 = s1.key[order]
+    t1 = s1.ts[order]
+    q1 = s1.seq[order]
+
+    lo = np.searchsorted(k1, s0.key, side="left")
+    hi = np.searchsorted(k1, s0.key, side="right")
+    counts = hi - lo
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty((0, 2), dtype=np.int64)
+
+    owner = np.repeat(np.arange(len(s0)), counts)
+    first = np.cumsum(counts) - counts
+    offsets = np.arange(total) - np.repeat(first, counts)
+    positions = np.repeat(lo, counts) + offsets
+
+    valid = np.abs(t1[positions] - s0.ts[owner]) <= window_seconds
+    pairs = np.column_stack((s0.seq[owner[valid]], q1[positions[valid]]))
+    if len(pairs):
+        view = pairs[np.lexsort((pairs[:, 1], pairs[:, 0]))]
+        return np.ascontiguousarray(view, dtype=np.int64)
+    return pairs.astype(np.int64)

@@ -1,0 +1,39 @@
+"""The runtime interface node code is written against."""
+
+from __future__ import annotations
+
+import typing as t
+
+
+class Runtime(t.Protocol):
+    """What a node loop may do besides communicating.
+
+    Every method returning an *awaitable* must be ``yield``\\ ed by the
+    node generator; the backend resumes the generator when the operation
+    completes.  ``now`` is synchronous.
+    """
+
+    def now(self) -> float:
+        """Current time (virtual or wall-clock seconds since start)."""
+        ...  # pragma: no cover
+
+    def sleep(self, delay: float) -> t.Any:
+        """Awaitable that completes after *delay* seconds."""
+        ...  # pragma: no cover
+
+    def sleep_until(self, deadline: float) -> t.Any:
+        """Awaitable that completes at *deadline* (immediately if past)."""
+        ...  # pragma: no cover
+
+    def cpu(self, cost: float) -> t.Any:
+        """Awaitable modeling *cost* seconds of CPU work.
+
+        On the simulated backend this advances virtual time exactly like
+        :meth:`sleep`; the distinction exists so the thread backend can
+        scale modeled work independently of protocol waits.
+        """
+        ...  # pragma: no cover
+
+    def spawn(self, generator: t.Generator, name: str = "") -> t.Any:
+        """Start another node-style generator concurrently."""
+        ...  # pragma: no cover

@@ -1,0 +1,45 @@
+"""Simulated-time runtime backend."""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.simul.events import Event, Timeout
+from repro.simul.kernel import Simulator
+from repro.simul.process import Process
+
+
+class SimRuntime:
+    """Adapts the DES kernel to the :class:`~repro.runtime.base.Runtime`
+    protocol.  Awaitables are kernel events."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+
+    def now(self) -> float:
+        return self.sim.now
+
+    def sleep(self, delay: float) -> Timeout:
+        return self.sim.timeout(max(0.0, delay))
+
+    def sleep_until(self, deadline: float) -> Timeout:
+        return self.sim.timeout(max(0.0, deadline - self.sim.now))
+
+    def cpu(self, cost: float) -> Timeout:
+        return self.sim.timeout(max(0.0, cost))
+
+    def spawn(self, generator: t.Generator, name: str = "") -> Process:
+        return self.sim.process(generator, name=name)
+
+    def event(self, name: str = "") -> Event:
+        return self.sim.event(name)
+
+    def make_lock(self, name: str = ""):
+        from repro.runtime.sync import SimLock
+
+        return SimLock(self.sim, name=name)
+
+    def make_queue(self, name: str = ""):
+        from repro.runtime.sync import SimQueue
+
+        return SimQueue(self.sim, name=name)

@@ -1,0 +1,111 @@
+"""Generator-based cooperative processes.
+
+A :class:`Process` wraps a generator.  The generator ``yield``\\ s
+:class:`~repro.simul.events.Event` instances; when a yielded event fires
+the process resumes with the event's value (or the event's exception is
+thrown into the generator).  A process is itself an event that fires
+with the generator's return value, so processes can wait on each other.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.errors import SimulationError
+from repro.simul.events import Event
+
+if t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simul.kernel import Simulator
+
+
+class ProcessKilled(Exception):
+    """Thrown into a process generator by :meth:`Process.kill`."""
+
+
+class Process(Event):
+    """A cooperative process executing a generator on the simulator."""
+
+    __slots__ = ("_generator", "_waiting_on")
+
+    def __init__(
+        self, sim: "Simulator", generator: t.Generator, name: str = ""
+    ) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(
+                f"process body must be a generator, got {type(generator).__name__}"
+            )
+        super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
+        self._generator = generator
+        self._waiting_on: Event | None = None
+        sim._active_processes += 1
+        # Bootstrap: resume the process at the current instant.
+        boot = Event(sim, name=f"boot:{self.name}")
+        boot.add_callback(self._resume)
+        boot.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def kill(self, reason: str = "") -> None:
+        """Throw :class:`ProcessKilled` into the process.
+
+        A process may catch it to clean up; if it does not re-raise, the
+        process terminates normally (its event fails with the kill).
+        """
+        if self.triggered:
+            return
+        self._step(None, ProcessKilled(reason))
+
+    # -- kernel plumbing -------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        if self.triggered:
+            # The process was killed while waiting on this event.
+            return
+        self._waiting_on = None
+        if event.ok:
+            self._step(event.value, None)
+        else:
+            self._step(None, event.value)
+
+    def _step(self, value: t.Any, exc: BaseException | None) -> None:
+        try:
+            if exc is None:
+                target = self._generator.send(value)
+            else:
+                target = self._generator.throw(exc)
+        except StopIteration as stop:
+            self.sim._active_processes -= 1
+            self.succeed(stop.value)
+            return
+        except ProcessKilled as kill:
+            self.sim._active_processes -= 1
+            self.fail(kill)
+            return
+        except BaseException as error:
+            self.sim._active_processes -= 1
+            self.fail(error)
+            raise_on_unhandled = not self.callbacks
+            if raise_on_unhandled:
+                # Nobody is waiting on this process: surface the crash
+                # instead of silently swallowing it.
+                raise
+            return
+
+        if not isinstance(target, Event):
+            self.sim._active_processes -= 1
+            bad = SimulationError(
+                f"process {self.name!r} yielded {target!r}, expected an Event"
+            )
+            self.fail(bad)
+            raise bad
+        if target.sim is not self.sim:
+            self.sim._active_processes -= 1
+            bad = SimulationError(
+                f"process {self.name!r} yielded an event from another simulator"
+            )
+            self.fail(bad)
+            raise bad
+        self._waiting_on = target
+        target.add_callback(self._resume)

@@ -1,0 +1,25 @@
+"""Synthetic stream workloads (Section VI-A of the paper).
+
+* Poisson arrivals at a configurable (possibly time-varying) rate.
+* Join-attribute values drawn from the **b-model** multiplicative
+  cascade of Wang/Ailamaki/Faloutsos — the paper's "80/20-law" skew —
+  over the integer domain ``[0, 10^7]``.
+* A two-stream online generator producing timestamped
+  :class:`~repro.data.tuples.TupleBatch` objects epoch by epoch.
+"""
+
+from repro.workload.arrivals import PoissonArrivals, RateProfile
+from repro.workload.bmodel import BModelKeys
+from repro.workload.generator import StreamGenerator, TwoStreamWorkload
+from repro.workload.uniformkeys import UniformKeys
+from repro.workload.zipf import ZipfKeys
+
+__all__ = [
+    "PoissonArrivals",
+    "RateProfile",
+    "BModelKeys",
+    "ZipfKeys",
+    "UniformKeys",
+    "StreamGenerator",
+    "TwoStreamWorkload",
+]

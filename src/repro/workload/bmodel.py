@@ -1,0 +1,75 @@
+"""b-model join-attribute generator.
+
+The b-model of Wang, Ailamaki & Faloutsos captures self-similar
+("80/20-law") value distributions with a single bias parameter ``b``:
+at every dyadic scale, one half of the value range receives a fraction
+``b`` of the probability mass and the other half ``1 - b``.  With
+``b = 0.5`` the distribution is uniform; the paper's default ``b = 0.7``
+concentrates roughly 70% of tuples in half the key space at every scale
+(``b = 0.8`` is the classic 80/20 law).
+
+Generation is vectorized: a key is built from ``levels`` independent
+biased bits, each selecting the hot or cold half at one scale.  The
+probability of the single hottest key is ``b ** levels`` and the
+collision ("self-join") mass is ``(b^2 + (1-b)^2) ** levels``, both of
+which are exposed for tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+class BModelKeys:
+    """Draws join-attribute values in ``[0, domain)`` from a b-model."""
+
+    def __init__(
+        self,
+        domain: int,
+        b: float,
+        rng: np.random.Generator,
+        levels: int | None = None,
+    ) -> None:
+        if domain < 1:
+            raise ConfigError(f"domain must be >= 1: {domain}")
+        if not 0.0 <= b <= 1.0:
+            raise ConfigError(f"b must lie in [0, 1]: {b}")
+        self.domain = int(domain)
+        self.b = float(b)
+        self.rng = rng
+        #: Cascade depth; default resolves individual keys of the domain.
+        self.levels = (
+            int(levels)
+            if levels is not None
+            else max(1, int(np.ceil(np.log2(self.domain))))
+        )
+
+    def draw(self, n: int) -> np.ndarray:
+        """Return ``n`` keys (int64) in ``[0, domain)``."""
+        if n <= 0:
+            return np.empty(0, dtype=np.int64)
+        # One biased bit per level: 0 selects the hot half (probability
+        # b), 1 the cold half.  The fractional position in [0, 1) is the
+        # binary expansion of the bits.
+        bits = self.rng.random((n, self.levels)) >= self.b
+        weights = np.ldexp(1.0, -np.arange(1, self.levels + 1))
+        frac = bits @ weights
+        keys = np.floor(frac * self.domain).astype(np.int64)
+        # floor can hit `domain` only if frac rounds to 1.0 exactly.
+        np.clip(keys, 0, self.domain - 1, out=keys)
+        return keys
+
+    # -- analytic properties (used by statistical tests) ---------------------
+    def hottest_key_probability(self) -> float:
+        """Probability mass of the most frequent key."""
+        return max(self.b, 1.0 - self.b) ** self.levels
+
+    def collision_mass(self) -> float:
+        """``sum_k p_k^2`` — probability two draws collide."""
+        return (self.b**2 + (1.0 - self.b) ** 2) ** self.levels
+
+    def expected_matches_per_probe(self, window_tuples: int) -> float:
+        """Expected equi-join partners of one tuple in a window."""
+        return window_tuples * self.collision_mass()

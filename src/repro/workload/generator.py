@@ -1,0 +1,105 @@
+"""Online stream generation at the master node.
+
+The paper generates tuples in real time inside the master (scheduled in
+the idle period of each distribution epoch).  We mirror that: the master
+asks the workload for "everything that arrived since the last epoch" and
+receives ready-made :class:`~repro.data.tuples.TupleBatch` objects.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+import numpy as np
+
+from repro.data.tuples import SEQ_DTYPE, TupleBatch
+from repro.simul.rng import RngRegistry
+from repro.workload.arrivals import PoissonArrivals, RateProfile
+from repro.workload.bmodel import BModelKeys
+
+
+class KeySource(t.Protocol):
+    """Anything that can draw n join-attribute values."""
+
+    def draw(self, n: int) -> np.ndarray: ...  # pragma: no cover
+
+
+class StreamGenerator:
+    """One stream: Poisson arrivals tagged with skewed join keys."""
+
+    def __init__(
+        self,
+        stream_id: int,
+        arrivals: PoissonArrivals,
+        keys: KeySource,
+    ) -> None:
+        self.stream_id = int(stream_id)
+        self.arrivals = arrivals
+        self.keys = keys
+        self._next_seq = 0
+
+    def generate(self, t0: float, t1: float) -> TupleBatch:
+        """All tuples of this stream arriving in ``[t0, t1)``."""
+        times = self.arrivals.times_in(t0, t1)
+        n = len(times)
+        seq = np.arange(self._next_seq, self._next_seq + n, dtype=SEQ_DTYPE)
+        self._next_seq += n
+        return TupleBatch(
+            times,
+            self.keys.draw(n),
+            seq,
+            np.full(n, self.stream_id, dtype=np.uint8),
+        )
+
+    @property
+    def tuples_generated(self) -> int:
+        return self._next_seq
+
+
+class TwoStreamWorkload:
+    """The paper's workload: two streams S1, S2 with identical law.
+
+    ``generate(t0, t1)`` returns one merged, timestamp-sorted batch with
+    the stream-id column distinguishing sources (the paper's "augmented
+    attribute" approach to stream identification).
+    """
+
+    def __init__(self, generators: t.Sequence[StreamGenerator]) -> None:
+        if len(generators) < 2:
+            raise ValueError("a join workload needs at least two streams")
+        self.generators = list(generators)
+
+    @classmethod
+    def poisson_bmodel(
+        cls,
+        rng: RngRegistry,
+        rate: float | RateProfile,
+        b: float,
+        key_domain: int,
+        n_streams: int = 2,
+    ) -> "TwoStreamWorkload":
+        """The paper's default workload (Poisson + b-model)."""
+        profile = (
+            rate if isinstance(rate, RateProfile) else RateProfile.constant(rate)
+        )
+        gens = []
+        for sid in range(n_streams):
+            arrivals = PoissonArrivals(profile, rng.get(f"arrivals/{sid}"))
+            keys = BModelKeys(key_domain, b, rng.get(f"keys/{sid}"))
+            gens.append(StreamGenerator(sid, arrivals, keys))
+        return cls(gens)
+
+    def generate(self, t0: float, t1: float) -> TupleBatch:
+        merged = TupleBatch.concat([g.generate(t0, t1) for g in self.generators])
+        if len(merged) == 0:
+            return merged
+        order = np.argsort(merged.ts, kind="stable")
+        return merged.take(order)
+
+    @property
+    def n_streams(self) -> int:
+        return len(self.generators)
+
+    @property
+    def tuples_generated(self) -> int:
+        return sum(g.tuples_generated for g in self.generators)

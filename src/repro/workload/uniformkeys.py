@@ -1,0 +1,26 @@
+"""Uniform join keys (the b = 0.5 degenerate case, kept explicit)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+class UniformKeys:
+    """Keys drawn uniformly from ``[0, domain)``."""
+
+    def __init__(self, domain: int, rng: np.random.Generator) -> None:
+        if domain < 1:
+            raise ConfigError(f"domain must be >= 1: {domain}")
+        self.domain = int(domain)
+        self.rng = rng
+
+    def draw(self, n: int) -> np.ndarray:
+        if n <= 0:
+            return np.empty(0, dtype=np.int64)
+        return self.rng.integers(0, self.domain, size=n, dtype=np.int64)
+
+    def collision_mass(self) -> float:
+        """``sum_k p_k^2`` — equals ``1/domain`` for the uniform law."""
+        return 1.0 / self.domain

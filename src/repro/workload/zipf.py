@@ -1,0 +1,57 @@
+"""Zipf-distributed join keys (alternative skew model).
+
+Not used by the paper's experiments, but included as an extension so the
+ablation benches can contrast b-model skew with the Zipf skew common in
+later stream-join literature.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+class ZipfKeys:
+    """Keys with ``P(rank i) ∝ i^-s`` over a finite domain.
+
+    Ranks are mapped to key values through a fixed pseudo-random
+    permutation (splitmix-style) so hot keys don't cluster at the bottom
+    of the domain — keeping hash partitioning realistic.
+    """
+
+    def __init__(
+        self,
+        domain: int,
+        s: float,
+        rng: np.random.Generator,
+        n_ranks: int = 100_000,
+    ) -> None:
+        if domain < 1:
+            raise ConfigError(f"domain must be >= 1: {domain}")
+        if s < 0:
+            raise ConfigError(f"Zipf exponent must be >= 0: {s}")
+        self.domain = int(domain)
+        self.s = float(s)
+        self.rng = rng
+        n_ranks = min(int(n_ranks), self.domain)
+        pmf = np.arange(1, n_ranks + 1, dtype=np.float64) ** -self.s
+        pmf /= pmf.sum()
+        self._cdf = np.cumsum(pmf)
+        self._collision_mass = float((pmf**2).sum())
+
+    def draw(self, n: int) -> np.ndarray:
+        if n <= 0:
+            return np.empty(0, dtype=np.int64)
+        u = self.rng.random(n)
+        ranks = np.searchsorted(self._cdf, u, side="right").astype(np.uint64)
+        # splitmix64 finalizer as the rank -> key permutation.
+        x = ranks + np.uint64(0x9E3779B97F4A7C15)
+        x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+        x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+        x = x ^ (x >> np.uint64(31))
+        return (x % np.uint64(self.domain)).astype(np.int64)
+
+    def collision_mass(self) -> float:
+        """``sum_k p_k^2`` for statistical tests."""
+        return self._collision_mass

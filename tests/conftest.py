@@ -1,0 +1,79 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.costmodel import CostModel
+from repro.core.metrics import MeasurementWindow, SlaveMetrics
+from repro.core.partition_group import JoinGeometry
+from repro.simul.kernel import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def tiny_cfg() -> SystemConfig:
+    """A fast-running cluster configuration for integration tests:
+
+    3 s window, 12 s run (6 s warm-up), 12 partitions, small theta.
+    """
+    return (
+        SystemConfig.paper_defaults()
+        .scaled(0.01)
+        .with_(
+            npart=12,
+            rate=400.0,
+            num_slaves=2,
+            run_seconds=12.0,
+            warmup_seconds=6.0,
+            window_seconds=3.0,
+            reorg_epoch=4.0,
+        )
+    )
+
+
+@pytest.fixture
+def geometry() -> JoinGeometry:
+    """Small join geometry: 4 tuples per block, theta of 3 blocks."""
+    return JoinGeometry(
+        tuples_per_block=4,
+        block_bytes=256,
+        theta_bytes=768,
+        window_seconds=10.0,
+        fine_tuning=True,
+        tuple_bytes=64,
+    )
+
+
+@pytest.fixture
+def metrics() -> SlaveMetrics:
+    return SlaveMetrics(0, MeasurementWindow(0.0))
+
+
+@pytest.fixture
+def cost_model() -> CostModel:
+    return CostModel(SystemConfig.paper_defaults().cost)
+
+
+def brute_force_pairs(
+    ts0: np.ndarray,
+    key0: np.ndarray,
+    seq0: np.ndarray,
+    ts1: np.ndarray,
+    key1: np.ndarray,
+    seq1: np.ndarray,
+    window: float,
+) -> set[tuple[int, int]]:
+    """O(n*m) reference join used to cross-check the oracles."""
+    out = set()
+    for i in range(len(ts0)):
+        for j in range(len(ts1)):
+            if key0[i] == key1[j] and abs(ts0[i] - ts1[j]) <= window:
+                out.add((int(seq0[i]), int(seq1[j])))
+    return out

@@ -1,0 +1,167 @@
+"""Classification, supplier/consumer pairing, DoD adaptation."""
+
+import numpy as np
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.declustering import DeclusteringController
+
+
+def controller(**changes):
+    cfg = SystemConfig.paper_defaults().with_(**changes)
+    return DeclusteringController(cfg, np.random.default_rng(0))
+
+
+class TestClassification:
+    def test_thresholds(self):
+        ctl = controller()  # th_con=0.01, th_sup=0.5
+        cls = ctl.classify({1: 0.9, 2: 0.001, 3: 0.2})
+        assert cls.suppliers == (1,)
+        assert cls.consumers == (2,)
+        assert cls.neutrals == (3,)
+
+    def test_boundaries_are_exclusive(self):
+        ctl = controller()
+        cls = ctl.classify({1: 0.5, 2: 0.01})
+        assert cls.suppliers == ()
+        assert cls.consumers == ()
+        assert cls.neutrals == (1, 2)
+
+
+class TestPairing:
+    def test_each_supplier_yields_one_group_to_unique_consumer(self):
+        ctl = controller()
+        ownership = {1: [0, 2], 2: [1, 3], 3: [4], 4: [5]}
+        plan = ctl.plan(
+            {1: 0.9, 2: 0.8, 3: 0.001, 4: 0.002},
+            inactive=[],
+            ownership=ownership,
+        )
+        assert len(plan.moves) == 2
+        assert {m.src for m in plan.moves} == {1, 2}
+        assert {m.dst for m in plan.moves} == {3, 4}
+        for move in plan.moves:
+            assert move.pid in ownership[move.src]
+
+    def test_more_suppliers_than_consumers(self):
+        ctl = controller()
+        plan = ctl.plan(
+            {1: 0.9, 2: 0.8, 3: 0.7, 4: 0.001},
+            inactive=[],
+            ownership={1: [0], 2: [1], 3: [2], 4: []},
+        )
+        assert len(plan.moves) == 1  # only one consumer available
+
+    def test_no_moves_without_consumers(self):
+        ctl = controller()
+        plan = ctl.plan(
+            {1: 0.9, 2: 0.2},
+            inactive=[],
+            ownership={1: [0], 2: [1]},
+        )
+        assert plan.moves == ()
+
+    def test_load_balancing_disabled(self):
+        ctl = controller(load_balancing=False)
+        plan = ctl.plan(
+            {1: 0.9, 2: 0.001},
+            inactive=[],
+            ownership={1: [0], 2: []},
+        )
+        assert plan.moves == ()
+
+    def test_empty_supplier_skipped(self):
+        ctl = controller()
+        plan = ctl.plan(
+            {1: 0.9, 2: 0.001},
+            inactive=[],
+            ownership={1: [], 2: []},
+        )
+        assert plan.moves == ()
+
+
+class TestDegreeOfDeclustering:
+    def test_shrink_when_no_supplier(self):
+        ctl = controller(adaptive_declustering=True)
+        plan = ctl.plan(
+            {1: 0.001, 2: 0.002, 3: 0.2},
+            inactive=[],
+            ownership={1: [0, 1], 2: [2], 3: [3]},
+        )
+        assert plan.deactivate == (1,)  # lowest occupancy consumer
+        # All of the victim's groups are drained to survivors.
+        victim_moves = [m for m in plan.moves if m.src == 1]
+        assert {m.pid for m in victim_moves} == {0, 1}
+        assert all(m.dst != 1 for m in plan.moves)
+
+    def test_no_shrink_below_one_node(self):
+        ctl = controller(adaptive_declustering=True)
+        plan = ctl.plan({1: 0.001}, inactive=[2], ownership={1: [0]})
+        assert plan.deactivate == ()
+
+    def test_grow_when_suppliers_dominate(self):
+        # beta=0.5: 2 suppliers vs 3 consumers -> 2 > 1.5 -> grow.
+        ctl = controller(adaptive_declustering=True, beta=0.5)
+        plan = ctl.plan(
+            {1: 0.9, 2: 0.8, 3: 0.001, 4: 0.002, 5: 0.003},
+            inactive=[6, 7],
+            ownership={1: [0], 2: [1], 3: [], 4: [], 5: []},
+        )
+        assert plan.activate == (6,)
+
+    def test_growth_condition_uses_beta(self):
+        # beta=0.9: 2 suppliers vs 3 consumers -> 2 <= 2.7 -> no growth.
+        ctl = controller(adaptive_declustering=True, beta=0.9)
+        plan = ctl.plan(
+            {1: 0.9, 2: 0.8, 3: 0.001, 4: 0.002, 5: 0.003},
+            inactive=[6],
+            ownership={1: [0], 2: [1], 3: [], 4: [], 5: []},
+        )
+        assert plan.activate == ()
+
+    def test_grow_without_spare_nodes_is_noop(self):
+        ctl = controller(adaptive_declustering=True)
+        plan = ctl.plan(
+            {1: 0.9, 2: 0.001},
+            inactive=[],
+            ownership={1: [0], 2: []},
+        )
+        assert plan.activate == ()
+
+    def test_activated_node_becomes_move_target(self):
+        ctl = controller(adaptive_declustering=True, beta=0.5)
+        plan = ctl.plan(
+            {1: 0.9, 2: 0.8},  # all suppliers, no consumers
+            inactive=[9],
+            ownership={1: [0], 2: [1]},
+        )
+        assert plan.activate == (9,)
+        assert any(m.dst == 9 for m in plan.moves)
+
+    def test_adaptivity_off_never_changes_set(self):
+        ctl = controller(adaptive_declustering=False)
+        plan = ctl.plan(
+            {1: 0.001, 2: 0.002},
+            inactive=[3],
+            ownership={1: [0], 2: [1]},
+        )
+        assert plan.activate == ()
+        assert plan.deactivate == ()
+
+    def test_participants_property(self):
+        ctl = controller()
+        plan = ctl.plan(
+            {1: 0.9, 2: 0.001},
+            inactive=[],
+            ownership={1: [0, 1], 2: []},
+        )
+        assert plan.participants == (1, 2)
+
+
+class TestDeterminism:
+    def test_same_seed_same_plan(self):
+        occupancy = {1: 0.9, 2: 0.001}
+        ownership = {1: [0, 1, 2, 3], 2: []}
+        a = controller().plan(occupancy, [], ownership)
+        b = controller().plan(occupancy, [], ownership)
+        assert a == b

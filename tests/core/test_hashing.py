@@ -1,0 +1,55 @@
+"""Partition and directory hashes."""
+
+import numpy as np
+
+from repro.core.hashing import directory_hash, directory_index, partition_of
+
+
+class TestPartitionOf:
+    def test_range(self):
+        keys = np.arange(10_000, dtype=np.int64)
+        pids = partition_of(keys, 60)
+        assert pids.min() >= 0
+        assert pids.max() < 60
+
+    def test_deterministic(self):
+        keys = np.arange(100, dtype=np.int64)
+        assert np.array_equal(partition_of(keys, 60), partition_of(keys, 60))
+
+    def test_roughly_uniform(self):
+        keys = np.arange(60_000, dtype=np.int64)
+        counts = np.bincount(partition_of(keys, 60), minlength=60)
+        assert counts.min() > 800
+        assert counts.max() < 1200
+
+    def test_negative_keys_handled(self):
+        pids = partition_of(np.array([-5, -1], dtype=np.int64), 60)
+        assert np.all((0 <= pids) & (pids < 60))
+
+    def test_single_partition(self):
+        assert np.all(partition_of(np.arange(100), 1) == 0)
+
+
+class TestDirectoryHash:
+    def test_independent_of_partition_hash(self):
+        """Keys in the same partition must spread over directory bits —
+        fine tuning could not split a partition otherwise."""
+        keys = np.arange(200_000, dtype=np.int64)
+        same_part = keys[partition_of(keys, 60) == 7]
+        bits = directory_index(directory_hash(same_part), 3)
+        counts = np.bincount(bits, minlength=8)
+        assert counts.min() > 0.8 * len(same_part) / 8
+
+    def test_directory_index_depth_zero(self):
+        idx = directory_index(directory_hash(np.arange(10)), 0)
+        assert np.all(idx == 0)
+
+    def test_directory_index_masks_lsb(self):
+        g = directory_hash(np.arange(1000, dtype=np.int64))
+        idx = directory_index(g, 4)
+        assert idx.max() < 16
+        assert np.array_equal(idx, (g & np.uint64(15)).astype(np.int64))
+
+    def test_deterministic(self):
+        keys = np.arange(50, dtype=np.int64)
+        assert np.array_equal(directory_hash(keys), directory_hash(keys))

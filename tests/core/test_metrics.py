@@ -1,0 +1,151 @@
+"""Metrics: delay statistics, gating, snapshots."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import (
+    DelayStats,
+    MasterMetrics,
+    MeasurementWindow,
+    SlaveMetrics,
+)
+
+
+class TestDelayStats:
+    def test_record_and_mean(self):
+        stats = DelayStats()
+        stats.record(np.array([1.0, 2.0, 3.0]))
+        assert stats.count == 3
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.minimum == 1.0
+        assert stats.maximum == 3.0
+
+    def test_empty_record_is_noop(self):
+        stats = DelayStats()
+        stats.record(np.empty(0))
+        assert stats.count == 0
+        assert stats.mean == 0.0
+
+    def test_merge(self):
+        a, b = DelayStats(), DelayStats()
+        a.record(np.array([1.0]))
+        b.record(np.array([3.0]))
+        a.merge(b)
+        assert a.count == 2
+        assert a.mean == pytest.approx(2.0)
+        assert a.maximum == 3.0
+
+    def test_percentile_approximation(self):
+        stats = DelayStats()
+        stats.record(np.full(99, 0.01))
+        stats.record(np.full(1, 100.0))
+        assert stats.percentile(50) == pytest.approx(0.01, rel=0.3)
+        assert stats.percentile(99.9) > 50
+
+    def test_histogram_total(self):
+        stats = DelayStats()
+        stats.record(np.random.default_rng(0).uniform(0.001, 500, 1000))
+        assert stats.histogram.sum() == 1000
+
+    def test_snapshot_keys(self):
+        stats = DelayStats()
+        stats.record(np.array([0.5]))
+        snap = stats.snapshot()
+        assert set(snap) == {"count", "mean", "min", "max", "p50", "p99"}
+
+
+class TestMeasurementWindow:
+    def test_active(self):
+        gate = MeasurementWindow(10.0, 20.0)
+        assert not gate.active(5.0)
+        assert gate.active(10.0)
+        assert gate.active(20.0)
+        assert not gate.active(21.0)
+
+    def test_overlap(self):
+        gate = MeasurementWindow(10.0, 20.0)
+        assert gate.overlap(0.0, 5.0) == 0.0
+        assert gate.overlap(5.0, 15.0) == 5.0
+        assert gate.overlap(12.0, 30.0) == 8.0
+        assert gate.overlap(0.0, 30.0) == 10.0
+
+
+class TestSlaveMetricsGating:
+    def test_outputs_before_warmup_ignored(self):
+        metrics = SlaveMetrics(1, MeasurementWindow(10.0))
+        metrics.record_outputs(5.0, np.array([4.0]))
+        assert metrics.delays.count == 0
+        metrics.record_outputs(15.0, np.array([14.0]))
+        assert metrics.delays.count == 1
+
+    def test_cpu_charge_clipped_to_gate(self):
+        metrics = SlaveMetrics(1, MeasurementWindow(10.0, 20.0))
+        metrics.charge_cpu("probe", 8.0, 12.0)  # half inside
+        assert metrics.cpu_probe == pytest.approx(2.0)
+        metrics.charge_cpu("probe", 0.0, 5.0)  # fully outside
+        assert metrics.cpu_probe == pytest.approx(2.0)
+
+    def test_cpu_kinds_accumulate_separately(self):
+        metrics = SlaveMetrics(1, MeasurementWindow(0.0))
+        metrics.charge_cpu("probe", 0.0, 1.0)
+        metrics.charge_cpu("expire", 1.0, 1.5)
+        metrics.charge_cpu("tune", 1.5, 1.75)
+        metrics.charge_cpu("state_move", 2.0, 2.5)
+        assert metrics.cpu_total == pytest.approx(1.0 + 0.5 + 0.25 + 0.5)
+
+    def test_unknown_cpu_kind_rejected(self):
+        metrics = SlaveMetrics(1, MeasurementWindow(0.0))
+        with pytest.raises(ValueError):
+            metrics.charge_cpu("bogus", 0.0, 1.0)
+
+    def test_comm_recording(self):
+        metrics = SlaveMetrics(1, MeasurementWindow(0.0))
+        metrics.record_comm(0.0, 2.0, 4096, sent=False)
+        assert metrics.comm_time == pytest.approx(2.0)
+        assert metrics.bytes_received == 4096
+        assert metrics.messages == 1
+
+    def test_pop_unreported_resets(self):
+        metrics = SlaveMetrics(1, MeasurementWindow(0.0))
+        metrics.record_outputs(1.0, np.array([0.5]))
+        first = metrics.pop_unreported()
+        assert first.count == 1
+        assert metrics.pop_unreported().count == 0
+        # Local (lifetime) stats unaffected by popping.
+        assert metrics.delays.count == 1
+
+    def test_window_sampling_tracks_max(self):
+        metrics = SlaveMetrics(1, MeasurementWindow(0.0))
+        metrics.sample_window(1.0, 100)
+        metrics.sample_window(2.0, 500)
+        metrics.sample_window(3.0, 300)
+        assert metrics.max_window_bytes == 500
+
+    def test_snapshot_contains_everything(self):
+        metrics = SlaveMetrics(1, MeasurementWindow(0.0))
+        snap = metrics.snapshot()
+        for key in (
+            "cpu_total",
+            "comm_time",
+            "idle_time",
+            "max_window_bytes",
+            "outputs",
+            "splits",
+            "merges",
+            "delay",
+        ):
+            assert key in snap
+
+
+class TestMasterMetrics:
+    def test_buffer_sampling(self):
+        metrics = MasterMetrics(MeasurementWindow(0.0))
+        metrics.sample_buffer(1.0, 1000)
+        metrics.sample_buffer(2.0, 400)
+        assert metrics.max_buffer_bytes == 1000
+
+    def test_comm_gated(self):
+        metrics = MasterMetrics(MeasurementWindow(10.0))
+        metrics.record_comm(0.0, 1.0, 64, sent=True)
+        assert metrics.comm_time == 0.0
+        assert metrics.messages == 0

@@ -1,0 +1,181 @@
+"""Partition-groups: routing, fine-tuning policy, state movement."""
+
+import numpy as np
+
+from repro.core.hashing import directory_hash
+from repro.core.partition_group import JoinGeometry, PartitionGroup
+from repro.data.tuples import TupleBatch
+
+
+def ingest(group, sid, rows):
+    """Directly append committed tuples through the head-block path."""
+    batch = TupleBatch.build(
+        ts=[r[0] for r in rows],
+        key=[r[1] for r in rows],
+        seq=[r[2] for r in rows],
+        stream=sid,
+    )
+    patterns, buckets = group.route(batch.key)
+    for pattern in sorted(buckets):
+        mini = buckets[pattern].payload
+        idx = np.flatnonzero(patterns == pattern)
+        sub = batch.take(idx)
+        window = mini.windows[sid]
+        pos = 0
+        while pos < len(sub):
+            take = min(window.head_space(), len(sub) - pos)
+            chunk = sub.slice(pos, pos + take)
+            window.append_fresh(chunk.ts, chunk.key, chunk.seq)
+            pos += take
+            if window.head_space() == 0:
+                window.flush(mini.windows[1 - sid], group.geometry.window_seconds)
+    for bucket in group.directory.buckets():
+        bucket.payload.flush_all()
+
+
+def fill(group, n, sid=0, t0=0.0):
+    ingest(group, sid, [(t0 + i * 0.01, i * 31 + sid, i) for i in range(n)])
+
+
+class TestRouting:
+    def test_route_groups_by_bucket_not_slot(self, geometry):
+        """After one split at depth < global depth, several slots alias
+        one bucket; routing must return one segment per bucket."""
+        group = PartitionGroup(0, geometry)
+        fill(group, 64)
+        while group.oversized_buckets():
+            group.split_bucket(group.oversized_buckets()[0])
+        keys = np.arange(500, dtype=np.int64)
+        patterns, buckets = group.route(keys)
+        assert set(np.unique(patterns)) == set(buckets)
+        ids = [id(b) for b in buckets.values()]
+        assert len(ids) == len(set(ids))  # distinct buckets only
+
+    def test_route_matches_directory_lookup(self, geometry):
+        group = PartitionGroup(0, geometry)
+        fill(group, 200)
+        while group.oversized_buckets():
+            group.split_bucket(group.oversized_buckets()[0])
+        keys = np.arange(300, dtype=np.int64)
+        patterns, buckets = group.route(keys)
+        for key, pattern in zip(keys, patterns):
+            expected = group.directory.bucket_for(int(directory_hash(
+                np.array([key], dtype=np.int64))[0]))
+            assert buckets[int(pattern)] is expected
+
+
+class TestFineTuningPolicy:
+    def test_oversized_detection(self, geometry):
+        group = PartitionGroup(0, geometry)
+        # theta = 3 blocks of 4 tuples -> oversized needs > 24 tuples
+        # of 64 B across both streams (2*theta = 1536 B = 6 blocks).
+        fill(group, 64)
+        assert group.oversized_buckets()
+
+    def test_split_reduces_max_bucket(self, geometry):
+        group = PartitionGroup(0, geometry)
+        fill(group, 128)
+        before = max(b.payload.bytes_used for b in group.directory.buckets())
+        while group.oversized_buckets():
+            group.split_bucket(group.oversized_buckets()[0])
+        after = max(b.payload.bytes_used for b in group.directory.buckets())
+        assert after < before
+        assert group.n_mini_groups > 1
+
+    def test_split_conserves_tuples(self, geometry):
+        group = PartitionGroup(0, geometry)
+        fill(group, 100)
+        total = group.n_tuples
+        while group.oversized_buckets():
+            group.split_bucket(group.oversized_buckets()[0])
+        assert group.n_tuples == total
+
+    def test_merge_conserves_tuples_and_order(self, geometry):
+        group = PartitionGroup(0, geometry)
+        fill(group, 100)
+        while group.oversized_buckets():
+            group.split_bucket(group.oversized_buckets()[0])
+        total = group.n_tuples
+        # Expire most tuples to force undersized buckets.
+        for bucket in group.directory.buckets():
+            bucket.payload.expire_before(0.9)
+        merged_any = False
+        for bucket in list(group.directory.buckets()):
+            if group.directory.bucket_for(bucket.pattern) is bucket:
+                if group.try_merge_bucket(bucket):
+                    merged_any = True
+        assert merged_any
+        assert group.n_tuples <= total
+        for bucket in group.directory.buckets():
+            for window in bucket.payload.windows:
+                assert np.all(np.diff(window.committed.ts) >= 0)
+
+    def test_merge_respects_size_cap(self, geometry):
+        group = PartitionGroup(0, geometry)
+        fill(group, 128)
+        while group.oversized_buckets():
+            group.split_bucket(group.oversized_buckets()[0])
+        # All buckets still hold data; merging two would exceed 2*theta
+        # unless their combined size is small.
+        for bucket in group.directory.buckets():
+            buddy = group.directory.buddy_of(bucket)
+            if buddy is None:
+                continue
+            combined = bucket.payload.bytes_used + buddy.payload.bytes_used
+            if combined >= 2 * geometry.theta_bytes:
+                assert group.try_merge_bucket(bucket) == 0
+
+
+class TestStateMovement:
+    def test_extract_install_roundtrip(self, geometry):
+        src = PartitionGroup(3, geometry)
+        fill(src, 150)
+        while src.oversized_buckets():
+            src.split_bucket(src.oversized_buckets()[0])
+        n_tuples = src.n_tuples
+        n_groups = src.n_mini_groups
+
+        state = src.extract_state()
+        assert src.n_tuples == 0
+        assert state.pid == 3
+        assert state.n_tuples == n_tuples
+
+        dst = PartitionGroup(3, geometry)
+        dst.install_state(state)
+        assert dst.n_tuples == n_tuples
+        assert dst.n_mini_groups == n_groups
+        dst.directory.check_invariants()
+
+    def test_install_preserves_routing(self, geometry):
+        """After a move, every key routes to a bucket actually holding
+        that key's tuples."""
+        src = PartitionGroup(0, geometry)
+        rows = [(i * 0.01, i * 13, i) for i in range(120)]
+        ingest(src, 0, rows)
+        while src.oversized_buckets():
+            src.split_bucket(src.oversized_buckets()[0])
+        state = src.extract_state()
+        dst = PartitionGroup(0, geometry)
+        dst.install_state(state)
+        keys = np.array([r[1] for r in rows], dtype=np.int64)
+        patterns, buckets = dst.route(keys)
+        for key, pattern in zip(keys, patterns):
+            window = buckets[int(pattern)].payload.windows[0]
+            assert key in set(window.committed.key)
+
+    def test_install_into_nonempty_rejected(self, geometry):
+        src = PartitionGroup(0, geometry)
+        fill(src, 32)
+        state = src.extract_state()
+        dst = PartitionGroup(0, geometry)
+        fill(dst, 8)
+        import pytest
+
+        with pytest.raises(ValueError, match="non-empty"):
+            dst.install_state(state)
+
+    def test_payload_bytes(self, geometry):
+        src = PartitionGroup(0, geometry)
+        fill(src, 32)
+        state = src.extract_state()
+        assert state.payload_bytes(64) == 32 * 64

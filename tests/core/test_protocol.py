@@ -1,0 +1,85 @@
+"""Protocol messages: wire sizes and structure."""
+
+import numpy as np
+
+from repro.core.metrics import DelayStats
+from repro.core.protocol import (
+    Activate,
+    CONTROL_BYTES,
+    Halt,
+    LoadReport,
+    MoveAck,
+    MoveDirective,
+    ReorgOrder,
+    REPORT_BYTES,
+    RESULT_REPORT_BYTES,
+    ResultReport,
+    Shipment,
+    SlaveSync,
+    StateTransfer,
+)
+from repro.data.tuples import TupleBatch
+
+
+def batch(n):
+    return TupleBatch.build(ts=np.arange(float(n)), key=np.arange(n))
+
+
+class TestWireBytes:
+    def test_shipment_scales_with_tuples(self):
+        s = Shipment(0, 0.0, 2.0, batch(100))
+        assert s.wire_bytes(64) == CONTROL_BYTES + 100 * 64
+
+    def test_empty_shipment_is_control_sized(self):
+        s = Shipment(0, 0.0, 2.0, TupleBatch.empty())
+        assert s.wire_bytes(64) == CONTROL_BYTES
+
+    def test_reports_are_fixed_size(self):
+        report = LoadReport(1, 0.5, 0.6, 1024)
+        assert report.wire_bytes(64) == REPORT_BYTES
+        sync = SlaveSync(1, report)
+        assert sync.wire_bytes(64) == REPORT_BYTES
+        rr = ResultReport(1, DelayStats())
+        assert rr.wire_bytes(64) == RESULT_REPORT_BYTES
+
+    def test_control_messages(self):
+        assert Halt(0).wire_bytes(64) == CONTROL_BYTES
+        assert Activate(0).wire_bytes(64) == CONTROL_BYTES
+        assert MoveAck(0, "supplier").wire_bytes(64) == CONTROL_BYTES
+
+    def test_reorg_order_scales_with_moves(self):
+        bare = ReorgOrder(1)
+        busy = ReorgOrder(
+            1,
+            outgoing=(MoveDirective(1, 2, 3),),
+            incoming=(MoveDirective(4, 5, 6), MoveDirective(7, 8, 9)),
+        )
+        assert busy.wire_bytes(64) > bare.wire_bytes(64)
+
+    def test_state_transfer_counts_window_and_buffer(self):
+        from repro.core.partition_group import (
+            GroupState,
+            PartitionGroupState,
+        )
+
+        state = PartitionGroupState(
+            0,
+            0,
+            (
+                GroupState(
+                    0,
+                    0,
+                    ((batch(10), batch(2)), (batch(5), TupleBatch.empty())),
+                ),
+            ),
+        )
+        transfer = StateTransfer(0, state, batch(3))
+        assert transfer.wire_bytes(64) == CONTROL_BYTES + (17 + 3) * 64
+
+
+class TestMoveDirective:
+    def test_fields(self):
+        mv = MoveDirective(7, 1, 2)
+        assert mv.pid == 7
+        assert mv.src == 1
+        assert mv.dst == 2

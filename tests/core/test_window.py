@@ -1,0 +1,148 @@
+"""StreamWindow: head-block protocol, flush, dedup, expiry."""
+
+import numpy as np
+import pytest
+
+from repro.core.window import StreamWindow
+
+
+def make_window(stream_id=0, tpb=4):
+    return StreamWindow(stream_id, tuples_per_block=tpb, block_bytes=tpb * 64)
+
+
+def arrs(rows):
+    ts = np.array([r[0] for r in rows], dtype=float)
+    key = np.array([r[1] for r in rows], dtype=np.int64)
+    seq = np.array([r[2] for r in rows], dtype=np.int64)
+    return ts, key, seq
+
+
+class TestHeadBlock:
+    def test_head_space(self):
+        w = make_window(tpb=4)
+        assert w.head_space() == 4
+        w.append_fresh(*arrs([(1.0, 5, 0)]))
+        assert w.head_space() == 3
+        assert w.n_fresh == 1
+
+    def test_overflow_rejected(self):
+        w = make_window(tpb=2)
+        with pytest.raises(ValueError, match="head block overflow"):
+            w.append_fresh(*arrs([(1.0, 1, 0), (2.0, 1, 1), (3.0, 1, 2)]))
+
+    def test_flush_commits_fresh(self):
+        w0, w1 = make_window(0), make_window(1)
+        w0.append_fresh(*arrs([(1.0, 5, 0), (2.0, 6, 1)]))
+        w0.flush(w1, window_seconds=100.0)
+        assert w0.n_fresh == 0
+        assert w0.n_committed == 2
+
+    def test_bytes_used_counts_partial_head_block(self):
+        w = make_window(tpb=4)
+        w.append_fresh(*arrs([(1.0, 5, 0)]))
+        assert w.bytes_used(64) == 4 * 64  # one partial block
+
+    def test_committed_bytes_is_block_granular(self):
+        w0, w1 = make_window(0, tpb=4), make_window(1, tpb=4)
+        w0.append_fresh(*arrs([(1.0, 5, 0)]))
+        w0.flush(w1, 100.0)
+        assert w0.committed_blocks == 1
+        assert w0.committed_bytes == 4 * 64
+
+
+class TestFlushJoinSemantics:
+    def test_flush_joins_against_opposite_committed(self):
+        w0, w1 = make_window(0), make_window(1)
+        w1.append_fresh(*arrs([(1.0, 42, 100)]))
+        w1.flush(w0, 100.0)  # commit the stream-1 tuple
+        w0.append_fresh(*arrs([(2.0, 42, 0)]))
+        result = w0.flush(w1, 100.0, collect_pairs=True)
+        assert result.n_pairs == 1
+        assert result.pairs.tolist() == [[0, 100]]
+
+    def test_fresh_tuples_of_opposite_are_excluded(self):
+        """The duplicate-elimination rule: a probe sees only committed
+        tuples; the fresh/fresh pair appears when the second stream
+        flushes."""
+        w0, w1 = make_window(0), make_window(1)
+        w0.append_fresh(*arrs([(1.0, 42, 0)]))
+        w1.append_fresh(*arrs([(1.5, 42, 100)]))
+        first = w0.flush(w1, 100.0, collect_pairs=True)
+        assert first.n_pairs == 0  # w1's tuple still fresh
+        second = w1.flush(w0, 100.0, collect_pairs=True)
+        assert second.n_pairs == 1  # now w0's tuple is committed
+
+    def test_window_predicate_applied_at_flush(self):
+        w0, w1 = make_window(0), make_window(1)
+        w1.append_fresh(*arrs([(0.0, 7, 100)]))
+        w1.flush(w0, 100.0)
+        w0.append_fresh(*arrs([(50.0, 7, 0)]))
+        result = w0.flush(w1, window_seconds=10.0, collect_pairs=True)
+        assert result.n_pairs == 0  # 50 - 0 > W
+
+    def test_empty_flush_is_noop(self):
+        w0, w1 = make_window(0), make_window(1)
+        result = w0.flush(w1, 100.0)
+        assert result.n_pairs == 0
+
+
+class TestExpiry:
+    def test_expire_drops_old_committed(self):
+        w0, w1 = make_window(0), make_window(1)
+        w0.append_fresh(*arrs([(1.0, 1, 0), (2.0, 2, 1), (9.0, 3, 2)]))
+        w0.flush(w1, 100.0)
+        assert w0.expire_before(5.0) == 2
+        assert w0.n_committed == 1
+
+    def test_fresh_never_expires(self):
+        w = make_window(0)
+        w.append_fresh(*arrs([(1.0, 1, 0)]))
+        assert w.expire_before(100.0) == 0
+        assert w.n_fresh == 1
+
+    def test_probe_after_expiry_sees_survivors_only(self):
+        w0, w1 = make_window(0), make_window(1)
+        w1.append_fresh(*arrs([(1.0, 9, 100), (8.0, 9, 101)]))
+        w1.flush(w0, 100.0)
+        w1.expire_before(5.0)
+        w0.append_fresh(*arrs([(9.0, 9, 0)]))
+        result = w0.flush(w1, 100.0, collect_pairs=True)
+        assert result.pairs.tolist() == [[0, 101]]
+
+
+class TestStateMovement:
+    def test_extract_returns_committed_and_fresh(self):
+        w0, w1 = make_window(0), make_window(1)
+        w0.append_fresh(*arrs([(1.0, 1, 0), (2.0, 2, 1)]))
+        w0.flush(w1, 100.0)
+        w0.append_fresh(*arrs([(3.0, 3, 2)]))
+        committed, fresh = w0.extract_all()
+        assert len(committed) == 2
+        assert len(fresh) == 1
+        assert w0.n_tuples == 0
+
+    def test_install_committed_restores_probe_targets(self):
+        src0, src1 = make_window(0), make_window(1)
+        src0.append_fresh(*arrs([(1.0, 7, 0)]))
+        src0.flush(src1, 100.0)
+        committed, _ = src0.extract_all()
+
+        dst0, dst1 = make_window(0), make_window(1)
+        dst0.install_committed(committed)
+        dst1.append_fresh(*arrs([(2.0, 7, 100)]))
+        result = dst1.flush(dst0, 100.0, collect_pairs=True)
+        assert result.n_pairs == 1
+
+    def test_fresh_status_preserved_across_move(self):
+        """Moved fresh tuples must probe exactly once at the consumer."""
+        src0, src1 = make_window(0), make_window(1)
+        src0.append_fresh(*arrs([(1.0, 7, 0)]))
+        committed, fresh = src0.extract_all()
+        assert len(committed) == 0
+
+        dst0, dst1 = make_window(0), make_window(1)
+        dst1.append_fresh(*arrs([(0.5, 7, 100)]))
+        dst1.flush(dst0, 100.0)
+        dst0.append_fresh(fresh.ts, fresh.key, fresh.seq)
+        result = dst0.flush(dst1, 100.0, collect_pairs=True)
+        assert result.n_pairs == 1

@@ -1,0 +1,50 @@
+"""Block arithmetic and block-view iteration."""
+
+import numpy as np
+import pytest
+
+from repro.data.blocks import block_bytes_used, iter_blocks, n_blocks
+from repro.data.tuples import TupleBatch
+
+
+class TestBlockMath:
+    @pytest.mark.parametrize(
+        "tuples,per_block,expected",
+        [(0, 64, 0), (1, 64, 1), (64, 64, 1), (65, 64, 2), (128, 64, 2)],
+    )
+    def test_n_blocks(self, tuples, per_block, expected):
+        assert n_blocks(tuples, per_block) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            n_blocks(-1, 64)
+
+    def test_block_bytes_used(self):
+        # 65 tuples of 64 B in 4 KB blocks -> 2 blocks -> 8 KB.
+        assert block_bytes_used(65, 64, 4096) == 8192
+
+
+class TestIterBlocks:
+    def test_partial_tail_block(self):
+        batch = TupleBatch.build(ts=np.arange(10.0), key=np.arange(10))
+        views = list(iter_blocks(batch, 4))
+        assert [len(v.batch) for v in views] == [4, 4, 2]
+        assert [v.full for v in views] == [True, True, False]
+        assert [v.index for v in views] == [0, 1, 2]
+
+    def test_exact_blocks_all_full(self):
+        batch = TupleBatch.build(ts=np.arange(8.0), key=np.arange(8))
+        views = list(iter_blocks(batch, 4))
+        assert [v.full for v in views] == [True, True]
+
+    def test_empty_batch(self):
+        assert list(iter_blocks(TupleBatch.empty(), 4)) == []
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            list(iter_blocks(TupleBatch.empty(), 0))
+
+    def test_views_are_zero_copy(self):
+        batch = TupleBatch.build(ts=np.arange(8.0), key=np.arange(8))
+        first = next(iter_blocks(batch, 4))
+        assert first.batch.ts.base is batch.ts

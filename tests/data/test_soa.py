@@ -1,0 +1,115 @@
+"""GrowableSoA: append/expire semantics, growth, property test."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.soa import GrowableSoA
+
+
+def append_n(soa, ts):
+    ts = np.asarray(ts, dtype=float)
+    soa.append(ts, np.zeros(len(ts), dtype=np.int64), np.arange(len(ts)))
+
+
+class TestAppendExpire:
+    def test_roundtrip(self):
+        soa = GrowableSoA()
+        append_n(soa, [1.0, 2.0, 3.0])
+        assert list(soa.ts) == [1.0, 2.0, 3.0]
+        assert len(soa) == 3
+
+    def test_out_of_order_append_rejected(self):
+        soa = GrowableSoA()
+        append_n(soa, [5.0])
+        with pytest.raises(ValueError, match="temporal order"):
+            append_n(soa, [4.0])
+
+    def test_equal_timestamps_allowed(self):
+        soa = GrowableSoA()
+        append_n(soa, [5.0])
+        append_n(soa, [5.0])
+        assert len(soa) == 2
+
+    def test_expire_before(self):
+        soa = GrowableSoA()
+        append_n(soa, [1.0, 2.0, 3.0, 4.0])
+        assert soa.expire_before(2.5) == 2
+        assert list(soa.ts) == [3.0, 4.0]
+
+    def test_expire_exact_boundary_keeps_cutoff(self):
+        soa = GrowableSoA()
+        append_n(soa, [1.0, 2.0, 3.0])
+        soa.expire_before(2.0)  # strictly-less-than semantics
+        assert list(soa.ts) == [2.0, 3.0]
+
+    def test_expire_everything_resets(self):
+        soa = GrowableSoA()
+        append_n(soa, [1.0, 2.0])
+        soa.expire_before(10.0)
+        assert len(soa) == 0
+        append_n(soa, [0.5])  # order restarts after full reset
+        assert list(soa.ts) == [0.5]
+
+    def test_pop_all(self):
+        soa = GrowableSoA()
+        append_n(soa, [1.0, 2.0])
+        batch = soa.pop_all()
+        assert len(batch) == 2
+        assert len(soa) == 0
+
+    def test_snapshot_copies(self):
+        soa = GrowableSoA()
+        append_n(soa, [1.0])
+        snap = soa.snapshot(stream_id=3)
+        append_n(soa, [2.0])
+        assert len(snap) == 1
+        assert snap.stream[0] == 3
+
+
+class TestGrowth:
+    def test_growth_beyond_initial_capacity(self):
+        soa = GrowableSoA(capacity=4)
+        for i in range(1000):
+            append_n(soa, [float(i)])
+        assert len(soa) == 1000
+        assert list(soa.ts[:3]) == [0.0, 1.0, 2.0]
+
+    def test_interleaved_growth_and_expiry(self):
+        soa = GrowableSoA(capacity=4)
+        for i in range(2000):
+            append_n(soa, [float(i)])
+            if i % 7 == 0:
+                soa.expire_before(float(i) - 100.0)
+        assert np.all(np.diff(soa.ts) >= 0)
+        assert soa.ts[0] >= 1899 - 100
+
+
+@given(
+    ops=st.lists(
+        st.one_of(
+            st.tuples(st.just("append"), st.integers(1, 5)),
+            st.tuples(st.just("expire"), st.floats(0, 1)),
+        ),
+        max_size=60,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_soa_matches_list_model(ops):
+    """GrowableSoA behaves like a plain sorted list under arbitrary
+    interleavings of appends (with increasing timestamps) and expiry."""
+    soa = GrowableSoA(capacity=4)
+    model: list[float] = []
+    clock = 0.0
+    for op, arg in ops:
+        if op == "append":
+            ts = [clock + i * 0.25 for i in range(int(arg))]
+            clock = ts[-1]
+            append_n(soa, ts)
+            model.extend(ts)
+        else:
+            cutoff = clock * float(arg)
+            soa.expire_before(cutoff)
+            model = [x for x in model if x >= cutoff]
+        assert list(soa.ts) == model

@@ -1,0 +1,93 @@
+"""TupleBatch: construction, views, accounting."""
+
+import numpy as np
+import pytest
+
+from repro.data.tuples import TupleBatch
+
+
+def make(n=5, stream=0):
+    return TupleBatch.build(
+        ts=np.arange(n, dtype=float),
+        key=np.arange(n) * 10,
+        stream=stream,
+    )
+
+
+class TestConstruction:
+    def test_build_defaults_seq(self):
+        batch = make(4)
+        assert np.array_equal(batch.seq, [0, 1, 2, 3])
+
+    def test_empty(self):
+        batch = TupleBatch.empty()
+        assert len(batch) == 0
+        assert batch.min_ts() == float("inf")
+        assert batch.max_ts() == float("-inf")
+
+    def test_mismatched_columns_rejected(self):
+        with pytest.raises(ValueError):
+            TupleBatch(
+                np.zeros(3),
+                np.zeros(2, dtype=np.int64),
+                np.zeros(3, dtype=np.int64),
+                np.zeros(3, dtype=np.uint8),
+            )
+
+    def test_dtype_coercion(self):
+        batch = TupleBatch.build(ts=[1, 2], key=[1.0, 2.0])
+        assert batch.ts.dtype == np.float64
+        assert batch.key.dtype == np.int64
+
+
+class TestConcat:
+    def test_concat_preserves_order(self):
+        a, b = make(3), make(2, stream=1)
+        merged = TupleBatch.concat([a, b])
+        assert len(merged) == 5
+        assert np.array_equal(merged.stream, [0, 0, 0, 1, 1])
+
+    def test_concat_skips_empties(self):
+        merged = TupleBatch.concat([TupleBatch.empty(), make(2)])
+        assert len(merged) == 2
+
+    def test_concat_nothing(self):
+        assert len(TupleBatch.concat([])) == 0
+
+    def test_concat_single_is_identity(self):
+        a = make(3)
+        assert TupleBatch.concat([a]) is a
+
+
+class TestViews:
+    def test_slice_is_view(self):
+        batch = make(5)
+        view = batch.slice(1, 3)
+        assert len(view) == 2
+        assert view.ts.base is batch.ts
+
+    def test_take(self):
+        batch = make(5)
+        sub = batch.take(np.array([4, 0]))
+        assert list(sub.ts) == [4.0, 0.0]
+
+    def test_select(self):
+        batch = make(5)
+        sub = batch.select(batch.ts >= 3)
+        assert list(sub.ts) == [3.0, 4.0]
+
+    def test_by_stream(self):
+        merged = TupleBatch.concat([make(3, stream=0), make(2, stream=1)])
+        assert len(merged.by_stream(0)) == 3
+        assert len(merged.by_stream(1)) == 2
+        assert len(merged.by_stream(7)) == 0
+
+
+class TestAccounting:
+    def test_payload_bytes(self):
+        assert make(10).payload_bytes(64) == 640
+
+    def test_min_max_ts(self):
+        batch = make(5)
+        assert batch.min_ts() == 0.0
+        assert batch.max_ts() == 4.0

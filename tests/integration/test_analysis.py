@@ -1,0 +1,94 @@
+"""The experiment harness: tables, series, canned experiments."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    EXPERIMENTS,
+    base_config,
+    run_experiment,
+)
+from repro.analysis.series import Experiment
+from repro.analysis.tables import format_table
+
+
+class TestTables:
+    def test_format_basic(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.333333}]
+        text = format_table(rows)
+        assert "a" in text and "b" in text
+        assert "0.3333" in text
+
+    def test_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+
+class TestExperimentContainer:
+    def test_add_and_series(self):
+        exp = Experiment("x", "t", "e", ["rate", "y"])
+        exp.add(rate=1, y=10.0)
+        exp.add(rate=2, y=20.0)
+        assert exp.series("y") == [10.0, 20.0]
+        assert exp.series("y", where={"rate": 2}) == [20.0]
+
+    def test_render_and_markdown(self):
+        exp = Experiment("x", "Title", "Expect.", ["a"])
+        exp.add(a=1.23456)
+        exp.notes.append("a note")
+        assert "Title" in exp.render()
+        md = exp.to_markdown()
+        assert md.startswith("### x")
+        assert "| a |" in md
+        assert "a note" in md
+
+
+class TestRegistry:
+    def test_all_figures_present(self):
+        for fig in (
+            "fig05", "fig06", "fig07", "fig08", "fig09",
+            "fig10", "fig11", "fig12", "fig13", "fig14",
+        ):
+            assert fig in EXPERIMENTS
+
+    def test_ablations_present(self):
+        for name in (
+            "subgroup_buffer",
+            "ablation_theta",
+            "ablation_npart",
+            "ablation_thresholds",
+            "ablation_beta",
+            "baselines_skew",
+        ):
+            assert name in EXPERIMENTS
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_experiment("fig99")
+
+    def test_base_config_scales(self):
+        cfg = base_config(0.02)
+        assert cfg.window_seconds == pytest.approx(12.0)
+
+
+class TestQuickExperiments:
+    """Smoke-run a few quick experiments at a very small scale."""
+
+    def test_fig05_quick(self):
+        exp = run_experiment("fig05", scale=0.01, quick=True)
+        assert exp.rows
+        assert set(exp.columns) <= set(exp.rows[0])
+
+    def test_fig13_quick_shape(self):
+        exp = run_experiment("fig13", scale=0.01, quick=True)
+        delays = exp.series("avg_delay_s")
+        # Longer epochs mean longer waits at the master.
+        assert delays[-1] > delays[0]
+
+    def test_subgroup_buffer_quick(self):
+        exp = run_experiment("subgroup_buffer", scale=0.01, quick=True)
+        measured = exp.series("measured_peak_bytes")
+        assert measured[0] > measured[-1]  # ng=4 peak below ng=1 peak

@@ -1,0 +1,128 @@
+"""Baselines: exactness and the qualitative claims of Section VII."""
+
+import numpy as np
+import pytest
+
+from repro import JoinSystem, SystemConfig
+from repro.baselines import (
+    AtrSystem,
+    CentralizedJoin,
+    CtrSystem,
+    no_fine_tuning,
+    non_adaptive,
+    static_partitioning,
+)
+from repro.errors import ConfigError
+from repro.reference import naive_window_join
+from repro.simul.rng import RngRegistry
+from repro.workload.generator import TwoStreamWorkload
+from repro.workload.traces import TraceReplayer
+
+
+@pytest.fixture
+def cfg(tiny_cfg):
+    return tiny_cfg.with_(num_slaves=3, rate=500.0)
+
+
+def closed_trace(cfg, seed=11):
+    wl = TwoStreamWorkload.poisson_bmodel(
+        RngRegistry(seed), cfg.rate, cfg.b_skew, cfg.key_domain
+    )
+    return wl.generate(0.0, cfg.run_seconds - 3 * cfg.dist_epoch)
+
+
+class TestVariantHelpers:
+    def test_no_fine_tuning(self, cfg):
+        assert no_fine_tuning(cfg).fine_tuning is False
+
+    def test_static_partitioning(self, cfg):
+        assert static_partitioning(cfg).load_balancing is False
+
+    def test_non_adaptive(self, cfg):
+        assert non_adaptive(cfg).adaptive_declustering is False
+
+
+class TestAtr:
+    def test_oracle_exact(self, cfg):
+        trace = closed_trace(cfg)
+        result = AtrSystem(
+            cfg, workload=TraceReplayer(trace), collect_pairs=True
+        ).run()
+        got = result.pairs
+        got = got[np.lexsort((got[:, 1], got[:, 0]))]
+        expected = naive_window_join(trace, cfg.window_seconds)
+        assert np.array_equal(got, expected)
+
+    def test_oracle_exact_single_node(self, cfg):
+        trace = closed_trace(cfg, seed=12)
+        result = AtrSystem(
+            cfg.with_(num_slaves=1),
+            workload=TraceReplayer(trace),
+            collect_pairs=True,
+        ).run()
+        got = result.pairs
+        got = got[np.lexsort((got[:, 1], got[:, 0]))]
+        assert np.array_equal(
+            got, naive_window_join(trace, cfg.window_seconds)
+        )
+
+    def test_concentrates_whole_window_on_one_node(self, cfg):
+        """The paper's criticism: the segment node holds ~the complete
+        two-stream window, so ATR's per-node window is ~N times ours."""
+        atr = AtrSystem(cfg).run()
+        ours = JoinSystem(cfg).run()
+        assert atr.max_window_bytes > 1.5 * ours.max_window_bytes
+
+    def test_segment_shorter_than_window_rejected(self, cfg):
+        with pytest.raises(ConfigError):
+            AtrSystem(cfg, segment_seconds=cfg.window_seconds / 2).run()
+
+
+class TestCtr:
+    def test_oracle_exact(self, cfg):
+        trace = closed_trace(cfg, seed=13)
+        result = CtrSystem(
+            cfg, workload=TraceReplayer(trace), collect_pairs=True
+        ).run()
+        got = result.pairs
+        got = got[np.lexsort((got[:, 1], got[:, 0]))]
+        assert np.array_equal(
+            got, naive_window_join(trace, cfg.window_seconds)
+        )
+
+    def test_network_overhead_scales_with_nodes(self, cfg):
+        """Every tuple is forwarded to every node: CTR moves ~N times
+        the payload bytes our hash-partitioned distribution moves."""
+        ctr = CtrSystem(cfg).run()
+        ours = JoinSystem(cfg).run()
+        ctr_bytes = sum(s["bytes_received"] for s in ctr.slaves)
+        ours_bytes = sum(s["bytes_received"] for s in ours.slaves)
+        assert ctr_bytes > 2.0 * ours_bytes
+
+    def test_per_node_fixed_cpu_does_not_divide(self, cfg):
+        """CTR charges the fixed per-tuple work on all N nodes."""
+        ctr = CtrSystem(cfg).run()
+        total_input = ctr.tuples_generated
+        per_node = [s["tuples_processed"] for s in ctr.slaves]
+        for n in per_node:
+            assert n >= 0.8 * total_input  # everyone sees ~everything
+
+
+class TestCentralized:
+    def test_produces_outputs(self, cfg):
+        result = CentralizedJoin(cfg).run()
+        assert result.outputs > 0
+        assert 0.0 < result.utilization
+
+    def test_saturates_beyond_single_node_capacity(self, cfg):
+        light = CentralizedJoin(cfg.with_(rate=300.0)).run()
+        heavy = CentralizedJoin(cfg.with_(rate=4000.0)).run()
+        assert light.utilization < 1.0
+        assert heavy.utilization == pytest.approx(1.0, abs=0.05)
+        assert heavy.avg_delay > 3 * light.avg_delay
+
+    def test_cluster_beats_centralized_under_load(self, cfg):
+        rate = 2500.0
+        central = CentralizedJoin(cfg.with_(rate=rate)).run()
+        cluster = JoinSystem(cfg.with_(rate=rate, num_slaves=3)).run()
+        assert cluster.avg_delay < central.avg_delay

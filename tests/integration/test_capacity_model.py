@@ -1,0 +1,73 @@
+"""Theory vs simulation: the closed-form capacity model must predict
+where the simulated system saturates."""
+
+import pytest
+
+from repro import JoinSystem, SystemConfig
+from repro.analysis.capacity import (
+    capacity_table,
+    mean_scan_bytes,
+    saturation_rate,
+    utilization,
+)
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return SystemConfig.paper_defaults().scaled(0.05)
+
+
+class TestModel:
+    def test_paper_anchor_untuned(self, cfg):
+        # The calibration anchor: untuned saturation just below 4000.
+        rate = saturation_rate(cfg.with_(fine_tuning=False), n_active=4)
+        assert 3400 < rate < 3900
+
+    def test_paper_anchor_tuned(self, cfg):
+        rate = saturation_rate(cfg, n_active=4)
+        assert 5500 < rate < 6500
+
+    def test_capacity_scales_linearly(self, cfg):
+        one = saturation_rate(cfg, 1)
+        four = saturation_rate(cfg, 4)
+        assert four == pytest.approx(4 * one, rel=0.15)
+
+    def test_tuning_gains_capacity(self, cfg):
+        table = capacity_table(cfg, max_slaves=4)
+        for row in table:
+            assert row["tuned_capacity"] >= row["untuned_capacity"]
+
+    def test_slow_node_capacity(self, cfg):
+        full = saturation_rate(cfg, 1, speed=1.0)
+        half = saturation_rate(cfg, 1, speed=0.5)
+        assert half < 0.7 * full
+
+    def test_scan_bytes_clamped_by_tuning(self, cfg):
+        untuned = mean_scan_bytes(cfg.with_(fine_tuning=False), 8000.0)
+        tuned = mean_scan_bytes(cfg, 8000.0)
+        assert tuned < untuned
+        assert tuned <= 2 * cfg.theta_bytes
+
+
+class TestTheoryMeetsSimulation:
+    @pytest.mark.parametrize("n_active", [1, 2])
+    def test_simulated_saturation_matches_prediction(self, cfg, n_active):
+        predicted = saturation_rate(cfg, n_active)
+        below = JoinSystem(
+            cfg.with_(num_slaves=n_active, rate=0.8 * predicted)
+        ).run()
+        above = JoinSystem(
+            cfg.with_(num_slaves=n_active, rate=1.3 * predicted)
+        ).run()
+        duration = below.duration
+        # Below prediction: idle headroom.  Above: pinned at 100%.
+        assert below.avg_idle_time > 0.05 * duration
+        assert above.avg_idle_time < 0.05 * duration
+        assert above.avg_delay > below.avg_delay
+
+    def test_utilization_tracks_measured_cpu(self, cfg):
+        rate, n = 2500.0, 4
+        predicted = utilization(cfg, rate, n)
+        result = JoinSystem(cfg.with_(num_slaves=n, rate=rate)).run()
+        measured = result.avg_cpu_time / result.duration
+        assert measured == pytest.approx(predicted, rel=0.25)

@@ -1,0 +1,60 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.command == "run"
+        assert args.rate == 1500.0
+        assert args.slaves == 4
+
+    def test_experiment_args(self):
+        args = build_parser().parse_args(
+            ["experiment", "fig07", "--quick", "--scale", "0.02"]
+        )
+        assert args.name == "fig07"
+        assert args.quick
+        assert args.scale == 0.02
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--version"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig05" in out
+        assert "baselines_skew" in out
+
+    def test_run_tiny(self, capsys):
+        code = main(
+            [
+                "run",
+                "--rate",
+                "300",
+                "--slaves",
+                "2",
+                "--scale",
+                "0.01",
+                "--npart",
+                "12",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "outputs:" in out
+        assert "per-slave cpu" in out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            main(["experiment", "fig99"])

@@ -1,0 +1,91 @@
+"""Cross-backend equivalence: the thread backend joins the exact same
+pairs as the simulated backend (and the oracle) for a shared trace.
+
+Timing-dependent metrics (delays, comm times) differ across backends by
+construction; the *results* must not.
+"""
+
+import numpy as np
+import pytest
+
+from repro import JoinSystem, SystemConfig
+from repro.core.cluster import build_cluster
+from repro.net.thread_transport import ThreadTransport
+from repro.reference import naive_window_join
+from repro.runtime.thread import ThreadRuntime
+from repro.simul.rng import RngRegistry
+from repro.workload.generator import TwoStreamWorkload
+from repro.workload.traces import TraceReplayer
+
+
+@pytest.fixture(scope="module")
+def shared_setup():
+    cfg = (
+        SystemConfig.paper_defaults()
+        .scaled(0.01)
+        .with_(
+            num_slaves=2,
+            npart=8,
+            rate=150.0,
+            run_seconds=10.0,
+            warmup_seconds=2.0,
+            window_seconds=3.0,
+            reorg_epoch=4.0,
+        )
+    )
+    wl = TwoStreamWorkload.poisson_bmodel(
+        RngRegistry(5), cfg.rate, cfg.b_skew, 10_000
+    )
+    trace = wl.generate(0.0, cfg.run_seconds - 3 * cfg.dist_epoch)
+    return cfg, trace
+
+
+def sorted_pairs(chunks):
+    if not chunks:
+        return np.empty((0, 2), dtype=np.int64)
+    pairs = np.concatenate(chunks)
+    return pairs[np.lexsort((pairs[:, 1], pairs[:, 0]))]
+
+
+class TestCrossBackend:
+    def test_thread_backend_matches_sim_and_oracle(self, shared_setup):
+        cfg, trace = shared_setup
+
+        sim_result = JoinSystem(
+            cfg, collect_pairs=True, workload=TraceReplayer(trace)
+        ).run()
+        sim_pairs = sorted_pairs([sim_result.pairs])
+
+        # Run fast: 1 virtual second = 10 ms wall (100x speedup).
+        runtime = ThreadRuntime(time_scale=0.01)
+        transport = ThreadTransport(cfg.tuple_bytes, time_scale=0.01)
+        cluster = build_cluster(
+            cfg,
+            runtime,
+            transport,
+            workload=TraceReplayer(trace),
+            collect_pairs=True,
+        )
+        for name, gen in cluster.processes():
+            runtime.spawn(gen, name=name)
+        runtime.join_all(timeout=120.0)
+        thread_pairs = sorted_pairs(
+            [c for m in cluster.slave_metrics for c in m.pairs]
+        )
+
+        oracle = naive_window_join(trace, cfg.window_seconds)
+        assert np.array_equal(sim_pairs, oracle)
+        assert np.array_equal(thread_pairs, oracle)
+
+    def test_thread_collector_consistency(self, shared_setup):
+        cfg, trace = shared_setup
+        runtime = ThreadRuntime(time_scale=0.01)
+        transport = ThreadTransport(cfg.tuple_bytes, time_scale=0.01)
+        cluster = build_cluster(
+            cfg, runtime, transport, workload=TraceReplayer(trace)
+        )
+        for name, gen in cluster.processes():
+            runtime.spawn(gen, name=name)
+        runtime.join_all(timeout=120.0)
+        local = sum(m.delays.count for m in cluster.slave_metrics)
+        assert cluster.collector.delays.count == local

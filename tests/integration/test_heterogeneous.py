@@ -1,0 +1,106 @@
+"""Non-dedicated (heterogeneous) clusters: the paper's Section I
+scenario — nodes shared with other applications, varying background
+load — modeled through per-slave CPU speeds."""
+
+import numpy as np
+import pytest
+
+from repro import JoinSystem, SystemConfig
+from repro.config import CostModelConfig
+from repro.core.costmodel import CostModel
+from repro.errors import ConfigError
+from repro.reference import naive_window_join
+from repro.simul.rng import RngRegistry
+from repro.workload.generator import TwoStreamWorkload
+from repro.workload.traces import TraceReplayer
+
+
+class TestSpeedConfig:
+    def test_speed_of_defaults_to_one(self):
+        cfg = SystemConfig.paper_defaults()
+        assert cfg.speed_of(0) == 1.0
+
+    def test_speed_of_reads_tuple(self):
+        cfg = SystemConfig.paper_defaults().with_(
+            num_slaves=2, slave_speeds=(1.0, 0.5)
+        )
+        assert cfg.speed_of(1) == 0.5
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ConfigError):
+            SystemConfig.paper_defaults().with_(
+                num_slaves=2, slave_speeds=(1.0,)
+            )
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ConfigError):
+            SystemConfig.paper_defaults().with_(
+                num_slaves=2, slave_speeds=(1.0, 0.0)
+            )
+
+
+class TestCostModelSpeed:
+    def test_costs_scale_inversely_with_speed(self):
+        cfg = CostModelConfig()
+        fast = CostModel(cfg, speed=1.0)
+        slow = CostModel(cfg, speed=0.5)
+        assert slow.probe_cost(10, 1000) == pytest.approx(
+            2 * fast.probe_cost(10, 1000)
+        )
+        assert slow.expire_cost(1000) == pytest.approx(
+            2 * fast.expire_cost(1000)
+        )
+        assert slow.state_move_cost(1000) == pytest.approx(
+            2 * fast.state_move_cost(1000)
+        )
+
+    def test_invalid_speed(self):
+        with pytest.raises(ValueError):
+            CostModel(CostModelConfig(), speed=0.0)
+
+
+class TestHeterogeneousCluster:
+    @pytest.fixture
+    def het_cfg(self, tiny_cfg):
+        # The slow slave (30% speed) is past saturation at this rate
+        # while the fast slaves have ample headroom.
+        return tiny_cfg.with_(
+            num_slaves=3,
+            rate=2000.0,
+            slave_speeds=(1.0, 0.3, 1.0),
+            run_seconds=24.0,
+            warmup_seconds=6.0,
+        )
+
+    def test_slow_slave_becomes_supplier_and_sheds_load(self, het_cfg):
+        result = JoinSystem(het_cfg).run()
+        assert result.master["moves_ordered"] > 0
+        # Classification saw a supplier at some reorganization.
+        assert any(s > 0 for _, s, _, _ in result.master["supplier_counts"])
+
+    def test_rebalancing_beats_static_placement(self, het_cfg):
+        balanced = JoinSystem(het_cfg).run()
+        static = JoinSystem(het_cfg.with_(load_balancing=False)).run()
+        assert balanced.avg_delay <= static.avg_delay
+
+    def test_results_remain_exact(self, het_cfg):
+        wl = TwoStreamWorkload.poisson_bmodel(
+            RngRegistry(21), het_cfg.rate, het_cfg.b_skew, het_cfg.key_domain
+        )
+        trace = wl.generate(0.0, het_cfg.run_seconds - 3 * het_cfg.dist_epoch)
+        result = JoinSystem(
+            het_cfg, collect_pairs=True, workload=TraceReplayer(trace)
+        ).run()
+        got = result.pairs
+        got = got[np.lexsort((got[:, 1], got[:, 0]))]
+        expected = naive_window_join(trace, het_cfg.window_seconds)
+        assert np.array_equal(got, expected)
+
+    def test_slow_slave_charges_more_cpu_per_tuple(self, het_cfg):
+        result = JoinSystem(het_cfg.with_(load_balancing=False)).run()
+        per_tuple = [
+            s["cpu_total"] / max(s["tuples_processed"], 1)
+            for s in result.slaves
+        ]
+        # Slave index 1 runs at 0.3 speed: ~3.3x the per-tuple time.
+        assert per_tuple[1] > 2 * per_tuple[0]

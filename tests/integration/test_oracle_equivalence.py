@@ -1,0 +1,105 @@
+"""The headline correctness property: the full parallel pipeline
+produces exactly the naive sliding-window join's output pairs —
+including under hash partitioning, head-block batching, fine-tuning
+splits/merges, supplier->consumer state moves and adaptive degree of
+declustering."""
+
+import numpy as np
+import pytest
+
+from repro import JoinSystem, SystemConfig
+from repro.reference import naive_window_join
+from repro.simul.rng import RngRegistry
+from repro.workload.generator import TwoStreamWorkload
+from repro.workload.traces import TraceReplayer
+
+
+def closed_trace(cfg, seed):
+    """A workload trace ending a few epochs before the run does, so
+    every tuple is distributed and joined before shutdown."""
+    rng = RngRegistry(seed)
+    wl = TwoStreamWorkload.poisson_bmodel(
+        rng, cfg.rate, cfg.b_skew, cfg.key_domain
+    )
+    return wl.generate(0.0, cfg.run_seconds - 3 * cfg.dist_epoch)
+
+
+def run_and_compare(cfg, seed=1):
+    trace = closed_trace(cfg, seed)
+    result = JoinSystem(
+        cfg, collect_pairs=True, workload=TraceReplayer(trace)
+    ).run()
+    got = result.pairs
+    got = got[np.lexsort((got[:, 1], got[:, 0]))]
+    expected = naive_window_join(trace, cfg.window_seconds)
+    return got, expected, result
+
+
+@pytest.fixture
+def base_cfg(tiny_cfg):
+    return tiny_cfg
+
+
+class TestOracleEquivalence:
+    def test_two_slaves(self, base_cfg):
+        got, expected, _ = run_and_compare(base_cfg)
+        assert np.array_equal(got, expected)
+        assert len(expected) > 0  # non-vacuous
+
+    def test_four_slaves_with_moves(self, base_cfg):
+        cfg = base_cfg.with_(num_slaves=4, rate=800.0)
+        got, expected, result = run_and_compare(cfg, seed=2)
+        assert np.array_equal(got, expected)
+
+    def test_adaptive_declustering(self, base_cfg):
+        cfg = base_cfg.with_(
+            num_slaves=4,
+            rate=600.0,
+            adaptive_declustering=True,
+            run_seconds=24.0,
+            warmup_seconds=6.0,
+        )
+        got, expected, result = run_and_compare(cfg, seed=3)
+        assert np.array_equal(got, expected)
+
+    def test_growth_from_single_slave(self, base_cfg):
+        cfg = base_cfg.with_(
+            num_slaves=3,
+            rate=3000.0,
+            adaptive_declustering=True,
+            initial_active_slaves=1,
+            run_seconds=24.0,
+            warmup_seconds=6.0,
+        )
+        got, expected, result = run_and_compare(cfg, seed=4)
+        assert result.final_active_slaves > 1  # growth actually happened
+        assert np.array_equal(got, expected)
+
+    def test_no_fine_tuning(self, base_cfg):
+        got, expected, _ = run_and_compare(
+            base_cfg.with_(fine_tuning=False), seed=5
+        )
+        assert np.array_equal(got, expected)
+
+    def test_subgroups(self, base_cfg):
+        cfg = base_cfg.with_(num_slaves=4, num_subgroups=2, rate=700.0)
+        got, expected, _ = run_and_compare(cfg, seed=6)
+        assert np.array_equal(got, expected)
+
+    def test_skewed_keys(self, base_cfg):
+        cfg = base_cfg.with_(b_skew=0.9, key_domain=5000, rate=500.0)
+        got, expected, _ = run_and_compare(cfg, seed=7)
+        assert len(expected) > 1000  # heavy skew means many matches
+        assert np.array_equal(got, expected)
+
+    def test_overloaded_system_still_exact(self, base_cfg):
+        """Backlog changes timing, never results: even saturated, every
+        shipped tuple is eventually joined exactly once."""
+        cfg = base_cfg.with_(num_slaves=1, rate=2500.0)
+        got, expected, result = run_and_compare(cfg, seed=8)
+        assert np.array_equal(got, expected)
+
+    def test_short_epochs(self, base_cfg):
+        cfg = base_cfg.with_(dist_epoch=0.5, reorg_epoch=2.0, rate=600.0)
+        got, expected, _ = run_and_compare(cfg, seed=9)
+        assert np.array_equal(got, expected)

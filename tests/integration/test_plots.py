@@ -1,0 +1,71 @@
+"""ASCII chart rendering."""
+
+from repro.analysis.plots import ascii_plot, plot_experiment
+from repro.analysis.series import Experiment
+
+
+class TestAsciiPlot:
+    def test_basic_render(self):
+        chart = ascii_plot(
+            {"line": [(0.0, 0.0), (1.0, 1.0), (2.0, 4.0)]},
+            width=20,
+            height=8,
+            x_label="x",
+        )
+        assert "o" in chart
+        assert "└" in chart
+        assert "o = line" in chart
+
+    def test_multiple_series_get_distinct_marks(self):
+        chart = ascii_plot(
+            {"a": [(0, 0), (1, 1)], "b": [(0, 1), (1, 0)]},
+            width=10,
+            height=5,
+        )
+        assert "o = a" in chart
+        assert "x = b" in chart
+
+    def test_empty(self):
+        assert ascii_plot({}) == "(no data)"
+
+    def test_degenerate_ranges(self):
+        chart = ascii_plot({"p": [(1.0, 2.0)]}, width=10, height=4)
+        assert "o" in chart
+
+    def test_axis_labels_show_extremes(self):
+        chart = ascii_plot(
+            {"s": [(10.0, 5.0), (90.0, 25.0)]}, width=30, height=6
+        )
+        assert "10" in chart
+        assert "90" in chart
+        assert "25" in chart
+
+
+class TestPlotExperiment:
+    def test_plain_experiment(self):
+        exp = Experiment("x", "t", "e", ["rate", "delay"])
+        exp.add(rate=1000, delay=1.0)
+        exp.add(rate=2000, delay=2.0)
+        chart = plot_experiment(exp)
+        assert "rate" in chart
+
+    def test_grouped_experiment(self):
+        exp = Experiment("x", "t", "e", ["rate", "slaves", "delay"])
+        for n in (1, 2):
+            for rate in (1000, 2000):
+                exp.add(rate=rate, slaves=n, delay=rate / 1000 / n)
+        chart = plot_experiment(exp)
+        assert "slaves=1" in chart
+        assert "slaves=2" in chart
+
+    def test_empty_experiment(self):
+        exp = Experiment("x", "t", "e", ["a"])
+        assert plot_experiment(exp) == "(no data)"
+
+    def test_infinite_x_skipped(self):
+        exp = Experiment("x", "t", "e", ["mem", "delay"])
+        exp.add(mem=float("inf"), delay=1.0)
+        exp.add(mem=0.5, delay=2.0)
+        exp.add(mem=0.25, delay=3.0)
+        chart = plot_experiment(exp)
+        assert "(no data)" not in chart

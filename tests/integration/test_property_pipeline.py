@@ -1,0 +1,78 @@
+"""Property-based end-to-end test: arbitrary small workloads through
+the full cluster equal the oracle."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import JoinSystem, SystemConfig
+from repro.data.tuples import TupleBatch
+from repro.reference import naive_window_join
+from repro.workload.traces import TraceReplayer
+
+
+@st.composite
+def workload_traces(draw):
+    """A small random two-stream trace over [0, 8) seconds."""
+    n = draw(st.integers(1, 120))
+    ts = sorted(
+        draw(
+            st.lists(
+                st.floats(0.0, 8.0, allow_nan=False),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    )
+    keys = draw(
+        st.lists(st.integers(0, 6), min_size=n, max_size=n)
+    )
+    streams = draw(
+        st.lists(st.integers(0, 1), min_size=n, max_size=n)
+    )
+    seq = {0: 0, 1: 0}
+    seqs = []
+    for s in streams:
+        seqs.append(seq[s])
+        seq[s] += 1
+    return TupleBatch.build(ts=ts, key=keys, seq=seqs, stream=streams)
+
+
+CFG = (
+    SystemConfig.paper_defaults()
+    .scaled(0.01)
+    .with_(
+        npart=6,
+        num_slaves=3,
+        rate=100.0,  # unused: trace-driven
+        run_seconds=14.0,
+        warmup_seconds=1.0,
+        window_seconds=3.0,
+        reorg_epoch=4.0,
+        theta_bytes=4096,
+    )
+)
+
+
+@given(trace=workload_traces(), n_slaves=st.integers(1, 3))
+@settings(max_examples=40, deadline=None)
+def test_pipeline_equals_oracle_on_arbitrary_traces(trace, n_slaves):
+    cfg = CFG.with_(num_slaves=n_slaves)
+    result = JoinSystem(
+        cfg, collect_pairs=True, workload=TraceReplayer(trace)
+    ).run()
+    got = result.pairs
+    got = got[np.lexsort((got[:, 1], got[:, 0]))]
+    expected = naive_window_join(trace, cfg.window_seconds)
+    assert np.array_equal(got, expected)
+
+
+@given(trace=workload_traces())
+@settings(max_examples=15, deadline=None)
+def test_pipeline_deterministic_per_trace(trace):
+    runs = [
+        JoinSystem(CFG, collect_pairs=True, workload=TraceReplayer(trace)).run()
+        for _ in range(2)
+    ]
+    assert np.array_equal(runs[0].pairs, runs[1].pairs)
+    assert runs[0].delays.total == runs[1].delays.total

@@ -1,0 +1,146 @@
+"""Wire-level protocol sequences: the fixed communication schedule.
+
+These tests tap the simulated transport and assert the *order* of
+messages on the wire matches the paper's protocol: slot-ordered
+distribution (Section V-B), and the reorganization sequence of
+Section IV-C (orders -> ship to non-participants -> state transfer ->
+acks -> ship to participants).
+"""
+
+import pytest
+
+from repro import JoinSystem, SystemConfig
+from repro.core.protocol import (
+    Activate,
+    MoveAck,
+    ReorgOrder,
+    Shipment,
+    StateTransfer,
+)
+from repro.net import sim_transport
+
+
+@pytest.fixture
+def wire_log(monkeypatch):
+    """Record every transfer as (time, src, dst, message)."""
+    log = []
+    original = sim_transport.SimTransport._transfer
+
+    def tap(self, send, recv):
+        # Peek the pair from the pending entries before matching.
+        log.append((self.sim.now, send.message))
+        return original(self, send, recv)
+
+    monkeypatch.setattr(sim_transport.SimTransport, "_transfer", tap)
+    return log
+
+
+def messages_of(log, *types):
+    return [(t, m) for t, m in log if isinstance(m, types)]
+
+
+class TestSlotOrdering:
+    def test_two_subgroups_ship_in_separate_slots(self, tiny_cfg, wire_log):
+        cfg = tiny_cfg.with_(num_slaves=4, num_subgroups=2)
+        JoinSystem(cfg).run()
+        shipments = messages_of(wire_log, Shipment)
+        # Group shipments per epoch boundary and check the intra-epoch
+        # spread spans about half an epoch (the slot offset).
+        by_epoch: dict[int, list[float]] = {}
+        for t, m in shipments:
+            by_epoch.setdefault(m.epoch, []).append(t)
+        spread = [
+            max(times) - min(times)
+            for times in by_epoch.values()
+            if len(times) == 4
+        ]
+        slot = cfg.dist_epoch / 2
+        assert spread, "no full epochs observed"
+        assert sum(s >= 0.9 * slot for s in spread) > len(spread) / 2
+
+    def test_single_group_ships_back_to_back(self, tiny_cfg, wire_log):
+        cfg = tiny_cfg.with_(num_slaves=4, num_subgroups=1)
+        JoinSystem(cfg).run()
+        shipments = messages_of(wire_log, Shipment)
+        by_epoch: dict[int, list[float]] = {}
+        for t, m in shipments:
+            by_epoch.setdefault(m.epoch, []).append(t)
+        spread = [
+            max(times) - min(times)
+            for times in by_epoch.values()
+            if len(times) == 4
+        ]
+        # Serial sends take only the per-message service time, far
+        # below half an epoch.
+        assert spread
+        assert max(spread) < 0.5 * cfg.dist_epoch
+
+
+class TestReorgSequence:
+    def _run_with_moves(self, tiny_cfg, wire_log):
+        # Skewed keys over a small domain make partition loads uneven:
+        # one slave turns supplier while another stays consumer.
+        cfg = tiny_cfg.with_(
+            num_slaves=3,
+            rate=2500.0,
+            b_skew=0.9,
+            key_domain=1000,
+            th_sup=0.05,
+            th_con=0.02,
+        )
+        result = JoinSystem(cfg).run()
+        assert result.master["moves_ordered"] > 0
+        return cfg
+
+    def test_state_moves_happen(self, tiny_cfg, wire_log):
+        self._run_with_moves(tiny_cfg, wire_log)
+        assert messages_of(wire_log, StateTransfer)
+
+    def test_order_before_transfer_before_ack(self, tiny_cfg, wire_log):
+        self._run_with_moves(tiny_cfg, wire_log)
+        transfers = messages_of(wire_log, StateTransfer)
+        first_transfer = transfers[0][0]
+        orders_before = [
+            t
+            for t, m in messages_of(wire_log, ReorgOrder)
+            if t <= first_transfer and (m.outgoing or m.incoming)
+        ]
+        assert orders_before, "a move-bearing ReorgOrder precedes transfers"
+        acks = messages_of(wire_log, MoveAck)
+        assert acks
+        assert min(t for t, _ in acks) >= first_transfer
+
+    def test_participants_shipped_after_acks(self, tiny_cfg, wire_log):
+        self._run_with_moves(tiny_cfg, wire_log)
+        # Find the first reorg with a transfer, then the shipments of
+        # that epoch: at least one must come after the last ack of the
+        # epoch (the participant's) while non-participants may precede.
+        transfers = messages_of(wire_log, StateTransfer)
+        t0 = transfers[0][0]
+        acks = [t for t, _ in messages_of(wire_log, MoveAck) if t >= t0]
+        first_ack = min(acks)
+        window = [
+            (t, m)
+            for t, m in messages_of(wire_log, Shipment)
+            if t0 - 1.0 <= t <= first_ack + 2.0
+        ]
+        assert any(t > first_ack for t, _ in window)
+
+
+class TestActivation:
+    def test_activate_message_on_growth(self, tiny_cfg, wire_log):
+        cfg = tiny_cfg.with_(
+            num_slaves=3,
+            rate=2500.0,
+            adaptive_declustering=True,
+            initial_active_slaves=1,
+            run_seconds=24.0,
+            warmup_seconds=6.0,
+        )
+        result = JoinSystem(cfg).run()
+        assert result.final_active_slaves > 1
+        activations = messages_of(wire_log, Activate)
+        assert activations
+        # The activated slave receives its slot schedule.
+        for _, msg in activations:
+            assert msg.schedule is not None

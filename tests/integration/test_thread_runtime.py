@@ -1,0 +1,121 @@
+"""The wall-clock backend: the same node generators on real threads."""
+
+import time
+
+import pytest
+
+from repro.core.protocol import Halt, Shipment
+from repro.data.tuples import TupleBatch
+from repro.net.thread_transport import ThreadTransport
+from repro.runtime.thread import ThreadRuntime
+
+
+class TestThreadRuntime:
+    def test_sleep_and_now(self):
+        rt = ThreadRuntime(time_scale=0.02)  # 50x faster than real time
+        t0 = rt.now()
+        rt.sleep(1.0).run()  # one virtual second = 20 ms wall
+        assert rt.now() - t0 >= 0.9
+
+    def test_spawn_and_join(self):
+        rt = ThreadRuntime(time_scale=0.01)
+        log = []
+
+        def node():
+            yield rt.sleep(0.5)
+            log.append("done")
+
+        handle = rt.spawn(node(), name="n")
+        handle.join(timeout=5.0)
+        assert log == ["done"]
+        assert not handle.is_alive
+
+    def test_node_errors_surface_on_join(self):
+        rt = ThreadRuntime(time_scale=0.01)
+
+        def bad():
+            yield rt.sleep(0.1)
+            raise ValueError("boom")
+
+        handle = rt.spawn(bad())
+        with pytest.raises(ValueError, match="boom"):
+            handle.join(timeout=5.0)
+
+    def test_yielding_garbage_is_reported(self):
+        rt = ThreadRuntime(time_scale=0.01)
+
+        def bad():
+            yield 42
+
+        handle = rt.spawn(bad())
+        with pytest.raises(TypeError):
+            handle.join(timeout=5.0)
+
+    def test_locks_and_queues(self):
+        rt = ThreadRuntime(time_scale=0.01)
+        lock = rt.make_lock()
+        queue = rt.make_queue()
+        order = []
+
+        def producer():
+            for i in range(3):
+                yield queue.put(i)
+                yield rt.sleep(0.05)
+
+        def consumer():
+            for _ in range(3):
+                item = yield queue.get()
+                yield lock.acquire()
+                order.append(item)
+                lock.release()
+
+        rt.spawn(producer())
+        rt.spawn(consumer())
+        rt.join_all(timeout=10.0)
+        assert order == [0, 1, 2]
+
+
+class TestThreadTransport:
+    def test_rendezvous_send_recv(self):
+        rt = ThreadRuntime(time_scale=0.01)
+        transport = ThreadTransport(tuple_bytes=64, time_scale=0.01)
+        a = transport.endpoint(1)
+        b = transport.endpoint(2)
+        got = []
+
+        def sender():
+            yield a.send(2, Shipment(0, 0.0, 1.0, TupleBatch.empty()))
+            yield a.send(2, Halt(1))
+
+        def receiver():
+            while True:
+                msg = yield b.recv(1)
+                got.append(type(msg).__name__)
+                if isinstance(msg, Halt):
+                    return
+
+        rt.spawn(sender())
+        rt.spawn(receiver())
+        rt.join_all(timeout=10.0)
+        assert got == ["Shipment", "Halt"]
+
+    def test_send_blocks_until_received(self):
+        transport = ThreadTransport(tuple_bytes=64, time_scale=1.0)
+        a = transport.endpoint(1)
+        b = transport.endpoint(2)
+        rt = ThreadRuntime()
+        timeline = {}
+
+        def sender():
+            t0 = time.monotonic()
+            yield a.send(2, "x")
+            timeline["sent"] = time.monotonic() - t0
+
+        def receiver():
+            yield rt.sleep(0.2)
+            yield b.recv(1)
+
+        rt.spawn(sender())
+        rt.spawn(receiver())
+        rt.join_all(timeout=10.0)
+        assert timeline["sent"] >= 0.15  # waited for the receiver

@@ -1,0 +1,35 @@
+"""The collector's per-epoch delay timeline."""
+
+import pytest
+
+from repro import JoinSystem
+from repro.workload.arrivals import RateProfile
+from repro.workload.generator import TwoStreamWorkload
+from repro.simul.rng import RngRegistry
+
+
+class TestDelayTimeline:
+    def test_timeline_totals_match_global_stats(self, tiny_cfg):
+        result = JoinSystem(tiny_cfg).run()
+        assert sum(c for _, c, _ in result.delay_timeline) == result.outputs
+
+    def test_epochs_are_increasing(self, tiny_cfg):
+        result = JoinSystem(tiny_cfg).run()
+        epochs = [e for e, _, _ in result.delay_timeline]
+        assert epochs == sorted(epochs)
+
+    def test_surge_shows_up_in_the_timeline(self, tiny_cfg):
+        cfg = tiny_cfg.with_(
+            num_slaves=1, run_seconds=24.0, warmup_seconds=2.0
+        )
+        profile = RateProfile.step(12.0, 200.0, 4000.0)
+        workload = TwoStreamWorkload.poisson_bmodel(
+            RngRegistry(cfg.seed), profile, cfg.b_skew, cfg.key_domain
+        )
+        result = JoinSystem(cfg, workload=workload).run()
+        before = [m for e, _, m in result.delay_timeline
+                  if (e + 1) * cfg.dist_epoch <= 12.0]
+        after = [m for e, _, m in result.delay_timeline
+                 if (e + 1) * cfg.dist_epoch > 16.0]
+        assert before and after
+        assert max(after) > 2 * max(before)

@@ -1,0 +1,121 @@
+"""The MPI-like communicator layer and its collectives."""
+
+import pytest
+
+from repro.config import NetworkConfig
+from repro.errors import ProtocolError
+from repro.mp.comm import Communicator
+from repro.net.sim_transport import SimTransport
+from repro.simul.kernel import Simulator
+
+
+@pytest.fixture
+def cluster():
+    sim = Simulator()
+    transport = SimTransport(sim, NetworkConfig(), tuple_bytes=64)
+    comms = {i: Communicator(transport.endpoint(i)) for i in range(4)}
+    return sim, comms
+
+
+class TestPointToPoint:
+    def test_recv_expect_passes_matching_type(self, cluster):
+        sim, comms = cluster
+        got = []
+
+        def sender(sim):
+            yield comms[0].send(1, "hello")
+
+        def receiver(sim):
+            msg = yield from comms[1].recv_expect(0, str)
+            got.append(msg)
+
+        sim.process(sender(sim))
+        sim.process(receiver(sim))
+        sim.run(None)
+        assert got == ["hello"]
+
+    def test_recv_expect_raises_on_type_violation(self, cluster):
+        sim, comms = cluster
+
+        def sender(sim):
+            yield comms[0].send(1, 12345)
+
+        def receiver(sim):
+            yield from comms[1].recv_expect(0, str)
+
+        sim.process(sender(sim))
+        p = sim.process(receiver(sim))
+        with pytest.raises(ProtocolError, match="expected str"):
+            sim.run(until=p)
+
+
+class TestCollectives:
+    def test_bcast_in_order(self, cluster):
+        sim, comms = cluster
+        arrival = []
+
+        def root(sim):
+            yield from comms[0].bcast([1, 2, 3], "payload")
+
+        def member(sim, i):
+            yield comms[i].recv(0)
+            arrival.append((i, sim.now))
+
+        sim.process(root(sim))
+        for i in (1, 2, 3):
+            sim.process(member(sim, i))
+        sim.run(None)
+        order = [i for i, _ in sorted(arrival, key=lambda x: x[1])]
+        assert order == [1, 2, 3]  # serial broadcast
+
+    def test_scatter_delivers_individual_payloads(self, cluster):
+        sim, comms = cluster
+        got = {}
+
+        def root(sim):
+            yield from comms[0].scatter({1: "a", 2: "b"})
+
+        def member(sim, i):
+            got[i] = yield comms[i].recv(0)
+
+        sim.process(root(sim))
+        sim.process(member(sim, 1))
+        sim.process(member(sim, 2))
+        sim.run(None)
+        assert got == {1: "a", 2: "b"}
+
+    def test_gather_returns_by_source(self, cluster):
+        sim, comms = cluster
+        result = {}
+
+        def root(sim):
+            out = yield from comms[0].gather([1, 2])
+            result.update(out)
+
+        def member(sim, i):
+            yield comms[i].send(0, i * 100)
+
+        sim.process(root(sim))
+        sim.process(member(sim, 1))
+        sim.process(member(sim, 2))
+        sim.run(None)
+        assert result == {1: 100, 2: 200}
+
+    def test_barrier_synchronizes(self, cluster):
+        sim, comms = cluster
+        release_times = []
+
+        def root(sim):
+            yield from comms[0].barrier_root([1, 2], token="go")
+
+        def member(sim, i, delay):
+            yield sim.timeout(delay)
+            yield from comms[i].barrier_member(0, token="ready")
+            release_times.append(sim.now)
+
+        sim.process(root(sim))
+        sim.process(member(sim, 1, 1.0))
+        sim.process(member(sim, 2, 8.0))
+        sim.run(None)
+        # Both released only after the slowest member arrived.
+        assert min(release_times) >= 8.0

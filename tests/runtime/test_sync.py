@@ -1,0 +1,126 @@
+"""Backend-agnostic sync primitives on the simulated backend."""
+
+import pytest
+
+from repro.runtime.sim import SimRuntime
+from repro.simul.kernel import Simulator
+
+
+@pytest.fixture
+def rt(sim):
+    return SimRuntime(sim)
+
+
+class TestSimLock:
+    def test_mutual_exclusion(self, sim, rt):
+        lock = rt.make_lock("m")
+        timeline = []
+
+        def worker(name, hold):
+            yield lock.acquire()
+            timeline.append((name, "in", sim.now))
+            yield rt.sleep(hold)
+            timeline.append((name, "out", sim.now))
+            lock.release()
+
+        rt.spawn(worker("a", 3.0))
+        rt.spawn(worker("b", 1.0))
+        sim.run(None)
+        assert timeline == [
+            ("a", "in", 0.0),
+            ("a", "out", 3.0),
+            ("b", "in", 3.0),
+            ("b", "out", 4.0),
+        ]
+
+    def test_fifo_granting(self, sim, rt):
+        lock = rt.make_lock()
+        order = []
+
+        def worker(name):
+            yield lock.acquire()
+            order.append(name)
+            yield rt.sleep(1.0)
+            lock.release()
+
+        for name in "abc":
+            rt.spawn(worker(name))
+        sim.run(None)
+        assert order == ["a", "b", "c"]
+
+
+class TestSimQueue:
+    def test_fifo_handoff(self, sim, rt):
+        queue = rt.make_queue("q")
+        got = []
+
+        def producer():
+            for i in range(3):
+                yield queue.put(i)
+                yield rt.sleep(1.0)
+
+        def consumer():
+            for _ in range(3):
+                item = yield queue.get()
+                got.append((item, sim.now))
+
+        rt.spawn(producer())
+        rt.spawn(consumer())
+        sim.run(None)
+        assert [i for i, _ in got] == [0, 1, 2]
+
+    def test_get_blocks_until_put(self, sim, rt):
+        queue = rt.make_queue()
+        got = []
+
+        def consumer():
+            got.append((yield queue.get()))
+
+        def late_producer():
+            yield rt.sleep(5.0)
+            yield queue.put("x")
+
+        rt.spawn(consumer())
+        rt.spawn(late_producer())
+        sim.run(None)
+        assert got == ["x"]
+        assert sim.now == 5.0
+
+    def test_len(self, sim, rt):
+        queue = rt.make_queue()
+
+        def producer():
+            yield queue.put(1)
+            yield queue.put(2)
+
+        rt.spawn(producer())
+        sim.run(None)
+        assert len(queue) == 2
+
+
+class TestSimRuntimeClock:
+    def test_sleep_until_past_is_immediate(self, sim, rt):
+        def proc():
+            yield rt.sleep(5.0)
+            yield rt.sleep_until(1.0)  # already past
+            return sim.now
+
+        p = rt.spawn(proc())
+        assert sim.run(until=p) == 5.0
+
+    def test_cpu_advances_clock(self, sim, rt):
+        def proc():
+            yield rt.cpu(2.5)
+            return rt.now()
+
+        p = rt.spawn(proc())
+        assert sim.run(until=p) == 2.5
+
+    def test_negative_durations_clamped(self, sim, rt):
+        def proc():
+            yield rt.sleep(-1.0)
+            yield rt.cpu(-1.0)
+            return rt.now()
+
+        p = rt.spawn(proc())
+        assert sim.run(until=p) == 0.0

@@ -1,0 +1,97 @@
+"""Event lifecycle, failure propagation and condition events."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simul.events import AllOf, AnyOf
+
+
+class TestEventLifecycle:
+    def test_pending_until_triggered(self, sim):
+        event = sim.event()
+        assert not event.triggered
+        assert not event.processed
+
+    def test_value_before_trigger_raises(self, sim):
+        with pytest.raises(SimulationError):
+            sim.event().value
+
+    def test_succeed_carries_value(self, sim):
+        event = sim.event()
+        event.succeed(42)
+        assert event.triggered
+        assert event.value == 42
+
+    def test_double_trigger_raises(self, sim):
+        event = sim.event()
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_fail_requires_exception(self, sim):
+        with pytest.raises(TypeError):
+            sim.event().fail("not an exception")
+
+    def test_callback_after_processed_runs_immediately(self, sim):
+        event = sim.event()
+        event.succeed("x")
+        sim.run(None)
+        got = []
+        event.add_callback(lambda ev: got.append(ev.value))
+        assert got == ["x"]
+
+    def test_delayed_succeed(self, sim):
+        event = sim.event()
+        event.succeed("later", delay=5.0)
+        times = []
+        event.add_callback(lambda ev: times.append(sim.now))
+        sim.run(None)
+        assert times == [5.0]
+
+    def test_negative_timeout_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.timeout(-1.0)
+
+
+class TestConditions:
+    def test_any_of_fires_on_first(self, sim):
+        fast, slow = sim.timeout(1.0, "fast"), sim.timeout(5.0, "slow")
+        any_ev = AnyOf(sim, [fast, slow])
+        fired_at = []
+        any_ev.add_callback(lambda ev: fired_at.append(sim.now))
+        sim.run(None)
+        assert fired_at == [1.0]
+
+    def test_any_of_value_maps_fired_events(self, sim):
+        fast, slow = sim.timeout(1.0, "fast"), sim.timeout(5.0, "slow")
+        any_ev = AnyOf(sim, [fast, slow])
+        sim.run(until=any_ev)
+        assert any_ev.value == {fast: "fast"}
+
+    def test_all_of_waits_for_all(self, sim):
+        events = [sim.timeout(d) for d in (1.0, 2.0, 3.0)]
+        all_ev = AllOf(sim, events)
+        fired_at = []
+        all_ev.add_callback(lambda ev: fired_at.append(sim.now))
+        sim.run(None)
+        assert fired_at == [3.0]
+
+    def test_empty_condition_fires_immediately(self, sim):
+        all_ev = AllOf(sim, [])
+        assert all_ev.triggered
+
+    def test_condition_propagates_failure(self, sim):
+        bad = sim.event()
+        cond = AllOf(sim, [bad, sim.timeout(1.0)])
+        bad.fail(ValueError("nope"))
+        sim.run(None)
+        assert cond.triggered
+        assert not cond.ok
+        assert isinstance(cond.value, ValueError)
+
+    def test_mixed_simulators_rejected(self, sim):
+        from repro.simul.kernel import Simulator
+
+        other = Simulator()
+        with pytest.raises(SimulationError):
+            AnyOf(sim, [sim.timeout(1.0), other.timeout(1.0)])

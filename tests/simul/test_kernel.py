@@ -1,0 +1,106 @@
+"""The discrete-event kernel: ordering, clocks, run() modes."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.simul.kernel import Simulator
+
+
+class TestClock:
+    def test_starts_at_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_custom_start(self):
+        assert Simulator(start_time=5.0).now == 5.0
+
+    def test_timeout_advances_clock(self, sim):
+        sim.timeout(3.0)
+        sim.run(None)
+        assert sim.now == 3.0
+
+    def test_run_until_number_advances_even_without_events(self, sim):
+        sim.run(until=7.5)
+        assert sim.now == 7.5
+
+    def test_run_until_past_raises(self, sim):
+        sim.run(until=5.0)
+        with pytest.raises(SimulationError):
+            sim.run(until=1.0)
+
+
+class TestOrdering:
+    def test_timeouts_fire_in_time_order(self, sim):
+        order = []
+        for delay in (3.0, 1.0, 2.0):
+            sim.timeout(delay).add_callback(
+                lambda ev, d=delay: order.append(d)
+            )
+        sim.run(None)
+        assert order == [1.0, 2.0, 3.0]
+
+    def test_fifo_among_simultaneous_events(self, sim):
+        order = []
+        for tag in range(5):
+            sim.timeout(1.0).add_callback(lambda ev, t=tag: order.append(t))
+        sim.run(None)
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_peek(self, sim):
+        assert sim.peek() == float("inf")
+        sim.timeout(2.0)
+        assert sim.peek() == 2.0
+
+    def test_step_on_empty_queue_raises(self, sim):
+        with pytest.raises(SimulationError):
+            sim.step()
+
+
+class TestRunUntilEvent:
+    def test_returns_event_value(self, sim):
+        def proc(sim):
+            yield sim.timeout(1.0)
+            return "done"
+
+        result = sim.run(until=sim.process(proc(sim)))
+        assert result == "done"
+
+    def test_raises_on_failed_event(self, sim):
+        event = sim.event()
+        event.fail(RuntimeError("boom"))
+        with pytest.raises(RuntimeError, match="boom"):
+            sim.run(until=event)
+
+    def test_deadlock_detection(self, sim):
+        def blocked(sim):
+            yield sim.event()  # never triggered
+
+        process = sim.process(blocked(sim))
+        with pytest.raises(DeadlockError):
+            sim.run(until=process)
+
+    def test_run_until_number_leaves_future_events_queued(self, sim):
+        fired = []
+        sim.timeout(10.0).add_callback(lambda ev: fired.append(1))
+        sim.run(until=5.0)
+        assert not fired
+        sim.run(None)
+        assert fired
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_traces(self):
+        def trace_run():
+            sim = Simulator()
+            log = []
+
+            def worker(sim, name, period):
+                while sim.now < 10.0:
+                    yield sim.timeout(period)
+                    log.append((round(sim.now, 9), name))
+
+            sim.process(worker(sim, "a", 0.7))
+            sim.process(worker(sim, "b", 1.1))
+            sim.run(None)
+            return log
+
+        assert trace_run() == trace_run()

@@ -1,0 +1,143 @@
+"""Cooperative processes: values, exceptions, kill semantics."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simul.process import Process, ProcessKilled
+
+
+class TestProcessBasics:
+    def test_return_value_is_event_value(self, sim):
+        def proc(sim):
+            yield sim.timeout(1.0)
+            return 123
+
+        assert sim.run(until=sim.process(proc(sim))) == 123
+
+    def test_requires_generator(self, sim):
+        with pytest.raises(SimulationError):
+            Process(sim, lambda: None)  # type: ignore[arg-type]
+
+    def test_is_alive_transitions(self, sim):
+        def proc(sim):
+            yield sim.timeout(1.0)
+
+        p = sim.process(proc(sim))
+        assert p.is_alive
+        sim.run(None)
+        assert not p.is_alive
+
+    def test_yield_non_event_raises(self, sim):
+        def bad(sim):
+            yield 42
+
+        sim.process(bad(sim))
+        with pytest.raises(SimulationError, match="expected an Event"):
+            sim.run(None)
+
+    def test_processes_can_wait_on_each_other(self, sim):
+        def producer(sim):
+            yield sim.timeout(2.0)
+            return "payload"
+
+        def consumer(sim, prod):
+            value = yield prod
+            return value.upper()
+
+        prod = sim.process(producer(sim))
+        cons = sim.process(consumer(sim, prod))
+        assert sim.run(until=cons) == "PAYLOAD"
+
+
+class TestExceptions:
+    def test_unwaited_crash_surfaces(self, sim):
+        def boom(sim):
+            yield sim.timeout(1.0)
+            raise RuntimeError("crash")
+
+        sim.process(boom(sim))
+        with pytest.raises(RuntimeError, match="crash"):
+            sim.run(None)
+
+    def test_waited_crash_propagates_to_waiter(self, sim):
+        def boom(sim):
+            yield sim.timeout(1.0)
+            raise RuntimeError("crash")
+
+        def waiter(sim, target):
+            try:
+                yield target
+            except RuntimeError as e:
+                return f"caught {e}"
+
+        target = sim.process(boom(sim))
+        waiter_p = sim.process(waiter(sim, target))
+        assert sim.run(until=waiter_p) == "caught crash"
+
+    def test_failed_event_thrown_into_process(self, sim):
+        event = sim.event()
+
+        def proc(sim, ev):
+            try:
+                yield ev
+            except ValueError:
+                return "handled"
+
+        p = sim.process(proc(sim, event))
+        event.fail(ValueError("x"))
+        assert sim.run(until=p) == "handled"
+
+
+class TestKill:
+    def test_kill_terminates(self, sim):
+        def forever(sim):
+            while True:
+                yield sim.timeout(1.0)
+
+        p = sim.process(forever(sim))
+        sim.run(until=5.0)
+        p.kill("enough")
+        sim.run(None)
+        assert not p.is_alive
+        assert isinstance(p.value, ProcessKilled)
+
+    def test_kill_after_finish_is_noop(self, sim):
+        def quick(sim):
+            yield sim.timeout(1.0)
+            return "ok"
+
+        p = sim.process(quick(sim))
+        sim.run(None)
+        p.kill()
+        assert p.value == "ok"
+
+    def test_killed_process_ignores_pending_event(self, sim):
+        """An event the process was waiting on must not resurrect it."""
+
+        def waiter(sim, ev):
+            yield ev
+
+        event = sim.timeout(10.0)
+        p = sim.process(waiter(sim, event))
+        sim.run(until=1.0)
+        p.kill()
+        sim.run(None)  # the timeout fires at t=10; process stays dead
+        assert not p.is_alive
+
+    def test_kill_can_be_caught_for_cleanup(self, sim):
+        cleaned = []
+
+        def robust(sim):
+            try:
+                while True:
+                    yield sim.timeout(1.0)
+            except ProcessKilled:
+                cleaned.append(True)
+                return "cleaned up"
+
+        p = sim.process(robust(sim))
+        sim.run(until=2.5)
+        p.kill()
+        sim.run(None)
+        assert cleaned == [True]
+        assert p.value == "cleaned up"

@@ -1,0 +1,73 @@
+"""The naive-join oracle itself, cross-checked against brute force."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.tuples import TupleBatch
+from repro.reference import naive_window_join
+from tests.conftest import brute_force_pairs
+
+
+def build_batch(rows):
+    """rows: list of (ts, key, stream)."""
+    if not rows:
+        return TupleBatch.empty()
+    per_stream_seq = {0: 0, 1: 0}
+    ts, key, seq, stream = [], [], [], []
+    for t, k, s in rows:
+        ts.append(t)
+        key.append(k)
+        stream.append(s)
+        seq.append(per_stream_seq[s])
+        per_stream_seq[s] += 1
+    return TupleBatch.build(ts=ts, key=key, seq=seq, stream=stream)
+
+
+class TestNaiveJoin:
+    def test_simple(self):
+        batch = build_batch([(1.0, 5, 0), (2.0, 5, 1)])
+        pairs = naive_window_join(batch, 10.0)
+        assert pairs.tolist() == [[0, 0]]
+
+    def test_window_excludes(self):
+        batch = build_batch([(1.0, 5, 0), (50.0, 5, 1)])
+        assert len(naive_window_join(batch, 10.0)) == 0
+
+    def test_no_same_stream_pairs(self):
+        batch = build_batch([(1.0, 5, 0), (2.0, 5, 0)])
+        assert len(naive_window_join(batch, 10.0)) == 0
+
+    def test_sorted_output(self):
+        batch = build_batch(
+            [(1.0, 5, 0), (1.5, 5, 0), (2.0, 5, 1), (2.5, 5, 1)]
+        )
+        pairs = naive_window_join(batch, 10.0)
+        assert pairs.tolist() == sorted(pairs.tolist())
+
+    def test_empty_stream(self):
+        batch = build_batch([(1.0, 5, 0)])
+        assert len(naive_window_join(batch, 10.0)) == 0
+
+
+@given(
+    rows=st.lists(
+        st.tuples(
+            st.floats(0, 50),
+            st.integers(0, 5),
+            st.integers(0, 1),
+        ),
+        max_size=40,
+    ),
+    window=st.floats(0.1, 80),
+)
+@settings(max_examples=200, deadline=None)
+def test_naive_join_matches_brute_force(rows, window):
+    batch = build_batch(rows)
+    pairs = naive_window_join(batch, window)
+    s0, s1 = batch.by_stream(0), batch.by_stream(1)
+    expected = brute_force_pairs(
+        s0.ts, s0.key, s0.seq, s1.ts, s1.key, s1.seq, window
+    )
+    assert set(map(tuple, pairs.tolist())) == expected
+    assert len(pairs) == len(expected)

@@ -1,0 +1,59 @@
+"""Stream generators: merging, stream ids, sequence numbering."""
+
+import numpy as np
+
+from repro.simul.rng import RngRegistry
+from repro.workload.generator import TwoStreamWorkload
+
+
+def make_workload(rate=500.0, n_streams=2, seed=0):
+    return TwoStreamWorkload.poisson_bmodel(
+        RngRegistry(seed), rate, 0.7, 10_000_001, n_streams=n_streams
+    )
+
+
+class TestTwoStreamWorkload:
+    def test_merged_batch_sorted_by_ts(self):
+        batch = make_workload().generate(0.0, 10.0)
+        assert np.all(np.diff(batch.ts) >= 0)
+
+    def test_both_streams_present(self):
+        batch = make_workload().generate(0.0, 10.0)
+        assert set(np.unique(batch.stream)) == {0, 1}
+
+    def test_sequences_are_per_stream_and_contiguous(self):
+        wl = make_workload()
+        first = wl.generate(0.0, 5.0)
+        second = wl.generate(5.0, 10.0)
+        for sid in (0, 1):
+            seqs = np.concatenate(
+                [first.by_stream(sid).seq, second.by_stream(sid).seq]
+            )
+            assert np.array_equal(np.sort(seqs), np.arange(len(seqs)))
+
+    def test_tuples_generated_counter(self):
+        wl = make_workload()
+        batch = wl.generate(0.0, 10.0)
+        assert wl.tuples_generated == len(batch)
+
+    def test_deterministic_per_seed(self):
+        a = make_workload(seed=3).generate(0.0, 5.0)
+        b = make_workload(seed=3).generate(0.0, 5.0)
+        assert np.array_equal(a.ts, b.ts)
+        assert np.array_equal(a.key, b.key)
+
+    def test_streams_are_independent(self):
+        batch = make_workload().generate(0.0, 20.0)
+        s0, s1 = batch.by_stream(0), batch.by_stream(1)
+        n = min(len(s0), len(s1), 500)
+        assert not np.array_equal(s0.key[:n], s1.key[:n])
+
+    def test_three_streams_supported(self):
+        batch = make_workload(n_streams=3).generate(0.0, 5.0)
+        assert set(np.unique(batch.stream)) == {0, 1, 2}
+
+    def test_needs_two_streams(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            TwoStreamWorkload([])

@@ -1,0 +1,59 @@
+"""Zipf and uniform key generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.workload.uniformkeys import UniformKeys
+from repro.workload.zipf import ZipfKeys
+
+
+class TestZipf:
+    def test_bounds(self):
+        keys = ZipfKeys(1000, 1.2, np.random.default_rng(0)).draw(5000)
+        assert keys.min() >= 0
+        assert keys.max() < 1000
+
+    def test_skew_grows_with_exponent(self):
+        flat = ZipfKeys(10**6, 0.0, np.random.default_rng(0), n_ranks=1000)
+        steep = ZipfKeys(10**6, 2.0, np.random.default_rng(0), n_ranks=1000)
+        assert steep.collision_mass() > 10 * flat.collision_mass()
+
+    def test_permutation_scatters_hot_keys(self):
+        """Hot ranks must not all map to small key values."""
+        keys = ZipfKeys(10**6, 1.5, np.random.default_rng(0)).draw(10_000)
+        values, counts = np.unique(keys, return_counts=True)
+        hottest = values[np.argmax(counts)]
+        assert hottest > 1000  # would be ~1 without the permutation
+
+    def test_empirical_collision_mass(self):
+        model = ZipfKeys(10**9, 1.0, np.random.default_rng(1), n_ranks=100)
+        keys = model.draw(100_000)
+        _, counts = np.unique(keys, return_counts=True)
+        n = len(keys)
+        est = (counts * (counts - 1)).sum() / (n * (n - 1))
+        assert est == pytest.approx(model.collision_mass(), rel=0.05)
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigError):
+            ZipfKeys(0, 1.0, rng)
+        with pytest.raises(ConfigError):
+            ZipfKeys(10, -1.0, rng)
+
+
+class TestUniform:
+    def test_bounds_and_mean(self):
+        keys = UniformKeys(1000, np.random.default_rng(0)).draw(50_000)
+        assert keys.min() >= 0
+        assert keys.max() < 1000
+        assert abs(keys.mean() - 499.5) < 10
+
+    def test_collision_mass(self):
+        assert UniformKeys(1000, np.random.default_rng(0)).collision_mass() == (
+            pytest.approx(1e-3)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            UniformKeys(0, np.random.default_rng(0))
