@@ -68,6 +68,28 @@ def ascii_plot(
     return "\n".join(lines)
 
 
+def plot_run_series(result: t.Any, gauge: str) -> str:
+    """Chart one sampled gauge of a RunResult across all nodes.
+
+    ``result.series`` keys are ``"n<node>.<gauge>"``; every node that
+    recorded *gauge* becomes one series.
+    """
+    if not result.series:
+        return "(no sampled series — run with a sample period)"
+    suffix = f".{gauge}"
+    series = {
+        key: pts
+        for key, pts in result.series.items()
+        if key.endswith(suffix) and pts
+    }
+    if not series:
+        have = sorted({k.split(".", 1)[1] for k in result.series})
+        return f"(no samples for gauge {gauge!r}; available: {have})"
+    return ascii_plot(
+        series, x_label="sim time (s)", y_label=gauge, title=f"gauge: {gauge}"
+    )
+
+
 def plot_experiment(exp: t.Any) -> str:
     """Best-effort chart of an Experiment: the first column is x, the
     numeric columns are y series, and an optional low-cardinality

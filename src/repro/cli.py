@@ -3,6 +3,8 @@
 Examples::
 
     swjoin run --rate 3000 --slaves 4 --scale 0.05
+    swjoin run --scale 0.05 --adaptive --trace trace.jsonl
+    swjoin report trace.jsonl
     swjoin experiment fig07 --scale 0.05
     swjoin experiment all --out EXPERIMENTS.generated.md
     swjoin list
@@ -17,7 +19,7 @@ import typing as t
 
 from repro._version import __version__
 from repro.analysis.experiments import DEFAULT_SCALE, EXPERIMENTS, run_experiment
-from repro.config import SystemConfig
+from repro.config import ObservabilityConfig, SystemConfig
 from repro.core.system import JoinSystem
 
 
@@ -35,6 +37,29 @@ def _add_run_parser(sub: t.Any) -> None:
     p.add_argument("--adaptive", action="store_true",
                    help="enable adaptive degree of declustering")
     p.add_argument("--no-load-balancing", action="store_true")
+    p.add_argument("--trace", metavar="PATH",
+                   help="write a JSONL event trace to PATH")
+    p.add_argument("--trace-transport", action="store_true",
+                   help="also trace per-transfer network spans (verbose)")
+    p.add_argument("--sample-period", type=float, metavar="SECONDS",
+                   help="sample per-node gauges every SECONDS of sim time "
+                        "(default: the distribution epoch when tracing)")
+    p.add_argument("--plot-gauge", metavar="GAUGE",
+                   help="chart one sampled gauge after the run "
+                        "(e.g. occupancy, window_bytes, queue_depth)")
+
+
+def _obs_config(args: argparse.Namespace) -> ObservabilityConfig:
+    sample_period = args.sample_period
+    if sample_period is None and (args.trace or args.plot_gauge):
+        # Traces should carry gauge samples by default; once per
+        # distribution epoch matches the system's own cadence.
+        sample_period = args.dist_epoch
+    return ObservabilityConfig(
+        trace_path=args.trace,
+        trace_transport=args.trace_transport,
+        sample_period=sample_period,
+    )
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -52,12 +77,33 @@ def _cmd_run(args: argparse.Namespace) -> int:
         fine_tuning=not args.no_fine_tuning,
         adaptive_declustering=args.adaptive,
         load_balancing=not args.no_load_balancing,
+        obs=_obs_config(args),
     )
     started = time.perf_counter()
     result = JoinSystem(cfg).run()
     elapsed = time.perf_counter() - started
     print(result.summary())
     print(f"(simulated {cfg.run_seconds:g}s in {elapsed:.1f}s wall)")
+    if args.trace:
+        print(f"trace written to {args.trace} (inspect: swjoin report {args.trace})")
+    if args.plot_gauge:
+        from repro.analysis.plots import plot_run_series
+
+        print()
+        print(plot_run_series(result, args.plot_gauge))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    # Lazy import: the report module pulls in the analysis layer.
+    from repro.obs.report import load_trace, render_report
+
+    try:
+        meta, records = load_trace(args.path)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(render_report(meta, records, top=args.top))
     return 0
 
 
@@ -112,6 +158,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--plot", action="store_true", help="ASCII chart too")
     p.add_argument("--out", help="also write markdown to this file")
 
+    p = sub.add_parser("report", help="summarize a JSONL trace file")
+    p.add_argument("path", help="trace file written by `swjoin run --trace`")
+    p.add_argument("--top", type=int, default=5,
+                   help="how many hot partitions to list")
+
     sub.add_parser("list", help="list available experiments")
     return parser
 
@@ -122,6 +173,8 @@ def main(argv: t.Sequence[str] | None = None) -> int:
         return _cmd_run(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
+    if args.command == "report":
+        return _cmd_report(args)
     if args.command == "list":
         return _cmd_list(args)
     raise AssertionError("unreachable")  # pragma: no cover

@@ -127,6 +127,50 @@ class NetworkConfig:
 
 
 @dataclass(frozen=True)
+class ObservabilityConfig:
+    """Tracing and time-series sampling (``repro.obs``).
+
+    Everything defaults to *off*: the instrumented hot paths then pay a
+    single ``tracer.enabled`` branch and nothing else.
+    """
+
+    #: Write a JSONL trace to this path (``swjoin run --trace``).
+    trace_path: str | None = None
+    #: Keep trace records in memory and thread them into
+    #: :attr:`~repro.core.system.RunResult.trace` (tests, notebooks).
+    trace_memory: bool = False
+    #: Print a per-kind event count summary when the run finishes.
+    console_summary: bool = False
+    #: Include per-message transport spans in the trace.  Opt-in: one
+    #: event per rendezvous transfer is by far the highest-volume kind.
+    trace_transport: bool = False
+    #: Period of the per-node gauge sampler, seconds (None = no
+    #: sampler).  Samples land in bounded decimating reservoirs and in
+    #: the trace (kind ``sample``) when tracing is on.
+    sample_period: float | None = None
+    #: Capacity of each ``(node, gauge)`` reservoir.
+    reservoir_capacity: int = 512
+
+    @property
+    def tracing(self) -> bool:
+        """True when any trace exporter is configured."""
+        return bool(self.trace_path or self.trace_memory or self.console_summary)
+
+    @property
+    def enabled(self) -> bool:
+        return self.tracing or self.sample_period is not None
+
+    def validated(self) -> "ObservabilityConfig":
+        if self.sample_period is not None and self.sample_period <= 0:
+            raise ConfigError("sample_period must be positive (or None)")
+        if self.reservoir_capacity < 2:
+            raise ConfigError("reservoir_capacity must be >= 2")
+        if self.trace_transport and not self.tracing:
+            raise ConfigError("trace_transport requires a trace exporter")
+        return self
+
+
+@dataclass(frozen=True)
 class SystemConfig:
     """Full configuration of a master/slaves/collector join run."""
 
@@ -208,6 +252,8 @@ class SystemConfig:
     # -- substrates --------------------------------------------------------
     network: NetworkConfig = field(default_factory=NetworkConfig)
     cost: CostModelConfig = field(default_factory=CostModelConfig)
+    #: Tracing / time-series sampling; off by default.
+    obs: ObservabilityConfig = field(default_factory=ObservabilityConfig)
 
     # ----------------------------------------------------------------------
     @classmethod
@@ -319,4 +365,5 @@ class SystemConfig:
             raise ConfigError("slave_memory_bytes must hold at least one block")
         self.network.validated()
         self.cost.validated()
+        self.obs.validated()
         return self

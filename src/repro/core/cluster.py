@@ -22,6 +22,9 @@ from repro.core.partition_group import JoinGeometry
 from repro.core.slave import SlaveNode
 from repro.core.subgroups import build_schedules
 from repro.mp.comm import Communicator
+from repro.obs.events import SampleEvent
+from repro.obs.sampler import TimeSeriesSampler
+from repro.obs.tracer import Tracer, build_tracer
 from repro.simul.rng import RngRegistry
 from repro.workload.generator import TwoStreamWorkload
 
@@ -46,6 +49,8 @@ class Cluster(t.NamedTuple):
     buffer: MasterBuffer
     workload: t.Any
     gate: MeasurementWindow
+    tracer: Tracer
+    sampler: TimeSeriesSampler | None
 
     def processes(self) -> list[tuple[str, t.Generator]]:
         """All node generators, named, ready to spawn on a runtime."""
@@ -56,7 +61,52 @@ class Cluster(t.NamedTuple):
                 out.append((f"slave{slave.node_id}.{kind}", gen))
         for i, gen in enumerate(self.collector.processes()):
             out.append((f"collector.recv{i}", gen))
+        if self.sampler is not None:
+            out.append(("sampler", self._sampler_loop()))
         return out
+
+    # -- periodic gauge sampling ----------------------------------------------
+    def _sample_all(self, now: float) -> None:
+        """Record one gauge sample per node (and trace it when on)."""
+        sampler, tracer = self.sampler, self.tracer
+        assert sampler is not None
+        cfg = self.master.cfg
+        for slave in self.slaves:
+            module, metrics = slave.module, slave.metrics
+            gauges = {
+                "occupancy": module.occupancy(cfg.slave_buffer_bytes),
+                "window_bytes": float(module.window_bytes),
+                "pending_bytes": float(module.pending_bytes),
+                "queue_depth": float(len(slave.work_queue)),
+                "cpu_total": metrics.cpu_total,
+                "cpu_probe": metrics.cpu_probe,
+            }
+            for gauge, value in gauges.items():
+                sampler.observe(now, slave.node_id, gauge, value)
+            if tracer.enabled:
+                tracer.emit(
+                    SampleEvent(t=now, node=slave.node_id, gauges=gauges)
+                )
+        master_gauges = {"buffer_bytes": float(self.buffer.total_bytes)}
+        sampler.observe(now, MASTER_ID, "buffer_bytes", self.buffer.total_bytes)
+        if tracer.enabled:
+            tracer.emit(SampleEvent(t=now, node=MASTER_ID, gauges=master_gauges))
+
+    def _sampler_loop(self) -> t.Generator:
+        """Sampling process: reads state, never mutates it, terminates.
+
+        Ticks are offset by half a period so they never coincide with
+        epoch boundaries — sampling must not perturb the ordering of
+        the simulation's own events.
+        """
+        sampler = self.sampler
+        assert sampler is not None
+        rt, cfg = self.master.rt, self.master.cfg
+        tick = sampler.period / 2.0
+        while tick <= cfg.run_seconds + 1e-9:
+            yield rt.sleep_until(tick)
+            self._sample_all(rt.now())
+            tick += sampler.period
 
 
 def geometry_of(cfg: SystemConfig) -> JoinGeometry:
@@ -71,22 +121,46 @@ def geometry_of(cfg: SystemConfig) -> JoinGeometry:
     )
 
 
+def trace_meta(cfg: SystemConfig) -> dict[str, t.Any]:
+    """Config summary stamped into JSONL trace headers."""
+    return {
+        "rate": cfg.rate,
+        "slaves": cfg.num_slaves,
+        "npart": cfg.npart,
+        "window_s": cfg.window_seconds,
+        "run_s": cfg.run_seconds,
+        "scale": cfg.scale,
+        "seed": cfg.seed,
+        "fine_tuning": cfg.fine_tuning,
+        "adaptive": cfg.adaptive_declustering,
+    }
+
+
 def build_cluster(
     cfg: SystemConfig,
     runtime: t.Any,
     transport: t.Any,
     workload: t.Any = None,
     collect_pairs: bool = False,
+    tracer: Tracer | None = None,
 ) -> Cluster:
     """Wire a full cluster on the given runtime/transport backends.
 
     ``transport`` must provide ``endpoint(node_id, stats)``;
     ``runtime`` must satisfy :class:`~repro.runtime.base.Runtime` plus
-    ``make_lock``/``make_queue``.
+    ``make_lock``/``make_queue``.  ``tracer`` overrides the one built
+    from ``cfg.obs`` (the system layer shares it with the transport).
     """
     cfg = cfg.validated()
     gate = MeasurementWindow(cfg.warmup_seconds, cfg.run_seconds)
     rng = RngRegistry(cfg.seed)
+    if tracer is None:
+        tracer = build_tracer(cfg.obs, meta=trace_meta(cfg))
+    sampler = (
+        TimeSeriesSampler(cfg.obs.sample_period, cfg.obs.reservoir_capacity)
+        if cfg.obs.sample_period is not None
+        else None
+    )
     workload = workload or TwoStreamWorkload.poisson_bmodel(
         rng, cfg.rate, cfg.b_skew, cfg.key_domain, n_streams=cfg.n_streams
     )
@@ -106,10 +180,11 @@ def build_cluster(
         Communicator(transport.endpoint(MASTER_ID, master_metrics)),
         buffer,
         workload,
-        DeclusteringController(cfg, rng.get("controller")),
+        DeclusteringController(cfg, rng.get("controller"), tracer=tracer),
         master_metrics,
         slave_ids,
         COLLECTOR_ID,
+        tracer=tracer,
     )
 
     slaves: list[SlaveNode] = []
@@ -124,6 +199,8 @@ def build_cluster(
             metrics,
             collect_pairs=collect_pairs,
             memory_bytes=cfg.slave_memory_bytes,
+            tracer=tracer,
+            now_fn=runtime.now,
         )
         for pid in buffer.pids_of(node_id):
             module.add_partition(pid)
@@ -139,6 +216,7 @@ def build_cluster(
                 COLLECTOR_ID,
                 schedules.get(node_id),
                 active=node_id in active_ids,
+                tracer=tracer,
             )
         )
         slave_metrics.append(metrics)
@@ -161,4 +239,6 @@ def build_cluster(
         buffer,
         workload,
         gate,
+        tracer,
+        sampler,
     )

@@ -28,6 +28,8 @@ import numpy as np
 
 from repro.config import SystemConfig
 from repro.core.protocol import MoveDirective
+from repro.obs.events import ClassifyEvent
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 
 class Classification(t.NamedTuple):
@@ -53,9 +55,15 @@ class ReorgPlan(t.NamedTuple):
 class DeclusteringController:
     """The master's reorganization policy."""
 
-    def __init__(self, cfg: SystemConfig, rng: np.random.Generator) -> None:
+    def __init__(
+        self,
+        cfg: SystemConfig,
+        rng: np.random.Generator,
+        tracer: Tracer = NULL_TRACER,
+    ) -> None:
         self.cfg = cfg
         self.rng = rng
+        self.tracer = tracer
 
     # -- step 1: classification -------------------------------------------
     def classify(self, occupancy: t.Mapping[int, float]) -> Classification:
@@ -76,14 +84,29 @@ class DeclusteringController:
         occupancy: t.Mapping[int, float],
         inactive: t.Sequence[int],
         ownership: t.Mapping[int, t.Sequence[int]],
+        now: float = 0.0,
+        epoch: int = -1,
     ) -> ReorgPlan:
         """Decide moves and degree-of-declustering changes.
 
         ``occupancy`` maps each *active* slave to its reported average
         buffer occupancy; ``ownership`` maps each active slave to the
-        partition ids it currently holds.
+        partition ids it currently holds.  ``now``/``epoch`` only stamp
+        the emitted ``classify`` trace event.
         """
         cls = self.classify(occupancy)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                ClassifyEvent(
+                    t=now,
+                    node=0,
+                    epoch=epoch,
+                    suppliers=cls.suppliers,
+                    consumers=cls.consumers,
+                    neutrals=cls.neutrals,
+                    occupancy={n: float(f) for n, f in sorted(occupancy.items())},
+                )
+            )
         activate: list[int] = []
         deactivate: list[int] = []
 

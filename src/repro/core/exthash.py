@@ -54,10 +54,16 @@ class ExtendibleDirectory(t.Generic[T]):
     """LSB-indexed extendible-hash directory of payload buckets."""
 
     def __init__(
-        self, initial_payload: T, max_global_depth: int = MAX_GLOBAL_DEPTH
+        self,
+        initial_payload: T,
+        max_global_depth: int = MAX_GLOBAL_DEPTH,
+        on_double: t.Callable[[int], None] | None = None,
     ) -> None:
         self.global_depth = 0
         self.max_global_depth = max_global_depth
+        #: Observability hook: called with the new global depth whenever
+        #: the directory doubles (the expensive structural change).
+        self.on_double = on_double
         self.slots: list[Bucket[T]] = [Bucket(0, 0, initial_payload)]
         self._pattern_table: t.Any = None  # numpy cache, see pattern_table()
 
@@ -129,6 +135,8 @@ class ExtendibleDirectory(t.Generic[T]):
             # replicated with the new MSB set.
             self.slots = self.slots + self.slots
             self.global_depth += 1
+            if self.on_double is not None:
+                self.on_double(self.global_depth)
 
         bit = bucket.local_depth
         payload0, payload1 = splitter(bucket.payload, bit)

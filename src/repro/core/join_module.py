@@ -42,6 +42,8 @@ from repro.core.partition_group import (
 from repro.core.protocol import Shipment
 from repro.data.tuples import TupleBatch
 from repro.errors import ProtocolError
+from repro.obs.events import DirectoryEvent, MergeEvent, SplitEvent
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 
 class WorkUnit:
@@ -75,6 +77,8 @@ class JoinModule:
         metrics: SlaveMetrics,
         collect_pairs: bool = False,
         memory_bytes: int | None = None,
+        tracer: Tracer = NULL_TRACER,
+        now_fn: t.Callable[[], float] | None = None,
     ) -> None:
         self.node_id = node_id
         self.geometry = geometry
@@ -85,6 +89,10 @@ class JoinModule:
         #: Window-state memory; the excess over this spills to disk
         #: (None = unlimited, the paper's Section VI-A assumption).
         self.memory_bytes = memory_bytes
+        self.tracer = tracer
+        #: Clock for trace timestamps (the runtime's ``now``); tuning
+        #: runs inside ``WorkUnit.execute`` so this equals ``emit_time``.
+        self._now_fn = now_fn
         self.groups: dict[int, PartitionGroup] = {}
         self._minibuffers: dict[int, deque[TupleBatch]] = {}
         self._pending_bytes = 0
@@ -97,8 +105,15 @@ class JoinModule:
     def add_partition(self, pid: int) -> None:
         if pid in self.groups:
             raise ProtocolError(f"node {self.node_id} already owns partition {pid}")
-        self.groups[pid] = PartitionGroup(pid, self.geometry)
+        on_double = self._directory_doubled if self.tracer.enabled else None
+        self.groups[pid] = PartitionGroup(pid, self.geometry, on_double=on_double)
         self._minibuffers.setdefault(pid, deque())
+
+    def _directory_doubled(self, pid: int, depth: int) -> None:
+        now = self._now_fn() if self._now_fn is not None else 0.0
+        self.tracer.emit(
+            DirectoryEvent(t=now, node=self.node_id, pid=pid, depth=depth)
+        )
 
     def extract_partition(self, pid: int) -> tuple[PartitionGroupState, TupleBatch]:
         """Drain window state + unprocessed buffered tuples of *pid*
@@ -327,8 +342,19 @@ class JoinModule:
                 cost = self.cost_model.tuning_cost(bucket.payload.bytes_used)
 
                 def run(_emit: float, b=bucket, g=group) -> None:
-                    g.split_bucket(b)
+                    moved = g.split_bucket(b)
                     self.metrics.splits += 1
+                    if self.tracer.enabled:
+                        self.tracer.emit(
+                            SplitEvent(
+                                t=_emit,
+                                node=self.node_id,
+                                pid=g.pid,
+                                n_buckets=g.n_mini_groups,
+                                depth=g.directory.global_depth,
+                                bytes=moved,
+                            )
+                        )
 
                 yield WorkUnit("tune", cost, run)
         # One merge round per pass (further merges happen next pass).
@@ -344,7 +370,19 @@ class JoinModule:
             cost = self.cost_model.tuning_cost(combined)
 
             def run(_emit: float, b=bucket, g=group) -> None:
-                if g.try_merge_bucket(b):
+                touched = g.try_merge_bucket(b)
+                if touched:
                     self.metrics.merges += 1
+                    if self.tracer.enabled:
+                        self.tracer.emit(
+                            MergeEvent(
+                                t=_emit,
+                                node=self.node_id,
+                                pid=g.pid,
+                                n_buckets=g.n_mini_groups,
+                                depth=g.directory.global_depth,
+                                bytes=touched,
+                            )
+                        )
 
             yield WorkUnit("tune", cost, run)

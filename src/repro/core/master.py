@@ -35,6 +35,8 @@ from repro.core.protocol import (
 )
 from repro.core.subgroups import build_schedules, groups_in_order
 from repro.mp.comm import Communicator
+from repro.obs.events import DodEvent, EpochEvent, ReorgEvent
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 
 class MasterNode:
@@ -51,6 +53,7 @@ class MasterNode:
         metrics: MasterMetrics,
         slave_ids: t.Sequence[int],
         collector_id: int,
+        tracer: Tracer = NULL_TRACER,
     ) -> None:
         self.cfg = cfg
         self.rt = runtime
@@ -59,6 +62,7 @@ class MasterNode:
         self.workload = workload
         self.controller = controller
         self.metrics = metrics
+        self.tracer = tracer
         self.all_slaves = sorted(slave_ids)
         self.collector_id = collector_id
         self.active = self.all_slaves[: cfg.n_active_initial]
@@ -80,10 +84,35 @@ class MasterNode:
 
     def run(self) -> t.Generator:
         """The master's main loop (a node generator)."""
-        cfg = self.cfg
+        cfg, tracer = self.cfg, self.tracer
+        if tracer.enabled:
+            # Record the initial degree of declustering so every trace
+            # carries the DoD baseline even when it never changes.
+            tracer.emit(
+                DodEvent(
+                    t=self.rt.now(),
+                    node=self.comm.node_id,
+                    epoch=-1,
+                    n_active=len(self.active),
+                    activated=(),
+                    deactivated=(),
+                )
+            )
         k = 0
         while (k + 2) * cfg.dist_epoch <= cfg.run_seconds + 1e-9:
-            if self._is_reorg_epoch(k):
+            reorg = self._is_reorg_epoch(k)
+            if tracer.enabled:
+                tracer.emit(
+                    EpochEvent(
+                        t=(k + 1) * cfg.dist_epoch,
+                        node=self.comm.node_id,
+                        epoch=k,
+                        phase="reorg" if reorg else "dist",
+                        active=len(self.active),
+                        buffered_bytes=self.buffer.total_bytes,
+                    )
+                )
+            if reorg:
                 yield from self._reorg_round(k)
             else:
                 yield from self._distribution_round(k)
@@ -134,11 +163,27 @@ class MasterNode:
             s: self.latest_reports[s].avg_occupancy for s in actives
         }
         ownership = {s: self.buffer.pids_of(s) for s in actives}
-        plan = self.controller.plan(occupancy, self.inactive, ownership)
+        plan = self.controller.plan(
+            occupancy, self.inactive, ownership, now=rt.now(), epoch=k
+        )
         cls = plan.classification
         self.metrics.supplier_counts.append(
             (rt.now(), len(cls.suppliers), len(cls.consumers), len(cls.neutrals))
         )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                ReorgEvent(
+                    t=rt.now(),
+                    node=self.comm.node_id,
+                    epoch=k,
+                    suppliers=cls.suppliers,
+                    consumers=cls.consumers,
+                    neutrals=cls.neutrals,
+                    moves=tuple((m.pid, m.src, m.dst) for m in plan.moves),
+                    activate=plan.activate,
+                    deactivate=plan.deactivate,
+                )
+            )
 
         new_active = sorted(
             (set(actives) | set(plan.activate)) - set(plan.deactivate)
@@ -187,6 +232,17 @@ class MasterNode:
 
         if len(new_active) != len(actives):
             self.metrics.dod_changes.append((rt.now(), len(new_active)))
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    DodEvent(
+                        t=rt.now(),
+                        node=self.comm.node_id,
+                        epoch=k,
+                        n_active=len(new_active),
+                        activated=plan.activate,
+                        deactivated=plan.deactivate,
+                    )
+                )
         self.active = new_active
         self.inactive = sorted(set(self.all_slaves) - set(new_active))
         self.schedules = schedules

@@ -21,8 +21,15 @@ import typing as t
 
 import numpy as np
 
+from repro.obs.sampler import Reservoir
+
 #: Log-spaced delay histogram edges, seconds (1 ms .. ~17 min).
 DELAY_BIN_EDGES: np.ndarray = np.logspace(-3, 3, 61)
+
+#: Bound on the per-slave occupancy sample reservoir.  Occupancy is
+#: sampled once per distribution epoch for the whole run (not gated),
+#: so without a bound a long run grows this without limit.
+OCCUPANCY_RESERVOIR_CAPACITY = 512
 
 
 class MeasurementWindow:
@@ -78,14 +85,32 @@ class DelayStats:
         return self.total / self.count if self.count else 0.0
 
     def percentile(self, q: float) -> float:
-        """Approximate percentile from the log-spaced histogram."""
+        """Approximate percentile from the log-spaced histogram.
+
+        Interpolates linearly within the bin the *q*-th sample falls
+        into; ``q >= 100`` returns the exact observed maximum.  The
+        result is clamped to the observed ``[minimum, maximum]`` so the
+        histogram's fixed edges never widen the reported range.
+        """
         if self.count == 0:
             return 0.0
-        target = q / 100.0 * self.count
+        if q >= 100.0:
+            return self.maximum
+        target = max(q, 0.0) / 100.0 * self.count
         cum = np.cumsum(self.histogram)
         idx = int(np.searchsorted(cum, target, side="left"))
-        idx = min(idx, len(DELAY_BIN_EDGES) - 1)
-        return float(DELAY_BIN_EDGES[idx])
+        idx = min(idx, len(self.histogram) - 1)
+        below = float(cum[idx - 1]) if idx > 0 else 0.0
+        in_bin = float(cum[idx]) - below
+        frac = (target - below) / in_bin if in_bin > 0 else 0.0
+        lo = float(DELAY_BIN_EDGES[idx - 1]) if idx > 0 else 0.0
+        hi = (
+            float(DELAY_BIN_EDGES[idx])
+            if idx < len(DELAY_BIN_EDGES)
+            else self.maximum
+        )
+        value = lo + frac * (hi - lo)
+        return float(min(max(value, self.minimum), self.maximum))
 
     def snapshot(self) -> dict[str, float]:
         return {
@@ -121,7 +146,7 @@ class SlaveMetrics:
         self.messages = 0
         # Window / buffer accounting.
         self.max_window_bytes = 0
-        self.occupancy_samples: list[tuple[float, float]] = []
+        self.occupancy_samples = Reservoir(OCCUPANCY_RESERVOIR_CAPACITY)
         self.tuples_processed = 0
         self.outputs_emitted = 0
         self.splits = 0
@@ -191,8 +216,9 @@ class SlaveMetrics:
 
     def sample_occupancy(self, now: float, occupancy: float) -> None:
         # Occupancy drives the load balancer at all times; samples are
-        # kept unconditionally, tagged with their timestamp.
-        self.occupancy_samples.append((now, occupancy))
+        # kept unconditionally (no gate), but in a bounded decimating
+        # reservoir so arbitrarily long runs stay O(1) in memory.
+        self.occupancy_samples.add(now, occupancy)
 
     def snapshot(self) -> dict[str, t.Any]:
         return {

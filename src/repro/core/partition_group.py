@@ -204,12 +204,23 @@ class PartitionGroupState(t.NamedTuple):
 class PartitionGroup:
     """One hash partition's window data, fine-tuned into mini-groups."""
 
-    def __init__(self, pid: int, geometry: JoinGeometry) -> None:
+    def __init__(
+        self,
+        pid: int,
+        geometry: JoinGeometry,
+        on_double: t.Callable[[int, int], None] | None = None,
+    ) -> None:
         self.pid = int(pid)
         self.geometry = geometry
-        self.directory: ExtendibleDirectory[MiniGroup] = ExtendibleDirectory(
-            MiniGroup(geometry)
-        )
+        #: Observability hook: ``on_double(pid, new_global_depth)``.
+        self._on_double = on_double
+        self.directory: ExtendibleDirectory[MiniGroup] = self._new_directory()
+
+    def _new_directory(self) -> ExtendibleDirectory[MiniGroup]:
+        hook = None
+        if self._on_double is not None:
+            hook = lambda depth: self._on_double(self.pid, depth)  # noqa: E731
+        return ExtendibleDirectory(MiniGroup(self.geometry), on_double=hook)
 
     # -- sizes --------------------------------------------------------------
     @property
@@ -298,7 +309,7 @@ class PartitionGroup:
                 GroupState(bucket.pattern, bucket.local_depth, streams)
             )
         # Reset to a pristine directory.
-        self.directory = ExtendibleDirectory(MiniGroup(self.geometry))
+        self.directory = self._new_directory()
         return PartitionGroupState(self.pid, global_depth, tuple(groups))
 
     def install_state(self, state: PartitionGroupState) -> None:
@@ -323,4 +334,8 @@ class PartitionGroup:
                 window.install_committed(committed)
                 if len(fresh):
                     window.append_fresh(fresh.ts, fresh.key, fresh.seq)
+        # Attach the observability hook only after the rebuild: replayed
+        # doublings are structure restoration, not new tuning activity.
+        if self._on_double is not None:
+            directory.on_double = lambda depth: self._on_double(self.pid, depth)
         self.directory = directory

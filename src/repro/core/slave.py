@@ -41,6 +41,8 @@ from repro.core.protocol import (
 )
 from repro.core.subgroups import SlotSchedule
 from repro.mp.comm import Communicator
+from repro.obs.events import DrainEvent, StateMoveEvent
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 #: Sentinel waking the join loop for shutdown.
 HALT_TOKEN = object()
@@ -65,6 +67,7 @@ class SlaveNode:
         collector_id: int,
         schedule: SlotSchedule | None,
         active: bool,
+        tracer: Tracer = NULL_TRACER,
     ) -> None:
         self.node_id = node_id
         self.cfg = cfg
@@ -72,6 +75,7 @@ class SlaveNode:
         self.comm = comm
         self.module = module
         self.metrics = metrics
+        self.tracer = tracer
         self.master_id = master_id
         self.collector_id = collector_id
         self.schedule = schedule
@@ -121,6 +125,15 @@ class SlaveNode:
                 # so draining continues after state moves had a chance
                 # to take the lock.
                 yield self.work_queue.put(WAKE_TOKEN)
+            elif self.tracer.enabled:
+                self.tracer.emit(
+                    DrainEvent(
+                        t=rt.now(),
+                        node=self.node_id,
+                        epoch=self.epoch,
+                        window_bytes=self.module.window_bytes,
+                    )
+                )
 
     # -- comm loop ---------------------------------------------------------
     def comm_loop(self) -> t.Generator:
@@ -198,16 +211,19 @@ class SlaveNode:
             self.lock.release()
             nbytes = (state.n_tuples + len(buffered)) * tuple_bytes
             t0 = rt.now()
+            self._trace_move("begin", "supplier", mv.pid, mv.dst, nbytes, t0)
             yield rt.cpu(self.cost_model.state_move_cost(nbytes))
             metrics.charge_cpu("state_move", t0, rt.now())
             metrics.state_bytes_moved += nbytes
             yield comm.send(mv.dst, StateTransfer(mv.pid, state, buffered))
+            self._trace_move("end", "supplier", mv.pid, mv.dst, nbytes, rt.now())
 
         # Consumer role: receive and install.
         for mv in order.incoming:
             transfer = yield from comm.recv_expect(mv.src, StateTransfer)
             nbytes = (transfer.state.n_tuples + len(transfer.buffered)) * tuple_bytes
             t0 = rt.now()
+            self._trace_move("begin", "consumer", mv.pid, mv.src, nbytes, t0)
             yield rt.cpu(self.cost_model.state_move_cost(nbytes))
             metrics.charge_cpu("state_move", t0, rt.now())
             metrics.state_bytes_moved += nbytes
@@ -216,6 +232,7 @@ class SlaveNode:
                 transfer.pid, transfer.state, transfer.buffered
             )
             self.lock.release()
+            self._trace_move("end", "consumer", mv.pid, mv.src, nbytes, rt.now())
             # The moved buffer may contain work; wake the join loop.
             yield self.work_queue.put(WAKE_TOKEN)
 
@@ -233,6 +250,22 @@ class SlaveNode:
             return True
         yield from self._accept_shipment(msg)
         return False
+
+    def _trace_move(
+        self, phase: str, role: str, pid: int, peer: int, nbytes: int, when: float
+    ) -> None:
+        if self.tracer.enabled:
+            self.tracer.emit(
+                StateMoveEvent(
+                    t=when,
+                    node=self.node_id,
+                    phase=phase,
+                    role=role,
+                    pid=pid,
+                    peer=peer,
+                    nbytes=nbytes,
+                )
+            )
 
     # -- reporting ------------------------------------------------------------
     def _sample_occupancy(self) -> None:

@@ -20,10 +20,12 @@ from repro.core.cluster import (
     Cluster,
     build_cluster,
     slave_node_id,
+    trace_meta,
 )
 from repro.core.metrics import DelayStats
 from repro.errors import DeadlockError
 from repro.net.sim_transport import SimTransport
+from repro.obs.tracer import NULL_TRACER, build_tracer
 from repro.runtime.sim import SimRuntime
 from repro.simul.kernel import Simulator
 
@@ -58,6 +60,11 @@ class RunResult:
     tuples_generated: int
     #: Join output pairs (only in collect_pairs mode).
     pairs: np.ndarray | None = None
+    #: Trace records (only with ``obs.trace_memory``).
+    trace: list[dict[str, t.Any]] | None = None
+    #: Sampled gauge series ``{"n<node>.<gauge>": [(t, v), ...]}``
+    #: (only with ``obs.sample_period``).
+    series: dict[str, list[tuple[float, float]]] | None = None
 
     # -- headline metrics -------------------------------------------------
     @property
@@ -169,13 +176,21 @@ class JoinSystem:
         cfg = self.cfg
         sim = Simulator()
         runtime = SimRuntime(sim)
-        transport = SimTransport(sim, cfg.network, cfg.tuple_bytes)
+        tracer = build_tracer(cfg.obs, meta=trace_meta(cfg))
+        transport = SimTransport(
+            sim,
+            cfg.network,
+            cfg.tuple_bytes,
+            # Transport spans are high-volume; opt in separately.
+            tracer=tracer if cfg.obs.trace_transport else NULL_TRACER,
+        )
         cluster = build_cluster(
             cfg,
             runtime,
             transport,
             workload=self._workload_override,
             collect_pairs=self.collect_pairs,
+            tracer=tracer,
         )
 
         processes = [
@@ -222,6 +237,12 @@ def collect_result(
         "supplier_counts": master_metrics.supplier_counts,
     }
 
+    trace = cluster.tracer.memory_records()
+    series = (
+        cluster.sampler.series_dict() if cluster.sampler is not None else None
+    )
+    cluster.tracer.close()
+
     workload = cluster.workload
     return RunResult(
         cfg=cfg,
@@ -236,4 +257,6 @@ def collect_result(
         if hasattr(workload, "tuples_generated")
         else master_metrics.tuples_ingested,
         pairs=pairs,
+        trace=trace,
+        series=series,
     )

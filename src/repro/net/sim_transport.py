@@ -19,6 +19,8 @@ import typing as t
 from collections import deque
 
 from repro.config import NetworkConfig
+from repro.obs.events import TransportEvent
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.simul.events import Event
 from repro.simul.kernel import Simulator
 
@@ -39,6 +41,9 @@ class _Pending(t.NamedTuple):
     posted_at: float
     stats: CommStats | None
     message: t.Any  # None for receivers
+    #: Channel endpoints (trace spans only; -1 on receiver entries).
+    src: int = -1
+    dst: int = -1
 
 
 class _Pair:
@@ -53,11 +58,18 @@ class SimTransport:
     """All channels of one simulated cluster."""
 
     def __init__(
-        self, sim: Simulator, network: NetworkConfig, tuple_bytes: int
+        self,
+        sim: Simulator,
+        network: NetworkConfig,
+        tuple_bytes: int,
+        tracer: Tracer = NULL_TRACER,
     ) -> None:
         self.sim = sim
         self.network = network.validated()
         self.tuple_bytes = tuple_bytes
+        #: Span tracer for per-transfer events (high volume; the system
+        #: layer only wires a live tracer when ``obs.trace_transport``).
+        self.tracer = tracer
         self._pairs: dict[tuple[int, int], _Pair] = {}
         #: Total transfers completed (diagnostics).
         self.n_transfers = 0
@@ -79,7 +91,7 @@ class SimTransport:
     ) -> Event:
         event = self.sim.event(name=f"send:{src}->{dst}")
         pair = self._pair(src, dst)
-        pair.senders.append(_Pending(event, self.sim.now, stats, message))
+        pair.senders.append(_Pending(event, self.sim.now, stats, message, src, dst))
         self._try_match(pair)
         return event
 
@@ -111,6 +123,17 @@ class SimTransport:
             recv.stats.record_comm(now, done, nbytes, sent=False)
         self.n_transfers += 1
         self.bytes_moved += nbytes
+        if self.tracer.enabled:
+            self.tracer.emit(
+                TransportEvent(
+                    t=now,
+                    node=send.src,
+                    dst=send.dst,
+                    msg=type(send.message).__name__,
+                    nbytes=nbytes,
+                    duration=duration,
+                )
+            )
         send.event.succeed(None, delay=duration)
         recv.event.succeed(send.message, delay=duration)
 

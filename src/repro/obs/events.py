@@ -1,0 +1,218 @@
+"""Typed trace events (the structured-tracing vocabulary).
+
+Every event carries the simulated timestamp ``t`` at which it happened
+and the ``node`` id it happened on (``0`` is the master, ``1`` the
+collector, slaves start at ``2``).  Events serialize to flat JSON
+records via :meth:`TraceEvent.to_record`; the ``kind`` discriminator is
+stable and is what `swjoin report` and the exporters key on.
+
+The vocabulary mirrors the paper's per-epoch dynamics (Section VI):
+
+==============  ============================================================
+kind            meaning
+==============  ============================================================
+``epoch``       master enters a distribution/reorganization epoch
+``drain``       a slave's join module emptied its backlog
+``classify``    supplier/consumer/neutral classification with occupancies
+``reorg``       the full reorganization decision (moves, DoD deltas)
+``dod``         the degree of declustering changed (or was initialized)
+``split``       fine tuning split an oversized mini-partition-group
+``merge``       fine tuning merged two buddy mini-partition-groups
+``directory``   an extendible-hash directory doubled (depth grew)
+``state_move``  begin/end of one partition-group state transfer
+``transport``   one rendezvous transfer on the wire (opt-in, high volume)
+``sample``      one periodic gauge sample of a node (time-series layer)
+==============  ============================================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+__all__ = [
+    "TraceEvent",
+    "EpochEvent",
+    "DrainEvent",
+    "ClassifyEvent",
+    "ReorgEvent",
+    "DodEvent",
+    "SplitEvent",
+    "MergeEvent",
+    "DirectoryEvent",
+    "StateMoveEvent",
+    "TransportEvent",
+    "SampleEvent",
+    "EVENT_KINDS",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceEvent:
+    """Base event: simulated time + originating node."""
+
+    kind: t.ClassVar[str] = "event"
+
+    t: float
+    node: int
+
+    def to_record(self) -> dict[str, t.Any]:
+        """Flat, JSON-serializable record (tuples become lists)."""
+        record = {"kind": self.kind}
+        record.update(dataclasses.asdict(self))
+        return record
+
+
+@dataclasses.dataclass(frozen=True)
+class EpochEvent(TraceEvent):
+    """Master enters epoch *epoch* (``phase`` is ``dist``/``reorg``)."""
+
+    kind: t.ClassVar[str] = "epoch"
+
+    epoch: int
+    phase: str
+    active: int
+    buffered_bytes: int
+
+
+@dataclasses.dataclass(frozen=True)
+class DrainEvent(TraceEvent):
+    """A slave's join module finished draining its buffered backlog."""
+
+    kind: t.ClassVar[str] = "drain"
+
+    epoch: int
+    window_bytes: int
+
+
+@dataclasses.dataclass(frozen=True)
+class ClassifyEvent(TraceEvent):
+    """Load classification at a reorganization epoch (Section IV-C)."""
+
+    kind: t.ClassVar[str] = "classify"
+
+    epoch: int
+    suppliers: tuple[int, ...]
+    consumers: tuple[int, ...]
+    neutrals: tuple[int, ...]
+    #: Reported average buffer occupancy per active slave.
+    occupancy: dict[int, float]
+
+
+@dataclasses.dataclass(frozen=True)
+class ReorgEvent(TraceEvent):
+    """The master's full reorganization decision."""
+
+    kind: t.ClassVar[str] = "reorg"
+
+    epoch: int
+    suppliers: tuple[int, ...]
+    consumers: tuple[int, ...]
+    neutrals: tuple[int, ...]
+    #: Ordered state moves as ``(pid, src, dst)`` triples.
+    moves: tuple[tuple[int, int, int], ...]
+    activate: tuple[int, ...]
+    deactivate: tuple[int, ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class DodEvent(TraceEvent):
+    """Degree-of-declustering change (``epoch == -1``: initial value)."""
+
+    kind: t.ClassVar[str] = "dod"
+
+    epoch: int
+    n_active: int
+    activated: tuple[int, ...]
+    deactivated: tuple[int, ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class SplitEvent(TraceEvent):
+    """Fine tuning split an oversized mini-partition-group."""
+
+    kind: t.ClassVar[str] = "split"
+
+    pid: int
+    n_buckets: int
+    depth: int
+    bytes: int
+
+
+@dataclasses.dataclass(frozen=True)
+class MergeEvent(TraceEvent):
+    """Fine tuning merged two undersized buddy mini-groups."""
+
+    kind: t.ClassVar[str] = "merge"
+
+    pid: int
+    n_buckets: int
+    depth: int
+    bytes: int
+
+
+@dataclasses.dataclass(frozen=True)
+class DirectoryEvent(TraceEvent):
+    """An extendible-hash directory doubled (global depth grew)."""
+
+    kind: t.ClassVar[str] = "directory"
+
+    pid: int
+    depth: int
+
+
+@dataclasses.dataclass(frozen=True)
+class StateMoveEvent(TraceEvent):
+    """One side of a partition-group state transfer.
+
+    ``phase`` is ``begin``/``end``; ``role`` is ``supplier`` (extract +
+    send) or ``consumer`` (receive + install); ``peer`` is the node on
+    the other end of the transfer.
+    """
+
+    kind: t.ClassVar[str] = "state_move"
+
+    phase: str
+    role: str
+    pid: int
+    peer: int
+    nbytes: int
+
+
+@dataclasses.dataclass(frozen=True)
+class TransportEvent(TraceEvent):
+    """One completed rendezvous transfer (``node`` is the sender)."""
+
+    kind: t.ClassVar[str] = "transport"
+
+    dst: int
+    msg: str
+    nbytes: int
+    duration: float
+
+
+@dataclasses.dataclass(frozen=True)
+class SampleEvent(TraceEvent):
+    """One periodic gauge sample of a node."""
+
+    kind: t.ClassVar[str] = "sample"
+
+    gauges: dict[str, float]
+
+
+EVENT_KINDS: tuple[str, ...] = tuple(
+    cls.kind
+    for cls in (
+        EpochEvent,
+        DrainEvent,
+        ClassifyEvent,
+        ReorgEvent,
+        DodEvent,
+        SplitEvent,
+        MergeEvent,
+        DirectoryEvent,
+        StateMoveEvent,
+        TransportEvent,
+        SampleEvent,
+    )
+)

@@ -1,0 +1,252 @@
+"""Offline trace analysis: ``swjoin report <trace.jsonl>``.
+
+Reads a JSONL trace produced by :class:`~repro.obs.exporters.JsonlExporter`
+and renders:
+
+* the **epoch timeline** — one row per master epoch with the adaptive
+  activity that happened inside it (classification, state moves,
+  splits/merges, DoD changes);
+* the **top-k hot partitions** — the partition-groups with the most
+  tuning and migration activity;
+* per-node **occupancy summaries** from the periodic gauge samples.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import typing as t
+from collections import Counter, defaultdict
+
+from repro.analysis.tables import format_table
+
+__all__ = ["load_trace", "render_report", "epoch_timeline", "hot_partitions"]
+
+
+def load_trace(
+    path: str,
+) -> tuple[dict[str, t.Any] | None, list[dict[str, t.Any]]]:
+    """Parse a JSONL trace file into ``(meta, records)``.
+
+    The ``meta`` header (first line written by the exporter) is split
+    off; malformed lines raise — a trace is either intact or suspect.
+    """
+    meta: dict[str, t.Any] | None = None
+    records: list[dict[str, t.Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: malformed trace line") from exc
+            if record.get("kind") == "meta":
+                meta = record
+            else:
+                records.append(record)
+    return meta, records
+
+
+def _bucket_by_epoch(
+    records: list[dict[str, t.Any]],
+) -> tuple[list[dict[str, t.Any]], dict[int, list[dict[str, t.Any]]]]:
+    """Split records into epoch markers and per-epoch event buckets.
+
+    Events carrying an explicit ``epoch`` field use it; purely
+    timestamped events (split/merge/state_move/directory) fall into the
+    epoch whose marker precedes them in time.
+    """
+    epochs = sorted(
+        (r for r in records if r["kind"] == "epoch"), key=lambda r: r["t"]
+    )
+    times = [r["t"] for r in epochs]
+    buckets: dict[int, list[dict[str, t.Any]]] = defaultdict(list)
+    for record in records:
+        if record["kind"] in ("epoch", "sample", "transport"):
+            continue
+        epoch = record.get("epoch")
+        if epoch is None:
+            if not epochs:
+                continue
+            idx = max(0, bisect.bisect_right(times, record["t"]) - 1)
+            epoch = epochs[idx]["epoch"]
+        buckets[int(epoch)].append(record)
+    return epochs, buckets
+
+
+def epoch_timeline(records: list[dict[str, t.Any]]) -> list[dict[str, t.Any]]:
+    """One summary row per epoch marker in the trace."""
+    epochs, buckets = _bucket_by_epoch(records)
+    rows = []
+    for marker in epochs:
+        inside = buckets.get(int(marker["epoch"]), [])
+        by_kind: dict[str, list[dict[str, t.Any]]] = defaultdict(list)
+        for record in inside:
+            by_kind[record["kind"]].append(record)
+        classify = by_kind["classify"][-1] if by_kind["classify"] else None
+        reorg = by_kind["reorg"][-1] if by_kind["reorg"] else None
+        moved = sum(
+            r["nbytes"]
+            for r in by_kind["state_move"]
+            if r["phase"] == "end" and r["role"] == "supplier"
+        )
+        dod = ""
+        for record in by_kind["dod"]:
+            dod = f"->{record['n_active']}"
+        rows.append(
+            {
+                "t": marker["t"],
+                "epoch": marker["epoch"],
+                "phase": marker["phase"],
+                "active": marker["active"],
+                "buf_kb": marker["buffered_bytes"] / 1024.0,
+                "sup/con/neu": (
+                    "-"
+                    if classify is None
+                    else "{}/{}/{}".format(
+                        len(classify["suppliers"]),
+                        len(classify["consumers"]),
+                        len(classify["neutrals"]),
+                    )
+                ),
+                "moves": len(reorg["moves"]) if reorg else 0,
+                "moved_kb": moved / 1024.0,
+                "splits": len(by_kind["split"]),
+                "merges": len(by_kind["merge"]),
+                "drains": len(by_kind["drain"]),
+                "dod": dod,
+            }
+        )
+    return rows
+
+
+def hot_partitions(
+    records: list[dict[str, t.Any]], top: int = 5
+) -> list[dict[str, t.Any]]:
+    """Partition-groups ranked by tuning + migration activity."""
+    stats: dict[int, Counter] = defaultdict(Counter)
+    for record in records:
+        pid = record.get("pid")
+        if pid is None:
+            continue
+        kind = record["kind"]
+        if kind in ("split", "merge", "directory"):
+            stats[int(pid)][kind] += 1
+        elif kind == "state_move" and record["phase"] == "end":
+            if record["role"] == "supplier":
+                stats[int(pid)]["moves"] += 1
+                stats[int(pid)]["moved_bytes"] += int(record["nbytes"])
+
+    def activity(item: tuple[int, Counter]) -> tuple[int, int]:
+        pid, counts = item
+        score = counts["split"] + counts["merge"] + counts["moves"]
+        return (-score, pid)
+
+    rows = []
+    for pid, counts in sorted(stats.items(), key=activity)[:top]:
+        rows.append(
+            {
+                "pid": pid,
+                "splits": counts["split"],
+                "merges": counts["merge"],
+                "dir_doubles": counts["directory"],
+                "moves": counts["moves"],
+                "moved_kb": counts["moved_bytes"] / 1024.0,
+            }
+        )
+    return rows
+
+
+def _occupancy_rows(records: list[dict[str, t.Any]]) -> list[dict[str, t.Any]]:
+    per_node: dict[int, list[float]] = defaultdict(list)
+    for record in records:
+        if record["kind"] != "sample":
+            continue
+        occ = record["gauges"].get("occupancy")
+        if occ is not None:
+            per_node[int(record["node"])].append(float(occ))
+    rows = []
+    for node in sorted(per_node):
+        values = per_node[node]
+        rows.append(
+            {
+                "node": node,
+                "samples": len(values),
+                "occ_min": min(values),
+                "occ_mean": sum(values) / len(values),
+                "occ_max": max(values),
+            }
+        )
+    return rows
+
+
+def render_report(
+    meta: dict[str, t.Any] | None,
+    records: list[dict[str, t.Any]],
+    top: int = 5,
+) -> str:
+    """The full human-readable report for one trace file."""
+    sections: list[str] = []
+    counts = Counter(r["kind"] for r in records)
+    header = f"trace: {len(records)} events"
+    if meta is not None:
+        header += f"  (schema v{meta.get('version', '?')})"
+        config = meta.get("config")
+        if config:
+            header += "\nconfig: " + "  ".join(
+                f"{k}={v}" for k, v in sorted(config.items())
+            )
+    header += "\nkinds:  " + "  ".join(
+        f"{kind}={n}" for kind, n in sorted(counts.items())
+    )
+    sections.append(header)
+
+    timeline = epoch_timeline(records)
+    if timeline:
+        sections.append(
+            format_table(
+                timeline,
+                [
+                    "t",
+                    "epoch",
+                    "phase",
+                    "active",
+                    "buf_kb",
+                    "sup/con/neu",
+                    "moves",
+                    "moved_kb",
+                    "splits",
+                    "merges",
+                    "drains",
+                    "dod",
+                ],
+                title="epoch timeline",
+            )
+        )
+    else:
+        sections.append("epoch timeline: (no epoch events)")
+
+    hot = hot_partitions(records, top=top)
+    if hot:
+        sections.append(
+            format_table(
+                hot,
+                ["pid", "splits", "merges", "dir_doubles", "moves", "moved_kb"],
+                title=f"top-{top} hot partitions",
+            )
+        )
+    else:
+        sections.append("hot partitions: (no tuning or migration activity)")
+
+    occupancy = _occupancy_rows(records)
+    if occupancy:
+        sections.append(
+            format_table(
+                occupancy,
+                ["node", "samples", "occ_min", "occ_mean", "occ_max"],
+                title="buffer occupancy (sampled)",
+            )
+        )
+    return "\n\n".join(sections)

@@ -42,6 +42,66 @@ class TestDelayStats:
         assert stats.percentile(50) == pytest.approx(0.01, rel=0.3)
         assert stats.percentile(99.9) > 50
 
+    def test_percentile_matches_numpy_within_bin_resolution(self):
+        # The histogram has 10 log-spaced bins per decade, so each bin
+        # spans a factor of 10**0.1 ≈ 1.26; interpolated percentiles
+        # must land within one bin width of the exact value.
+        rng = np.random.default_rng(42)
+        samples = rng.lognormal(mean=0.0, sigma=1.5, size=5000)
+        stats = DelayStats()
+        stats.record(samples)
+        for q in (10, 25, 50, 75, 90, 99):
+            exact = float(np.percentile(samples, q))
+            assert stats.percentile(q) == pytest.approx(exact, rel=0.3)
+
+    def test_percentile_interpolates_within_bin(self):
+        # All mass in one bin: the answer must still move with q
+        # instead of snapping to the bin edge.
+        stats = DelayStats()
+        stats.record(np.full(100, 5.0))
+        assert stats.percentile(50) == pytest.approx(5.0)
+
+    def test_percentile_q100_returns_exact_maximum(self):
+        stats = DelayStats()
+        stats.record(np.array([0.2, 1.0, 7.3]))
+        assert stats.percentile(100) == 7.3
+        assert stats.percentile(150) == 7.3
+
+    def test_percentile_clamped_to_observed_range(self):
+        stats = DelayStats()
+        stats.record(np.array([2.0, 3.0]))
+        assert stats.percentile(0) >= 2.0
+        assert stats.percentile(99) <= 3.0
+
+    def test_percentile_empty(self):
+        assert DelayStats().percentile(50) == 0.0
+        assert DelayStats().percentile(100) == 0.0
+
+    def test_merge_with_empty_side(self):
+        filled, empty = DelayStats(), DelayStats()
+        filled.record(np.array([1.0, 2.0]))
+        filled.merge(empty)
+        assert filled.count == 2
+        assert filled.mean == pytest.approx(1.5)
+        assert filled.minimum == 1.0
+        assert filled.maximum == 2.0
+
+        # Empty absorbing non-empty must adopt its extrema (the empty
+        # side's minimum sentinel is +inf, maximum sentinel is 0).
+        other = DelayStats()
+        other.merge(filled)
+        assert other.count == 2
+        assert other.minimum == 1.0
+        assert other.maximum == 2.0
+        assert other.percentile(100) == 2.0
+
+    def test_merge_two_empty(self):
+        a, b = DelayStats(), DelayStats()
+        a.merge(b)
+        assert a.count == 0
+        assert a.mean == 0.0
+        assert a.percentile(50) == 0.0
+
     def test_histogram_total(self):
         stats = DelayStats()
         stats.record(np.random.default_rng(0).uniform(0.001, 500, 1000))
@@ -120,6 +180,52 @@ class TestSlaveMetricsGating:
         metrics.sample_window(2.0, 500)
         metrics.sample_window(3.0, 300)
         assert metrics.max_window_bytes == 500
+
+    def test_comm_span_straddling_gate_start(self):
+        # A transfer beginning before warm-up and ending inside the
+        # window counts only its inside portion; the message itself is
+        # attributed to its completion time, which is inside.
+        metrics = SlaveMetrics(1, MeasurementWindow(10.0, 20.0))
+        metrics.record_comm(8.0, 12.0, 1000, sent=True)
+        assert metrics.comm_time == pytest.approx(2.0)
+        assert metrics.messages == 1
+        assert metrics.bytes_sent == 1000
+
+    def test_comm_span_straddling_gate_stop(self):
+        # Completion after the window: the overlap still counts but the
+        # message/bytes do not (completion time is outside).
+        metrics = SlaveMetrics(1, MeasurementWindow(10.0, 20.0))
+        metrics.record_comm(19.0, 21.0, 1000, sent=False)
+        assert metrics.comm_time == pytest.approx(1.0)
+        assert metrics.messages == 0
+        assert metrics.bytes_received == 0
+
+    def test_comm_span_fully_outside(self):
+        metrics = SlaveMetrics(1, MeasurementWindow(10.0, 20.0))
+        metrics.record_comm(21.0, 25.0, 1000, sent=True)
+        assert metrics.comm_time == 0.0
+        assert metrics.messages == 0
+
+    def test_idle_span_straddling_gate(self):
+        metrics = SlaveMetrics(1, MeasurementWindow(10.0, 20.0))
+        metrics.record_idle(5.0, 15.0)
+        metrics.record_idle(18.0, 30.0)
+        metrics.record_idle(0.0, 9.0)
+        assert metrics.idle_time == pytest.approx(5.0 + 2.0)
+
+    def test_occupancy_samples_bounded(self):
+        from repro.core.metrics import OCCUPANCY_RESERVOIR_CAPACITY
+
+        metrics = SlaveMetrics(1, MeasurementWindow(0.0))
+        n = OCCUPANCY_RESERVOIR_CAPACITY * 10
+        for i in range(n):
+            metrics.sample_occupancy(float(i), i / n)
+        assert metrics.occupancy_samples.total == n
+        assert len(metrics.occupancy_samples) <= OCCUPANCY_RESERVOIR_CAPACITY
+        # Decimated but still spanning the whole run.
+        times = [t for t, _ in metrics.occupancy_samples.items()]
+        assert times[0] == 0.0
+        assert times[-1] >= n * 0.8
 
     def test_snapshot_contains_everything(self):
         metrics = SlaveMetrics(1, MeasurementWindow(0.0))

@@ -1,0 +1,167 @@
+"""Offline trace analysis: timelines and hot partitions from records."""
+
+import json
+
+import pytest
+
+from repro.obs.report import (
+    epoch_timeline,
+    hot_partitions,
+    load_trace,
+    render_report,
+)
+
+
+def _epoch(t, epoch, phase="dist", active=2, buffered=0):
+    return {
+        "kind": "epoch",
+        "t": t,
+        "node": 0,
+        "epoch": epoch,
+        "phase": phase,
+        "active": active,
+        "buffered_bytes": buffered,
+    }
+
+
+def _split(t, pid):
+    return {
+        "kind": "split",
+        "t": t,
+        "node": 2,
+        "pid": pid,
+        "n_buckets": 4,
+        "depth": 2,
+        "bytes": 64,
+    }
+
+
+def _move_end(t, pid, role="supplier", nbytes=2048):
+    return {
+        "kind": "state_move",
+        "t": t,
+        "node": 2,
+        "phase": "end",
+        "role": role,
+        "pid": pid,
+        "peer": 3,
+        "nbytes": nbytes,
+    }
+
+
+SYNTHETIC = [
+    _epoch(2.0, 0),
+    _split(2.5, 7),
+    _split(3.0, 7),
+    _split(3.5, 1),
+    _epoch(4.0, 1, phase="reorg", buffered=2048),
+    {
+        "kind": "classify",
+        "t": 4.0,
+        "node": 0,
+        "epoch": 1,
+        "suppliers": [2],
+        "consumers": [3],
+        "neutrals": [],
+        "occupancy": {"2": 0.9, "3": 0.1},
+    },
+    {
+        "kind": "reorg",
+        "t": 4.0,
+        "node": 0,
+        "epoch": 1,
+        "suppliers": [2],
+        "consumers": [3],
+        "neutrals": [],
+        "moves": [[7, 2, 3]],
+        "activate": [],
+        "deactivate": [],
+    },
+    _move_end(4.2, 7),
+    _move_end(4.2, 7, role="consumer"),
+    {
+        "kind": "dod",
+        "t": 4.3,
+        "node": 0,
+        "epoch": 1,
+        "n_active": 3,
+        "activated": [4],
+        "deactivated": [],
+    },
+    {"kind": "drain", "t": 4.8, "node": 3, "epoch": 1, "window_bytes": 100},
+    {
+        "kind": "sample",
+        "t": 3.0,
+        "node": 2,
+        "gauges": {"occupancy": 0.5, "window_bytes": 100.0},
+    },
+]
+
+
+class TestEpochTimeline:
+    def test_one_row_per_epoch_marker(self):
+        rows = epoch_timeline(SYNTHETIC)
+        assert [r["epoch"] for r in rows] == [0, 1]
+
+    def test_timestamped_events_bucket_by_marker_time(self):
+        rows = epoch_timeline(SYNTHETIC)
+        assert rows[0]["splits"] == 3  # all splits precede the k=1 marker
+        assert rows[1]["splits"] == 0
+
+    def test_reorg_row_aggregates_decision(self):
+        row = epoch_timeline(SYNTHETIC)[1]
+        assert row["phase"] == "reorg"
+        assert row["sup/con/neu"] == "1/1/0"
+        assert row["moves"] == 1
+        # Only the supplier's end span counts (consumer would double it).
+        assert row["moved_kb"] == pytest.approx(2.0)
+        assert row["drains"] == 1
+        assert row["dod"] == "->3"
+
+    def test_empty_trace(self):
+        assert epoch_timeline([]) == []
+
+
+class TestHotPartitions:
+    def test_ranked_by_activity(self):
+        rows = hot_partitions(SYNTHETIC, top=5)
+        assert rows[0]["pid"] == 7  # 2 splits + 1 move
+        assert rows[0]["splits"] == 2
+        assert rows[0]["moves"] == 1
+        assert rows[0]["moved_kb"] == pytest.approx(2.0)
+        assert rows[1]["pid"] == 1
+
+    def test_top_limits_rows(self):
+        assert len(hot_partitions(SYNTHETIC, top=1)) == 1
+
+
+class TestLoadTrace:
+    def test_splits_meta_from_records(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        lines = [{"kind": "meta", "version": 1, "config": {"seed": 7}}]
+        lines += SYNTHETIC
+        path.write_text("\n".join(json.dumps(r) for r in lines))
+        meta, records = load_trace(str(path))
+        assert meta["config"] == {"seed": 7}
+        assert len(records) == len(SYNTHETIC)
+
+    def test_malformed_line_raises_with_position(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "epoch"}\nnot json\n')
+        with pytest.raises(ValueError, match="bad.jsonl:2"):
+            load_trace(str(path))
+
+
+class TestRenderReport:
+    def test_sections_present(self):
+        text = render_report({"version": 1, "config": {"rate": 10}}, SYNTHETIC)
+        assert "schema v1" in text
+        assert "rate=10" in text
+        assert "epoch timeline" in text
+        assert "hot partitions" in text
+        assert "buffer occupancy" in text
+
+    def test_empty_trace_renders(self):
+        text = render_report(None, [])
+        assert "0 events" in text
+        assert "no epoch events" in text
