@@ -7,6 +7,7 @@ Examples::
     swjoin report trace.jsonl
     swjoin experiment fig07 --scale 0.05
     swjoin experiment all --out EXPERIMENTS.generated.md
+    swjoin lint
     swjoin list
 """
 
@@ -130,6 +131,13 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # Lazy import: linting is a dev workflow, not a run-time dependency.
+    from repro.lint.cli import cmd_lint
+
+    return cmd_lint(args)
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     width = max(len(n) for n in EXPERIMENTS)
     for name in sorted(EXPERIMENTS):
@@ -163,6 +171,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--top", type=int, default=5,
                    help="how many hot partitions to list")
 
+    from repro.lint.cli import add_lint_parser
+
+    add_lint_parser(sub)
+
     sub.add_parser("list", help="list available experiments")
     return parser
 
@@ -175,6 +187,8 @@ def main(argv: t.Sequence[str] | None = None) -> int:
         return _cmd_experiment(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     if args.command == "list":
         return _cmd_list(args)
     raise AssertionError("unreachable")  # pragma: no cover

@@ -110,6 +110,11 @@ class JoinModule:
         self._minibuffers.setdefault(pid, deque())
 
     def _directory_doubled(self, pid: int, depth: int) -> None:
+        # Callback wired only when tracing is on (add_partition), but the
+        # zero-overhead contract is enforced here too: never construct the
+        # event against a disabled tracer.
+        if not self.tracer.enabled:
+            return
         now = self._now_fn() if self._now_fn is not None else 0.0
         self.tracer.emit(
             DirectoryEvent(t=now, node=self.node_id, pid=pid, depth=depth)

@@ -13,6 +13,9 @@ import typing as t
 from repro.data.tuples import TupleBatch
 
 
+__all__ = ["n_blocks", "block_bytes_used", "BlockView", "iter_blocks"]
+
+
 def n_blocks(n_tuples: int, tuples_per_block: int) -> int:
     """Blocks occupied by ``n_tuples`` (a partial head block counts)."""
     if n_tuples < 0:

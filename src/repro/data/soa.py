@@ -9,11 +9,21 @@ with amortized O(1) appends (geometric growth), O(1) logical pops
 
 from __future__ import annotations
 
+import typing as t
+
 import numpy as np
 
-from repro.data.tuples import KEY_DTYPE, SEQ_DTYPE, TS_DTYPE, TupleBatch
+from repro.data.tuples import (
+    KEY_DTYPE,
+    SEQ_DTYPE,
+    TS_DTYPE,
+    KeyArray,
+    SeqArray,
+    TsArray,
+    TupleBatch,
+)
 
-_MIN_CAPACITY = 64
+_MIN_CAPACITY: t.Final = 64
 
 
 class GrowableSoA:
@@ -26,6 +36,12 @@ class GrowableSoA:
     """
 
     __slots__ = ("_ts", "_key", "_seq", "_start", "_stop")
+
+    _ts: TsArray
+    _key: KeyArray
+    _seq: SeqArray
+    _start: int
+    _stop: int
 
     def __init__(self, capacity: int = _MIN_CAPACITY) -> None:
         capacity = max(int(capacity), _MIN_CAPACITY)
@@ -40,19 +56,19 @@ class GrowableSoA:
 
     # -- views (valid until the next mutation) ------------------------------
     @property
-    def ts(self) -> np.ndarray:
+    def ts(self) -> TsArray:
         return self._ts[self._start : self._stop]
 
     @property
-    def key(self) -> np.ndarray:
+    def key(self) -> KeyArray:
         return self._key[self._start : self._stop]
 
     @property
-    def seq(self) -> np.ndarray:
+    def seq(self) -> SeqArray:
         return self._seq[self._start : self._stop]
 
     # -- mutation -------------------------------------------------------------
-    def append(self, ts: np.ndarray, key: np.ndarray, seq: np.ndarray) -> None:
+    def append(self, ts: TsArray, key: KeyArray, seq: SeqArray) -> None:
         """Append tuples (must not predate the current back of the store)."""
         n = len(ts)
         if n == 0:

@@ -18,11 +18,21 @@ from __future__ import annotations
 import typing as t
 
 import numpy as np
+import numpy.typing as npt
 
-TS_DTYPE = np.float64
-KEY_DTYPE = np.int64
-SEQ_DTYPE = np.int64
-STREAM_DTYPE = np.uint8
+TS_DTYPE: t.Final = np.float64
+KEY_DTYPE: t.Final = np.int64
+SEQ_DTYPE: t.Final = np.int64
+STREAM_DTYPE: t.Final = np.uint8
+
+TsArray = npt.NDArray[np.float64]
+KeyArray = npt.NDArray[np.int64]
+SeqArray = npt.NDArray[np.int64]
+StreamArray = npt.NDArray[np.uint8]
+
+#: An integer index/mask array selecting rows out of a batch.
+IndexArray = npt.NDArray[np.intp]
+MaskArray = npt.NDArray[np.bool_]
 
 
 class TupleBatch:
@@ -30,12 +40,17 @@ class TupleBatch:
 
     __slots__ = ("ts", "key", "seq", "stream")
 
+    ts: TsArray
+    key: KeyArray
+    seq: SeqArray
+    stream: StreamArray
+
     def __init__(
         self,
-        ts: np.ndarray,
-        key: np.ndarray,
-        seq: np.ndarray,
-        stream: np.ndarray,
+        ts: npt.NDArray[t.Any],
+        key: npt.NDArray[t.Any],
+        seq: npt.NDArray[t.Any],
+        stream: npt.NDArray[t.Any],
     ) -> None:
         n = len(ts)
         if not (len(key) == len(seq) == len(stream) == n):
@@ -105,12 +120,12 @@ class TupleBatch:
             self.stream[start:stop],
         )
 
-    def take(self, index: np.ndarray) -> "TupleBatch":
+    def take(self, index: IndexArray) -> "TupleBatch":
         return TupleBatch(
             self.ts[index], self.key[index], self.seq[index], self.stream[index]
         )
 
-    def select(self, mask: np.ndarray) -> "TupleBatch":
+    def select(self, mask: MaskArray) -> "TupleBatch":
         return self.take(np.flatnonzero(mask))
 
     def by_stream(self, stream_id: int) -> "TupleBatch":

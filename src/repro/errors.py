@@ -32,3 +32,7 @@ class ProtocolError(ReproError):
 
 class CapacityError(ReproError):
     """Raised when a bounded buffer would exceed its allotted capacity."""
+
+
+class LintError(ReproError):
+    """Raised for malformed lint inputs (e.g. a bad baseline file)."""

@@ -1,0 +1,78 @@
+"""Shared AST helpers: dotted names and import-alias resolution.
+
+The rules reason about *fully qualified* names (``time.perf_counter``,
+``numpy.random.default_rng``) rather than surface spellings, so
+``import time as _t; _t.perf_counter()`` and
+``from time import perf_counter`` are caught the same way.
+"""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = ["dotted", "terminal_name", "ImportTable"]
+
+
+def dotted(node: ast.expr) -> str | None:
+    """``"a.b.c"`` for a Name/Attribute chain, ``None`` otherwise."""
+    parts: list[str] = []
+    cur: ast.expr = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if not isinstance(cur, ast.Name):
+        return None
+    parts.append(cur.id)
+    return ".".join(reversed(parts))
+
+
+def terminal_name(node: ast.expr) -> str | None:
+    """The last component of a Name/Attribute chain (``c`` in ``a.b.c``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+class ImportTable:
+    """Maps a module's local aliases to fully qualified imported names.
+
+    * ``import time`` binds ``time`` -> ``time``;
+    * ``import numpy as np`` binds ``np`` -> ``numpy``;
+    * ``from time import perf_counter as pc`` binds
+      ``pc`` -> ``time.perf_counter``.
+
+    Relative imports are skipped: they cannot name the modules the
+    rules ban, and resolving them would need package context.
+    """
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.aliases: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname is not None:
+                        self.aliases[alias.asname] = alias.name
+                    else:
+                        root = alias.name.split(".", 1)[0]
+                        self.aliases[root] = root
+            elif isinstance(node, ast.ImportFrom):
+                if node.level or node.module is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.aliases[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """Fully qualified dotted name of *node*, if import-bound."""
+        name = dotted(node)
+        if name is None:
+            return None
+        head, _, rest = name.partition(".")
+        full = self.aliases.get(head)
+        if full is None:
+            return None
+        return f"{full}.{rest}" if rest else full

@@ -1,0 +1,121 @@
+"""The lint baseline: triaged findings awaiting a fix.
+
+One entry per line, finding key first, **mandatory** tracking comment
+after ``#``::
+
+    SIM003 src/repro/core/window.py:88  # TODO(repro#7): epoch arithmetic
+
+The comment requirement is enforced at parse time: a baseline can only
+hold debt someone has triaged and annotated, never silently accepted
+findings.  Entries that no longer match a finding are *stale* and make
+the run fail, so the file can only shrink as violations are fixed.
+"""
+
+from __future__ import annotations
+
+import re
+import typing as t
+from dataclasses import dataclass
+
+from repro.errors import LintError
+from repro.lint.finding import Finding
+
+__all__ = ["BaselineEntry", "Baseline"]
+
+_ENTRY_RE = re.compile(
+    r"^(?P<rule>[A-Z]+[0-9]+)\s+(?P<path>[^\s:]+):(?P<line>[0-9]+)"
+    r"\s*(?:#(?P<comment>.*))?$"
+)
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted finding plus its tracking comment."""
+
+    rule: str
+    path: str
+    line: int
+    comment: str
+
+    @property
+    def key(self) -> str:
+        return f"{self.rule} {self.path}:{self.line}"
+
+    def render(self) -> str:
+        return f"{self.key}  # {self.comment}"
+
+
+class Baseline:
+    """An accepted-findings set with key-based membership."""
+
+    def __init__(self, entries: t.Sequence[BaselineEntry] = ()) -> None:
+        self.entries: list[BaselineEntry] = list(entries)
+        self._by_key: dict[str, BaselineEntry] = {e.key: e for e in self.entries}
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def covers(self, finding: Finding) -> bool:
+        return finding.key in self._by_key
+
+    def stale(self, findings: t.Iterable[Finding]) -> list[BaselineEntry]:
+        """Entries matching none of *findings* — fixed debt to delete."""
+        live = {f.key for f in findings}
+        return [e for e in self.entries if e.key not in live]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str, origin: str = "<baseline>") -> "Baseline":
+        """Parse baseline *text*; malformed or comment-less entries raise
+        :class:`~repro.errors.LintError`."""
+        entries: list[BaselineEntry] = []
+        for lineno, raw in enumerate(text.splitlines(), start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            match = _ENTRY_RE.match(line)
+            if match is None:
+                raise LintError(
+                    f"{origin}:{lineno}: malformed baseline entry: {raw!r} "
+                    "(expected `RULE path:line  # tracking comment`)"
+                )
+            comment = (match.group("comment") or "").strip()
+            if not comment:
+                raise LintError(
+                    f"{origin}:{lineno}: baseline entry lacks a tracking "
+                    f"comment (append `# <ticket or reason>`): {raw!r}"
+                )
+            entries.append(
+                BaselineEntry(
+                    rule=match.group("rule"),
+                    path=match.group("path"),
+                    line=int(match.group("line")),
+                    comment=comment,
+                )
+            )
+        return cls(entries)
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.parse(fh.read(), origin=path)
+
+    @staticmethod
+    def render(
+        findings: t.Sequence[Finding],
+        comment: str = "TODO: add a tracking reference",
+    ) -> str:
+        """Baseline text accepting *findings* (used by ``--write-baseline``).
+
+        Every generated entry carries a placeholder comment the author
+        is expected to replace with a real tracking reference.
+        """
+        lines = [
+            "# swjoin lint baseline — triaged findings awaiting a fix.",
+            "# Format: RULE path:line  # tracking comment (mandatory).",
+            "# This file may only shrink; stale entries fail the run.",
+        ]
+        lines.extend(
+            f"{f.key}  # {comment}" for f in sorted(findings)
+        )
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,58 @@
+"""Rule interfaces and the global rule registry.
+
+Two rule flavours exist:
+
+* :class:`FileRule` — inspects one parsed module at a time (purity
+  rules: wall-clock, randomness, float equality, trace guards);
+* :class:`ProjectRule` — sees the whole file set (cross-module
+  invariants: protocol exhaustiveness, config-field liveness).
+
+Rules self-register via the :func:`register` decorator; importing
+:mod:`repro.lint.rules` populates :data:`RULES` with the built-in set.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.lint.finding import Finding
+from repro.lint.source import Project, SourceFile
+
+__all__ = ["Rule", "FileRule", "ProjectRule", "RULES", "register"]
+
+
+class Rule:
+    """Base class: a rule has a stable id and a one-line summary."""
+
+    id: t.ClassVar[str] = ""
+    summary: t.ClassVar[str] = ""
+
+
+class FileRule(Rule):
+    """A rule that inspects one parsed file at a time."""
+
+    def check_file(self, src: SourceFile) -> t.Iterator[Finding]:
+        raise NotImplementedError  # pragma: no cover
+
+
+class ProjectRule(Rule):
+    """A rule that needs the whole file set (cross-module invariants)."""
+
+    def check_project(self, project: Project) -> t.Iterator[Finding]:
+        raise NotImplementedError  # pragma: no cover
+
+
+#: Registered rules, keyed by rule id.
+RULES: dict[str, Rule] = {}
+
+_R = t.TypeVar("_R", bound=type[Rule])
+
+
+def register(cls: _R) -> _R:
+    """Class decorator: instantiate and register a rule by its id."""
+    if not cls.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if cls.id in RULES:
+        raise ValueError(f"duplicate rule id {cls.id}")
+    RULES[cls.id] = cls()
+    return cls

@@ -1,0 +1,30 @@
+"""Built-in rule set.
+
+Importing this package registers every rule with
+:data:`repro.lint.registry.RULES`.  The rules encode the reproduction's
+simulation-purity and protocol invariants:
+
+=========  ==========================================================
+SIM001     no wall-clock reads outside the thread runtime / CLI
+SIM002     all randomness flows through simul/rng.py substreams
+SIM003     no float equality on simulated timestamps
+OBS001     trace-event construction guarded by the null-tracer check
+PROTO001   protocol message set == dispatched set (no dead surface)
+CFG001     every SystemConfig/ObservabilityConfig field is read
+=========  ==========================================================
+"""
+
+from repro.lint.rules.configuse import ConfigFieldsRead
+from repro.lint.rules.protocol import ProtocolExhaustiveness
+from repro.lint.rules.randomness import NoDirectRandom
+from repro.lint.rules.simtime import NoFloatTimestampEquality, NoWallClock
+from repro.lint.rules.tracing import GuardedTraceEmit
+
+__all__ = [
+    "NoWallClock",
+    "NoDirectRandom",
+    "NoFloatTimestampEquality",
+    "GuardedTraceEmit",
+    "ProtocolExhaustiveness",
+    "ConfigFieldsRead",
+]

@@ -1,0 +1,129 @@
+"""CFG001 — every config field must be read somewhere.
+
+A :class:`~repro.config.SystemConfig` /
+:class:`~repro.config.ObservabilityConfig` field nobody reads is worse
+than dead code: callers set it, experiments sweep it, and it silently
+does nothing — exactly how a reproduction drifts from the paper it
+claims to reproduce.
+
+A field counts as *read* when some module contains an attribute load
+``<receiver>.<field>`` whose receiver looks like a config object
+(terminal name ``cfg``/``config``/``self``/``obs``), or a
+``getattr(x, "<field>")`` call with a literal name.  Reads inside the
+config module's own plumbing (``with_``, ``validated``, ``scaled``) do
+not count — copying and checking a field is not consuming it.
+"""
+
+from __future__ import annotations
+
+import ast
+import typing as t
+
+from repro.lint.astutil import terminal_name
+from repro.lint.finding import Finding
+from repro.lint.registry import ProjectRule, register
+from repro.lint.source import Project, SourceFile
+
+#: Where the config dataclasses live.
+CONFIG_SUFFIX = "repro/config.py"
+#: The dataclasses whose fields must all be consumed.
+TARGET_CLASSES: tuple[str, ...] = ("SystemConfig", "ObservabilityConfig")
+#: Config-module functions whose reads are plumbing, not consumption.
+PLUMBING_FUNCTIONS = frozenset({"with_", "validated", "scaled"})
+#: Receiver spellings that plausibly hold a config object.
+_RECEIVER_NAMES = frozenset({"cfg", "config", "self", "obs"})
+
+
+def _declared_fields(config: SourceFile) -> dict[str, tuple[str, int]]:
+    """``{field: (class, line)}`` for annotated fields of the targets."""
+    fields: dict[str, tuple[str, int]] = {}
+    for node in config.tree.body:
+        if not isinstance(node, ast.ClassDef) or node.name not in TARGET_CLASSES:
+            continue
+        for stmt in node.body:
+            if not isinstance(stmt, ast.AnnAssign):
+                continue
+            if not isinstance(stmt.target, ast.Name):
+                continue
+            if "ClassVar" in ast.dump(stmt.annotation):
+                continue
+            name = stmt.target.id
+            if not name.startswith("_"):
+                fields[name] = (node.name, stmt.lineno)
+    return fields
+
+
+def _plumbing_lines(config: SourceFile) -> set[int]:
+    """Line numbers inside the config module's plumbing functions."""
+    lines: set[int] = set()
+    for node in ast.walk(config.tree):
+        if (
+            isinstance(node, ast.FunctionDef)
+            and node.name in PLUMBING_FUNCTIONS
+            and node.end_lineno is not None
+        ):
+            lines.update(range(node.lineno, node.end_lineno + 1))
+    return lines
+
+
+def _reads_in(src: SourceFile, fields: t.Collection[str], skip: set[int]) -> set[str]:
+    reads: set[str] = set()
+    for node in ast.walk(src.tree):
+        if isinstance(node, ast.Attribute):
+            if (
+                isinstance(node.ctx, ast.Load)
+                and node.attr in fields
+                and node.lineno not in skip
+                and terminal_name(node.value) in _RECEIVER_NAMES
+            ):
+                reads.add(node.attr)
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "getattr"
+            and len(node.args) >= 2
+            and isinstance(node.args[1], ast.Constant)
+            and isinstance(node.args[1].value, str)
+            and node.args[1].value in fields
+            and node.lineno not in skip
+        ):
+            reads.add(node.args[1].value)
+    return reads
+
+
+@register
+class ConfigFieldsRead(ProjectRule):
+    """CFG001: a config field nobody reads is a silent no-op knob."""
+
+    id = "CFG001"
+    summary = (
+        "every SystemConfig/ObservabilityConfig field must be read by "
+        "some component (a knob nobody reads silently does nothing)"
+    )
+
+    def check_project(self, project: Project) -> t.Iterator[Finding]:
+        config = project.find(CONFIG_SUFFIX)
+        if config is None:
+            return
+        fields = _declared_fields(config)
+        if not fields:
+            return
+        plumbing = _plumbing_lines(config)
+        reads: set[str] = set()
+        for path in sorted(project.files):
+            src = project.files[path]
+            skip = plumbing if src is config else set()
+            reads |= _reads_in(src, fields, skip)
+            if reads >= fields.keys():
+                break
+        for name in sorted(fields.keys() - reads):
+            cls, line = fields[name]
+            yield Finding(
+                path=config.path,
+                line=line,
+                rule=self.id,
+                message=(
+                    f"config field `{cls}.{name}` is never read — wire it "
+                    "into the system or delete the knob"
+                ),
+            )

@@ -1,0 +1,109 @@
+"""SIM002 — all randomness flows through the seeded registry.
+
+Every stochastic component draws from a named substream handed out by
+:class:`repro.simul.rng.RngRegistry`; the registry derives each stream
+from the single root seed, so runs are bit-reproducible and adding a
+consumer never perturbs existing ones.  Direct use of the stdlib
+``random`` module or of ``numpy.random`` module-level state
+(``default_rng``, ``seed``, the legacy ``rand``/``randint`` helpers)
+bypasses that discipline.
+
+Accepting a ``numpy.random.Generator``/``BitGenerator`` as a parameter
+or annotation is fine — that is exactly how registry streams travel.
+"""
+
+from __future__ import annotations
+
+import ast
+import typing as t
+
+from repro.lint.astutil import ImportTable
+from repro.lint.finding import Finding
+from repro.lint.registry import FileRule, register
+from repro.lint.source import SourceFile
+
+#: The one module allowed to construct generators.
+RNG_ALLOWED_SUFFIXES: tuple[str, ...] = ("repro/simul/rng.py",)
+
+#: ``numpy.random`` attributes that are types, not stream state; using
+#: them in annotations does not bypass the registry.
+_NUMPY_TYPE_NAMES = frozenset({"Generator", "BitGenerator"})
+
+
+@register
+class NoDirectRandom(FileRule):
+    """SIM002: direct ``random``/``numpy.random`` use outside simul/rng.py."""
+
+    id = "SIM002"
+    summary = (
+        "randomness must flow through simul/rng.py's seeded substreams; "
+        "no stdlib random, no numpy.random module state"
+    )
+
+    def check_file(self, src: SourceFile) -> t.Iterator[Finding]:
+        if src.path.endswith(RNG_ALLOWED_SUFFIXES):
+            return
+        imports = ImportTable(src.tree)
+        seen_lines: set[int] = set()
+        # Only maximal Name/Attribute chains: `np.random` inside
+        # `np.random.Generator` must not be flagged on its own.
+        consumed = {
+            id(node.value)
+            for node in ast.walk(src.tree)
+            if isinstance(node, ast.Attribute)
+        }
+
+        def flag(line: int, message: str) -> Finding | None:
+            if line in seen_lines:
+                return None
+            seen_lines.add(line)
+            return Finding(path=src.path, line=line, rule=self.id, message=message)
+
+        for node in ast.walk(src.tree):
+            if id(node) in consumed:
+                continue
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        found = flag(
+                            node.lineno,
+                            "stdlib `random` import — draw from a named "
+                            "RngRegistry substream instead",
+                        )
+                        if found:
+                            yield found
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module == "random":
+                    found = flag(
+                        node.lineno,
+                        "stdlib `random` import — draw from a named "
+                        "RngRegistry substream instead",
+                    )
+                    if found:
+                        yield found
+            elif isinstance(node, (ast.Attribute, ast.Name)):
+                if not isinstance(node.ctx, ast.Load):
+                    continue
+                full = imports.resolve(node)
+                if full is None:
+                    continue
+                if full == "random" or full.startswith("random."):
+                    found = flag(
+                        node.lineno,
+                        f"stdlib random use `{full}` — draw from a named "
+                        "RngRegistry substream instead",
+                    )
+                    if found:
+                        yield found
+                elif full.startswith("numpy.random"):
+                    tail = full[len("numpy.random") :].lstrip(".")
+                    head = tail.split(".", 1)[0] if tail else ""
+                    if head in _NUMPY_TYPE_NAMES:
+                        continue
+                    found = flag(
+                        node.lineno,
+                        f"`{full}` touches numpy.random module state — "
+                        "ask the RngRegistry for a named substream instead",
+                    )
+                    if found:
+                        yield found

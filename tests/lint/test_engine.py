@@ -1,0 +1,122 @@
+"""Engine mechanics: pragmas, baseline lifecycle, parse errors, selection."""
+
+import pytest
+
+from repro.errors import LintError
+from repro.lint import Baseline, Finding, collect_files, lint_paths, lint_sources
+from repro.lint.engine import PARSE_RULE
+
+BAD = "import time\nnow = time.time()\n"
+PATH = "src/repro/core/x.py"
+
+
+class TestPragmas:
+    def test_disable_suppresses_and_counts(self):
+        src = "import time\nnow = time.time()  # lint: disable=SIM001\n"
+        result = lint_sources({PATH: src}, only={"SIM001"})
+        assert result.fresh == []
+        assert result.suppressed == 1
+        assert result.ok
+
+    def test_disable_is_rule_scoped(self):
+        src = "import time\nnow = time.time()  # lint: disable=SIM002\n"
+        result = lint_sources({PATH: src}, only={"SIM001"})
+        assert [f.rule for f in result.fresh] == ["SIM001"]
+
+    def test_disable_accepts_a_rule_list(self):
+        src = (
+            "import time\n"
+            "def f(ts):\n"
+            "    return ts == time.time()  # lint: disable=SIM001,SIM003\n"
+        )
+        result = lint_sources({PATH: src}, only={"SIM001", "SIM003"})
+        assert result.fresh == []
+        assert result.suppressed == 2
+
+    def test_disable_is_line_scoped(self):
+        src = (
+            "import time\n"
+            "a = time.time()  # lint: disable=SIM001\n"
+            "b = time.time()\n"
+        )
+        result = lint_sources({PATH: src}, only={"SIM001"})
+        assert [f.line for f in result.fresh] == [3]
+
+
+class TestBaseline:
+    def test_covered_finding_is_not_fresh(self):
+        baseline = Baseline.parse(f"SIM001 {PATH}:2  # TODO(repro#1): legacy\n")
+        result = lint_sources({PATH: BAD}, baseline=baseline, only={"SIM001"})
+        assert result.fresh == []
+        assert [f.line for f in result.baselined] == [2]
+        assert result.ok
+
+    def test_stale_entry_fails_the_run(self):
+        baseline = Baseline.parse(f"SIM001 {PATH}:99  # TODO(repro#1): gone\n")
+        clean = "def f(rt):\n    return rt.now()\n"
+        result = lint_sources({PATH: clean}, baseline=baseline, only={"SIM001"})
+        assert result.fresh == []
+        assert [e.line for e in result.stale_baseline] == [99]
+        assert not result.ok
+
+    def test_comments_and_blank_lines_are_ignored(self):
+        baseline = Baseline.parse("# header\n\nSIM001 a.py:1  # tracked\n")
+        assert len(baseline) == 1
+
+    def test_malformed_entry_raises(self):
+        with pytest.raises(LintError, match="malformed"):
+            Baseline.parse("this is not an entry\n")
+
+    def test_commentless_entry_raises(self):
+        with pytest.raises(LintError, match="tracking"):
+            Baseline.parse("SIM001 a.py:1\n")
+
+    def test_render_roundtrips(self):
+        finding = Finding(path=PATH, line=2, rule="SIM001", message="m")
+        baseline = Baseline.parse(Baseline.render([finding]))
+        assert baseline.covers(finding)
+
+
+class TestEngine:
+    def test_syntax_error_becomes_a_parse_finding(self):
+        result = lint_sources({PATH: "def broken(:\n"})
+        assert [f.rule for f in result.fresh] == [PARSE_RULE]
+        assert not result.ok
+
+    def test_only_restricts_the_rule_set(self):
+        src = "import random\nimport time\nx = time.time()\n"
+        result = lint_sources({PATH: src}, only={"SIM002"})
+        assert {f.rule for f in result.fresh} == {"SIM002"}
+
+    def test_findings_are_sorted_and_deduplicated(self):
+        result = lint_sources({PATH: BAD, "src/repro/core/a.py": BAD})
+        paths = [f.path for f in result.fresh]
+        assert paths == sorted(paths)
+        assert len(set(result.fresh)) == len(result.fresh)
+
+    def test_finding_render_format(self):
+        finding = Finding(path="a.py", line=3, rule="SIM001", message="boom")
+        assert finding.render() == "a.py:3: SIM001 boom"
+        assert finding.key == "SIM001 a.py:3"
+
+
+class TestCollectFiles:
+    def test_walks_dirs_skips_pycache(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "__pycache__").mkdir()
+        (tmp_path / "pkg" / "a.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "__pycache__" / "a.cpython-312.pyc").write_text("")
+        (tmp_path / "pkg" / "notes.txt").write_text("")
+        (tmp_path / "top.py").write_text("y = 2\n")
+        files = collect_files([str(tmp_path)])
+        names = [f.rsplit("/", 1)[-1] for f in files]
+        assert names == ["top.py", "a.py"] or sorted(names) == ["a.py", "top.py"]
+        assert all("__pycache__" not in f for f in files)
+        assert all(f.endswith(".py") for f in files)
+
+    def test_lint_paths_reads_from_disk(self, tmp_path):
+        target = tmp_path / "core_x.py"
+        target.write_text(BAD)
+        result = lint_paths([str(target)], only={"SIM001"})
+        assert [f.line for f in result.fresh] == [2]
+        assert result.n_files == 1

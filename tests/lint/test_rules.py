@@ -1,0 +1,328 @@
+"""Fixture corpus for the built-in rules.
+
+Each rule gets at least one known-bad snippet with asserted rule ids
+*and line numbers*, plus a clean/allowlisted counterpart so we notice
+both missed violations and false positives.
+"""
+
+from repro.lint import lint_sources
+
+
+def fresh_keys(sources, only):
+    """``["RULE path:line", ...]`` of fresh findings, sorted."""
+    return sorted(f.key for f in lint_sources(sources, only=only).fresh)
+
+
+# ---------------------------------------------------------------------------
+# SIM001 — no wall-clock reads
+# ---------------------------------------------------------------------------
+
+WALL_CLOCK_BAD = """\
+import time
+from time import perf_counter
+import datetime
+
+def tick():
+    a = time.time()
+    b = perf_counter()
+    c = datetime.datetime.now()
+    time.sleep(0.1)
+    return a, b, c
+"""
+
+
+class TestSIM001:
+    def test_flags_every_read_with_line_numbers(self):
+        keys = fresh_keys(
+            {"src/repro/core/x.py": WALL_CLOCK_BAD}, only={"SIM001"}
+        )
+        assert keys == [
+            "SIM001 src/repro/core/x.py:6",
+            "SIM001 src/repro/core/x.py:7",
+            "SIM001 src/repro/core/x.py:8",
+            "SIM001 src/repro/core/x.py:9",
+        ]
+
+    def test_allowlisted_files_may_touch_the_clock(self):
+        for path in (
+            "src/repro/runtime/thread.py",
+            "src/repro/net/thread_transport.py",
+            "src/repro/cli.py",
+        ):
+            assert fresh_keys({path: WALL_CLOCK_BAD}, only={"SIM001"}) == []
+
+    def test_simulated_now_is_fine(self):
+        clean = "def step(rt):\n    return rt.now() + 1.0\n"
+        assert fresh_keys({"src/repro/core/x.py": clean}, only={"SIM001"}) == []
+
+    def test_import_alias_is_resolved(self):
+        bad = "import time as walltime\nt0 = walltime.monotonic()\n"
+        assert fresh_keys({"src/repro/core/x.py": bad}, only={"SIM001"}) == [
+            "SIM001 src/repro/core/x.py:2"
+        ]
+
+
+# ---------------------------------------------------------------------------
+# SIM002 — randomness through the registry only
+# ---------------------------------------------------------------------------
+
+RANDOM_BAD = """\
+import random
+import numpy as np
+
+def jitter():
+    rng = np.random.default_rng(7)
+    return random.random() + rng.normal()
+"""
+
+
+class TestSIM002:
+    def test_flags_stdlib_and_numpy_module_state(self):
+        keys = fresh_keys({"src/repro/core/x.py": RANDOM_BAD}, only={"SIM002"})
+        assert keys == [
+            "SIM002 src/repro/core/x.py:1",
+            "SIM002 src/repro/core/x.py:5",
+            "SIM002 src/repro/core/x.py:6",
+        ]
+
+    def test_rng_module_is_exempt(self):
+        assert fresh_keys({"src/repro/simul/rng.py": RANDOM_BAD}, only={"SIM002"}) == []
+
+    def test_generator_annotations_are_fine(self):
+        clean = (
+            "import numpy as np\n"
+            "def draw(rng: np.random.Generator) -> float:\n"
+            "    return float(rng.normal())\n"
+        )
+        assert fresh_keys({"src/repro/core/x.py": clean}, only={"SIM002"}) == []
+
+    def test_from_random_import(self):
+        bad = "from random import gauss\nx = gauss(0, 1)\n"
+        assert fresh_keys({"src/repro/core/x.py": bad}, only={"SIM002"}) == [
+            "SIM002 src/repro/core/x.py:1",
+            "SIM002 src/repro/core/x.py:2",
+        ]
+
+
+# ---------------------------------------------------------------------------
+# SIM003 — no float equality on simulated timestamps
+# ---------------------------------------------------------------------------
+
+TS_EQ_BAD = """\
+def check(ts, epoch_end, rt):
+    if ts == epoch_end:
+        return True
+    if rt.now() != epoch_end:
+        return False
+    return ts <= epoch_end
+"""
+
+
+class TestSIM003:
+    def test_flags_eq_and_ne(self):
+        keys = fresh_keys({"src/repro/core/x.py": TS_EQ_BAD}, only={"SIM003"})
+        assert keys == [
+            "SIM003 src/repro/core/x.py:2",
+            "SIM003 src/repro/core/x.py:4",
+        ]
+
+    def test_ordering_and_none_checks_are_fine(self):
+        clean = (
+            "def check(ts, cutoff_ts):\n"
+            "    if ts is None or cutoff_ts == None:\n"
+            "        return False\n"
+            "    return ts < cutoff_ts\n"
+        )
+        assert fresh_keys({"src/repro/core/x.py": clean}, only={"SIM003"}) == []
+
+    def test_non_timestamp_equality_is_fine(self):
+        clean = "def pick(kind):\n    return kind == 'hash'\n"
+        assert fresh_keys({"src/repro/core/x.py": clean}, only={"SIM003"}) == []
+
+
+# ---------------------------------------------------------------------------
+# OBS001 — guarded trace-event construction
+# ---------------------------------------------------------------------------
+
+TRACER_MIXED = """\
+class Node:
+    def __init__(self, tracer):
+        self.tracer = tracer
+
+    def guarded(self, ev):
+        if self.tracer.enabled:
+            self.tracer.emit(ev())
+
+    def bailout(self, ev):
+        if not self.tracer.enabled:
+            return
+        self.tracer.emit(ev())
+
+    def conjunction(self, ev, verbose):
+        if verbose and self.tracer.enabled:
+            self.tracer.emit(ev())
+
+    def bad(self, ev):
+        self.tracer.emit(ev())
+"""
+
+
+class TestOBS001:
+    def test_only_the_unguarded_emit_is_flagged(self):
+        keys = fresh_keys({"src/repro/core/x.py": TRACER_MIXED}, only={"OBS001"})
+        assert keys == ["OBS001 src/repro/core/x.py:19"]
+
+    def test_obs_package_is_exempt(self):
+        assert (
+            fresh_keys({"src/repro/obs/tracer.py": TRACER_MIXED}, only={"OBS001"})
+            == []
+        )
+
+    def test_else_branch_is_not_guarded(self):
+        bad = (
+            "def f(tracer, ev):\n"
+            "    if tracer.enabled:\n"
+            "        pass\n"
+            "    else:\n"
+            "        tracer.emit(ev())\n"
+        )
+        assert fresh_keys({"src/repro/core/x.py": bad}, only={"OBS001"}) == [
+            "OBS001 src/repro/core/x.py:5"
+        ]
+
+
+# ---------------------------------------------------------------------------
+# PROTO001 — protocol exhaustiveness (a project rule: needs several files)
+# ---------------------------------------------------------------------------
+
+PROTO_SOURCES = {
+    "src/repro/core/protocol.py": (
+        "class Message:\n"
+        "    pass\n"
+        "\n"
+        "class Ping(Message):\n"
+        "    pass\n"
+        "\n"
+        "class Pong(Message):\n"
+        "    pass\n"
+        "\n"
+        "class Orphan(Message):\n"
+        "    pass\n"
+    ),
+    "src/repro/core/master.py": (
+        "from repro.core.protocol import Ping, Pong, Gone\n"
+        "\n"
+        "def loop(comm, peer):\n"
+        "    comm.send(peer, Ping(payload=1))\n"
+        "    msg = comm.recv_expect(peer, Pong)\n"
+        "    if isinstance(msg, Gone):\n"
+        "        return None\n"
+        "    return msg\n"
+    ),
+    "src/repro/core/slave.py": (
+        "from repro.core.protocol import Ping, Pong\n"
+        "\n"
+        "def loop(comm, peer):\n"
+        "    msg = comm.recv_expect(peer, Ping)\n"
+        "    comm.send(peer, Pong(ack=msg))\n"
+    ),
+}
+
+
+class TestPROTO001:
+    def test_unknown_dispatch_and_dead_message(self):
+        keys = fresh_keys(PROTO_SOURCES, only={"PROTO001"})
+        assert keys == [
+            # `Gone` is dispatched but is not a protocol message.
+            "PROTO001 src/repro/core/master.py:6",
+            # `Orphan` (def line 10) is never constructed anywhere.
+            "PROTO001 src/repro/core/protocol.py:10",
+        ]
+
+    def test_sent_but_undispatched(self):
+        sources = dict(PROTO_SOURCES)
+        # Drop the slave: Ping is still sent by the master but now nothing
+        # dispatches it, and Pong is no longer constructed.
+        del sources["src/repro/core/slave.py"]
+        sources["src/repro/core/master.py"] = (
+            "from repro.core.protocol import Ping, Orphan\n"
+            "\n"
+            "def loop(comm, peer):\n"
+            "    comm.send(peer, Ping(payload=1))\n"
+            "    comm.send(peer, Orphan())\n"
+        )
+        keys = fresh_keys(sources, only={"PROTO001"})
+        assert "PROTO001 src/repro/core/protocol.py:4" in keys  # Ping undispatched
+        assert "PROTO001 src/repro/core/protocol.py:7" in keys  # Pong unconstructed
+
+    def test_clean_protocol(self):
+        sources = {
+            path: text
+            for path, text in PROTO_SOURCES.items()
+        }
+        sources["src/repro/core/protocol.py"] = (
+            "class Message:\n"
+            "    pass\n"
+            "\n"
+            "class Ping(Message):\n"
+            "    pass\n"
+            "\n"
+            "class Pong(Message):\n"
+            "    pass\n"
+        )
+        sources["src/repro/core/master.py"] = (
+            "from repro.core.protocol import Ping, Pong\n"
+            "\n"
+            "def loop(comm, peer):\n"
+            "    comm.send(peer, Ping(payload=1))\n"
+            "    return comm.recv_expect(peer, Pong)\n"
+        )
+        assert fresh_keys(sources, only={"PROTO001"}) == []
+
+
+# ---------------------------------------------------------------------------
+# CFG001 — every config field read somewhere (project rule)
+# ---------------------------------------------------------------------------
+
+CFG_SOURCES = {
+    "src/repro/config.py": (
+        "class SystemConfig:\n"
+        "    n_slaves: int = 4\n"
+        "    dead_knob: float = 0.5\n"
+        "\n"
+        "class ObservabilityConfig:\n"
+        "    enabled: bool = False\n"
+    ),
+    "src/repro/core/system.py": (
+        "def build(cfg, obs):\n"
+        "    return cfg.n_slaves + int(obs.enabled)\n"
+    ),
+}
+
+
+class TestCFG001:
+    def test_unread_field_is_flagged_at_its_declaration(self):
+        keys = fresh_keys(CFG_SOURCES, only={"CFG001"})
+        assert keys == ["CFG001 src/repro/config.py:3"]
+
+    def test_getattr_with_literal_counts_as_a_read(self):
+        sources = dict(CFG_SOURCES)
+        sources["src/repro/core/system.py"] = (
+            "def build(cfg, obs):\n"
+            "    knob = getattr(cfg, 'dead_knob')\n"
+            "    return cfg.n_slaves + knob + int(obs.enabled)\n"
+        )
+        assert fresh_keys(sources, only={"CFG001"}) == []
+
+    def test_plumbing_reads_do_not_count(self):
+        sources = dict(CFG_SOURCES)
+        sources["src/repro/config.py"] += (
+            "\n"
+            "def validated(cfg):\n"
+            "    assert cfg.dead_knob >= 0\n"
+            "    return cfg\n"
+        )
+        # dead_knob is only read inside the plumbing: still dead.
+        assert fresh_keys(sources, only={"CFG001"}) == [
+            "CFG001 src/repro/config.py:3"
+        ]
