@@ -1,0 +1,114 @@
+"""Chaos benchmark: what does surviving a slave crash cost?
+
+For a matrix of seeds and crash times, runs the same seeded workload
+fault-free and with one slave crashed mid-run, then reports:
+
+* **recovery latency** — master detection to partition reassignment,
+  per failure (also available in ``RunResult.recovery_latencies``);
+* **degraded-output fraction** — ``1 - outputs_fault / outputs_ref``,
+  the share of the oracle output lost with the dead slave's window
+  state (adopted partitions restart empty; see DESIGN.md §8).
+
+Writes a JSON report (CI publishes it as ``BENCH_faults.json``)::
+
+    python benchmarks/bench_faults.py --out BENCH_faults.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+import typing as t
+
+from repro.config import SystemConfig
+from repro.core.system import JoinSystem
+from repro.faults.plan import FaultPlan
+
+#: Crash times against the chaos config's schedule (dist_epoch=2,
+#: reorg_epoch=4): before the first shipment, mid-epoch, late.
+CRASH_TIMES = (1.0, 5.0, 8.05)
+VICTIM = 1  # slave index
+
+
+def chaos_cfg(seed: int, faults: FaultPlan | None = None) -> SystemConfig:
+    overrides: dict[str, t.Any] = dict(
+        npart=12,
+        rate=400.0,
+        num_slaves=3,
+        run_seconds=16.0,
+        warmup_seconds=6.0,
+        window_seconds=3.0,
+        reorg_epoch=4.0,
+        seed=seed,
+    )
+    if faults is not None:
+        overrides["faults"] = faults
+    return SystemConfig.paper_defaults().scaled(0.01).with_(**overrides)
+
+
+def measure(seed: int, crash_at: float) -> dict[str, t.Any]:
+    reference = JoinSystem(chaos_cfg(seed)).run()
+    faulted = JoinSystem(
+        chaos_cfg(
+            seed, faults=FaultPlan.parse([f"crash:{VICTIM}@{crash_at}s"])
+        )
+    ).run()
+    assert faulted.degraded, "the injected crash must be detected"
+    degraded_fraction = (
+        1.0 - faulted.outputs / reference.outputs
+        if reference.outputs
+        else 0.0
+    )
+    return {
+        "seed": seed,
+        "crash_at": crash_at,
+        "outputs_ref": reference.outputs,
+        "outputs_fault": faulted.outputs,
+        "degraded_output_fraction": degraded_fraction,
+        "recovery_latencies": faulted.recovery_latencies,
+        "detected_at": [f["detected_at"] for f in faulted.faults],
+    }
+
+
+def main(argv: t.Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed-base", type=int, default=1)
+    parser.add_argument("--seeds", type=int, default=5)
+    parser.add_argument("--out", default="BENCH_faults.json")
+    args = parser.parse_args(argv)
+
+    started = time.perf_counter()
+    runs = [
+        measure(args.seed_base + i, crash_at)
+        for i in range(args.seeds)
+        for crash_at in CRASH_TIMES
+    ]
+    latencies = [lat for run in runs for lat in run["recovery_latencies"]]
+    fractions = [run["degraded_output_fraction"] for run in runs]
+    report = {
+        "benchmark": "faults",
+        "seed_base": args.seed_base,
+        "runs": runs,
+        "summary": {
+            "n_runs": len(runs),
+            "n_recovered": len(latencies),
+            "recovery_latency_mean_s": (
+                sum(latencies) / len(latencies) if latencies else None
+            ),
+            "recovery_latency_max_s": max(latencies) if latencies else None,
+            "degraded_output_fraction_mean": sum(fractions) / len(fractions),
+            "degraded_output_fraction_max": max(fractions),
+        },
+        "wall_seconds": round(time.perf_counter() - started, 2),
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(report["summary"], indent=2))
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

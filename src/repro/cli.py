@@ -4,6 +4,7 @@ Examples::
 
     swjoin run --rate 3000 --slaves 4 --scale 0.05
     swjoin run --scale 0.05 --adaptive --trace trace.jsonl
+    swjoin run --scale 0.05 --fault crash:2@35s
     swjoin report trace.jsonl
     swjoin experiment fig07 --scale 0.05
     swjoin experiment all --out EXPERIMENTS.generated.md
@@ -22,6 +23,7 @@ from repro._version import __version__
 from repro.analysis.experiments import DEFAULT_SCALE, EXPERIMENTS, run_experiment
 from repro.config import ObservabilityConfig, SystemConfig
 from repro.core.system import JoinSystem
+from repro.faults.plan import FaultPlan
 
 
 def _add_run_parser(sub: t.Any) -> None:
@@ -48,6 +50,15 @@ def _add_run_parser(sub: t.Any) -> None:
     p.add_argument("--plot-gauge", metavar="GAUGE",
                    help="chart one sampled gauge after the run "
                         "(e.g. occupancy, window_bytes, queue_depth)")
+    p.add_argument("--fault", metavar="SPEC", action="append",
+                   help="inject a fault; repeatable.  SPECs: "
+                        "crash:<slave>@<t>s, drop:<src>-><dst>@<k>, "
+                        "delay:<src>-><dst>@<k>+<s>s, "
+                        "slow:<slave>x<factor>@<t0>-<t1>s")
+    p.add_argument("--detect-timeout", type=float, metavar="SECONDS",
+                   help="failure-detection timeout on the master's "
+                        "scheduled receives (default: one distribution "
+                        "epoch when faults are injected)")
 
 
 def _obs_config(args: argparse.Namespace) -> ObservabilityConfig:
@@ -80,6 +91,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         load_balancing=not args.no_load_balancing,
         obs=_obs_config(args),
     )
+    if args.fault or args.detect_timeout is not None:
+        cfg = cfg.with_(
+            faults=FaultPlan.parse(
+                args.fault or (), detect_timeout=args.detect_timeout
+            )
+        )
     started = time.perf_counter()
     result = JoinSystem(cfg).run()
     elapsed = time.perf_counter() - started

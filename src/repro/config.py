@@ -37,6 +37,7 @@ import typing as t
 from dataclasses import dataclass, field, replace
 
 from repro.errors import ConfigError
+from repro.faults.plan import FaultPlan
 
 KIB = 1024
 MIB = 1024 * 1024
@@ -254,6 +255,11 @@ class SystemConfig:
     cost: CostModelConfig = field(default_factory=CostModelConfig)
     #: Tracing / time-series sampling; off by default.
     obs: ObservabilityConfig = field(default_factory=ObservabilityConfig)
+    #: Deterministic fault plan (crashes, message faults, slowdowns);
+    #: empty by default — an empty plan arms no timers, spawns no
+    #: injector, and leaves the run byte-identical to one without the
+    #: fault plane.
+    faults: FaultPlan = field(default_factory=FaultPlan)
 
     # ----------------------------------------------------------------------
     @classmethod
@@ -366,4 +372,5 @@ class SystemConfig:
         self.network.validated()
         self.cost.validated()
         self.obs.validated()
+        self.faults.validated(num_slaves=self.num_slaves)
         return self

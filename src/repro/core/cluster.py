@@ -28,6 +28,9 @@ from repro.obs.tracer import Tracer, build_tracer
 from repro.simul.rng import RngRegistry
 from repro.workload.generator import TwoStreamWorkload
 
+if t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
+
 MASTER_ID = 0
 COLLECTOR_ID = 1
 
@@ -51,6 +54,8 @@ class Cluster(t.NamedTuple):
     gate: MeasurementWindow
     tracer: Tracer
     sampler: TimeSeriesSampler | None
+    #: Shared fault injector (None on fault-free runs).
+    faults: "FaultInjector | None" = None
 
     def processes(self) -> list[tuple[str, t.Generator]]:
         """All node generators, named, ready to spawn on a runtime."""
@@ -143,6 +148,7 @@ def build_cluster(
     workload: t.Any = None,
     collect_pairs: bool = False,
     tracer: Tracer | None = None,
+    faults: "FaultInjector | None" = None,
 ) -> Cluster:
     """Wire a full cluster on the given runtime/transport backends.
 
@@ -150,6 +156,9 @@ def build_cluster(
     ``runtime`` must satisfy :class:`~repro.runtime.base.Runtime` plus
     ``make_lock``/``make_queue``.  ``tracer`` overrides the one built
     from ``cfg.obs`` (the system layer shares it with the transport).
+    ``faults`` is the run's shared fault injector (slaves consult it
+    for CPU slowdowns; the system layer wires the same object into the
+    transport and spawns its crash processes).
     """
     cfg = cfg.validated()
     gate = MeasurementWindow(cfg.warmup_seconds, cfg.run_seconds)
@@ -217,6 +226,7 @@ def build_cluster(
                 schedules.get(node_id),
                 active=node_id in active_ids,
                 tracer=tracer,
+                faults=faults,
             )
         )
         slave_metrics.append(metrics)
@@ -241,4 +251,5 @@ def build_cluster(
         gate,
         tracer,
         sampler,
+        faults,
     )

@@ -17,6 +17,7 @@ import typing as t
 from repro.core.metrics import DelayStats, MeasurementWindow
 from repro.core.protocol import Halt, ResultReport
 from repro.errors import ProtocolError
+from repro.faults.markers import NodeDown
 from repro.mp.comm import Communicator
 
 
@@ -80,6 +81,10 @@ class CollectorNode:
         while True:
             msg = yield self.comm.recv(slave)
             if isinstance(msg, Halt):
+                return
+            if isinstance(msg, NodeDown):
+                # The slave crashed: its result stream simply ends
+                # (reports already merged stay counted).
                 return
             if not isinstance(msg, ResultReport):
                 raise ProtocolError(

@@ -149,3 +149,26 @@ class DeclusteringController:
                 )
 
         return ReorgPlan(tuple(moves), tuple(activate), tuple(deactivate), cls)
+
+    # -- failure recovery (fault plane) -----------------------------------
+    def plan_recovery(
+        self,
+        lost_pids: t.Sequence[int],
+        occupancy: t.Mapping[int, float],
+    ) -> dict[int, tuple[int, ...]]:
+        """Reassign a dead slave's partition-groups to the survivors.
+
+        Uses the same discipline as draining a deactivated node —
+        round-robin over survivors ordered by reported occupancy — but
+        is deterministic (no rng draw: recovery must replay identically
+        regardless of how many load-balancing decisions preceded it).
+        Returns ``{survivor: (pid, ...)}``; empty when no survivor
+        exists.
+        """
+        survivors = sorted(occupancy, key=lambda s: (occupancy[s], s))
+        if not survivors:
+            return {}
+        adopt: dict[int, list[int]] = {}
+        for i, pid in enumerate(sorted(lost_pids)):
+            adopt.setdefault(survivors[i % len(survivors)], []).append(int(pid))
+        return {s: tuple(pids) for s, pids in adopt.items()}

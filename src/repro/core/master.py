@@ -14,6 +14,22 @@ reorganization protocol at every reorganization epoch:
 4. ship pending tuples to non-participants immediately, collect
    :class:`~repro.core.protocol.MoveAck` from participants, then ship
    to them too (the ordering the paper specifies).
+
+Failure handling (fault plane, see DESIGN.md "Fault model").  When the
+run carries a fault plan, every scheduled receive from a slave is armed
+with a detection timeout.  A slave that stays silent is declared dead
+at that epoch boundary and *fenced*: its channel towards the master is
+drained and a ``Halt`` is sent, so a merely-slow slave shuts down
+cleanly instead of wedging the fixed schedule (suspected-dead becomes
+actually-stopped — the classic fail-stop conversion).  At the next
+epoch the master runs a *recovery round*: the dead slave's
+partition-groups are reassigned to survivors via the declustering
+machinery, survivors adopt them with empty window state (the lost
+window is a documented deviation; master-buffered tuples are *not*
+lost), and an updated slot schedule is broadcast.  ``self.active``
+always mirrors the schedule last broadcast to the slaves — slaves that
+die mid-round stay in it until the next recovery round re-plans, so
+master-side slot offsets never diverge from slave-side ones.
 """
 
 from __future__ import annotations
@@ -23,7 +39,7 @@ import typing as t
 
 from repro.config import SystemConfig
 from repro.core.buffer import MasterBuffer
-from repro.core.declustering import DeclusteringController
+from repro.core.declustering import DeclusteringController, ReorgPlan
 from repro.core.metrics import MasterMetrics
 from repro.core.protocol import (
     Activate,
@@ -34,8 +50,9 @@ from repro.core.protocol import (
     SlaveSync,
 )
 from repro.core.subgroups import build_schedules, groups_in_order
+from repro.faults.markers import peer_silent
 from repro.mp.comm import Communicator
-from repro.obs.events import DodEvent, EpochEvent, ReorgEvent
+from repro.obs.events import DodEvent, EpochEvent, FaultEvent, RecoveryEvent, ReorgEvent
 from repro.obs.tracer import NULL_TRACER, Tracer
 
 
@@ -73,6 +90,18 @@ class MasterNode:
         self._next_gen_time = 0.0
         #: Latest load report per slave (refreshed every sync).
         self.latest_reports: dict[int, t.Any] = {}
+        #: Slaves declared dead (fenced); never contacted again.
+        self.dead: set[int] = set()
+        #: Failure records awaiting a recovery round (shared objects
+        #: with :attr:`MasterMetrics.failures`).
+        self._unrecovered: list[dict[str, t.Any]] = []
+        #: Detection timeout armed on scheduled receives; ``None`` with
+        #: an empty fault plan (no timers, byte-identical runs).
+        self._detect_timeout: float | None = (
+            cfg.faults.effective_timeout(cfg.dist_epoch)
+            if cfg.faults.enabled
+            else None
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -114,11 +143,131 @@ class MasterNode:
                 )
             if reorg:
                 yield from self._reorg_round(k)
+            elif self._unrecovered:
+                yield from self._recovery_round(k)
             else:
                 yield from self._distribution_round(k)
             self.metrics.epochs += 1
             k += 1
         yield from self._halt_round(k)
+
+    # -- failure detection (fault plane) -----------------------------------
+    def _sync_or_detect(self, s: int, k: int) -> t.Generator:
+        """Receive a slave's sync, or declare it dead on silence.
+
+        Returns the :class:`SlaveSync` (refreshing the load report), or
+        ``None`` after fencing a silent slave.
+        """
+        sync = yield from self.comm.recv_expect(
+            s, SlaveSync, timeout=self._detect_timeout
+        )
+        if peer_silent(sync):
+            yield from self._on_slave_silent(s, k, "sync")
+            return None
+        self.latest_reports[s] = sync.report
+        return sync
+
+    def _on_slave_silent(self, s: int, k: int, where: str) -> t.Generator:
+        """Fence slave *s* and record the failure for recovery.
+
+        Fencing makes "suspected dead" equivalent to "stopped": the
+        slave's channel towards the master is drained (its pending and
+        future sends complete silently) and a ``Halt`` is sent, so a
+        live-but-late slave shuts down cleanly while a crashed one
+        absorbs the Halt in the transport's buffered-write model.
+        """
+        rt = self.rt
+        now = rt.now()
+        self.dead.add(s)
+        self.comm.drain(s)
+        yield self.comm.send(s, Halt(k))
+        report = self.latest_reports.get(s)
+        record: dict[str, t.Any] = {
+            "slave": s,
+            "epoch": k,
+            "detected_at": now,
+            "where": where,
+            "pids": tuple(self.buffer.pids_of(s)),
+            "window_bytes_lost": 0 if report is None else report.window_bytes,
+            "recovered_at": None,
+            "recovery_latency": None,
+        }
+        self.metrics.failures.append(record)
+        self._unrecovered.append(record)
+        if self.tracer.enabled:
+            timeout = self._detect_timeout or 0.0
+            self.tracer.emit(
+                FaultEvent(
+                    t=now,
+                    node=self.comm.node_id,
+                    action="detect",
+                    target=s,
+                    epoch=k,
+                    info=timeout,
+                )
+            )
+            self.tracer.emit(
+                FaultEvent(
+                    t=now,
+                    node=self.comm.node_id,
+                    action="fence",
+                    target=s,
+                    epoch=k,
+                )
+            )
+
+    def _plan_adoption(self, live: t.Sequence[int]) -> dict[int, tuple[int, ...]]:
+        """Reassign every partition-group currently owned by a dead
+        slave, remapping the master buffer so pending tuples follow."""
+        lost = [
+            pid for pid, owner in self.buffer.mapping.items() if owner in self.dead
+        ]
+        occupancy = {
+            s: (
+                self.latest_reports[s].avg_occupancy
+                if s in self.latest_reports
+                else 0.0
+            )
+            for s in live
+        }
+        adopt = self.controller.plan_recovery(lost, occupancy)
+        for s, pids in adopt.items():
+            for pid in pids:
+                self.buffer.remap(pid, s)
+        return adopt
+
+    def _finish_recovery(
+        self,
+        k: int,
+        adopt: t.Mapping[int, tuple[int, ...]],
+        records: t.Sequence[dict[str, t.Any]],
+    ) -> None:
+        """Stamp recovery latency on the *covered* failure records.
+
+        *records* is the snapshot taken at adoption-planning time — a
+        prefix of ``_unrecovered``; slaves detected dead later in the
+        same round stay queued for the next recovery round.
+        """
+        now = self.rt.now()
+        self._unrecovered = self._unrecovered[len(records):]
+        for record in records:
+            record["recovered_at"] = now
+            record["recovery_latency"] = now - record["detected_at"]
+        if self.tracer.enabled and records:
+            oldest = min(r["detected_at"] for r in records)
+            self.tracer.emit(
+                RecoveryEvent(
+                    t=now,
+                    node=self.comm.node_id,
+                    epoch=k,
+                    dead=tuple(sorted(r["slave"] for r in records)),
+                    pids=tuple(
+                        sorted(pid for pids in adopt.values() for pid in pids)
+                    ),
+                    adopters=tuple(sorted(adopt)),
+                    latency=now - oldest,
+                )
+            )
 
     # -- workload ingestion ------------------------------------------------
     def _generate_upto(self, now: float) -> None:
@@ -139,8 +288,11 @@ class MasterNode:
             yield rt.sleep_until(t_dist + g * slot_len)
             self._generate_upto(rt.now())
             for s in members:
-                sync = yield from comm.recv_expect(s, SlaveSync)
-                self.latest_reports[s] = sync.report
+                if s in self.dead:
+                    continue
+                sync = yield from self._sync_or_detect(s, k)
+                if sync is None:
+                    continue
                 yield from self._ship_to(k, s)
 
     def _ship_to(self, k: int, slave: int) -> t.Generator:
@@ -156,16 +308,25 @@ class MasterNode:
 
         actives = list(self.active)
         for s in actives:
-            sync = yield from comm.recv_expect(s, SlaveSync)
-            self.latest_reports[s] = sync.report
+            if s in self.dead:
+                continue
+            yield from self._sync_or_detect(s, k)
 
-        occupancy = {
-            s: self.latest_reports[s].avg_occupancy for s in actives
-        }
-        ownership = {s: self.buffer.pids_of(s) for s in actives}
-        plan = self.controller.plan(
-            occupancy, self.inactive, ownership, now=rt.now(), epoch=k
-        )
+        live = [s for s in actives if s not in self.dead]
+        recovering = list(self._unrecovered)
+        adopt: dict[int, tuple[int, ...]] = {}
+        occupancy = {s: self.latest_reports[s].avg_occupancy for s in live}
+        if recovering:
+            # A recovery epoch performs exactly one control action:
+            # adoption of the dead slaves' partition-groups.  Load
+            # balancing and DoD adaptation resume at the next epoch.
+            adopt = self._plan_adoption(live)
+            plan = ReorgPlan((), (), (), self.controller.classify(occupancy))
+        else:
+            ownership = {s: self.buffer.pids_of(s) for s in live}
+            plan = self.controller.plan(
+                occupancy, self.inactive, ownership, now=rt.now(), epoch=k
+            )
         cls = plan.classification
         self.metrics.supplier_counts.append(
             (rt.now(), len(cls.suppliers), len(cls.consumers), len(cls.neutrals))
@@ -186,18 +347,19 @@ class MasterNode:
             )
 
         new_active = sorted(
-            (set(actives) | set(plan.activate)) - set(plan.deactivate)
+            (set(live) | set(plan.activate)) - set(plan.deactivate)
         )
         schedules = build_schedules(new_active, cfg.num_subgroups, cfg.dist_epoch)
 
         for s in plan.activate:
             yield comm.send(s, Activate(k, clock=rt.now(), schedule=schedules[s]))
 
-        order_targets = sorted(set(actives) | set(plan.activate))
+        order_targets = sorted(set(live) | set(plan.activate))
         acks_expected: dict[int, int] = {}
         for s in order_targets:
             outgoing = tuple(m for m in plan.moves if m.src == s)
             incoming = tuple(m for m in plan.moves if m.dst == s)
+            adopted = adopt.get(s, ())
             yield comm.send(
                 s,
                 ReorgOrder(
@@ -207,13 +369,15 @@ class MasterNode:
                     deactivate=s in plan.deactivate,
                     clock=rt.now(),
                     schedule=schedules.get(s),
+                    adopt=adopted,
                 ),
             )
-            if outgoing or incoming:
-                acks_expected[s] = len(outgoing) + len(incoming)
+            if outgoing or incoming or adopted:
+                acks_expected[s] = len(outgoing) + len(incoming) + len(adopted)
 
         # The mapping changes take effect now: tuples buffered for a
-        # moved partition will be shipped to the new owner below.
+        # moved partition will be shipped to the new owner below
+        # (adoptions were remapped by ``_plan_adoption``).
         for m in plan.moves:
             self.buffer.remap(m.pid, m.dst)
         self.metrics.moves_ordered += len(plan.moves)
@@ -225,11 +389,18 @@ class MasterNode:
                 yield from self._ship_to(k, s)
         for s in sorted(acks_expected):
             for _ in range(acks_expected[s]):
-                yield from comm.recv_expect(s, MoveAck)
+                ack = yield from comm.recv_expect(
+                    s, MoveAck, timeout=self._detect_timeout
+                )
+                if peer_silent(ack):
+                    yield from self._on_slave_silent(s, k, "ack")
+                    break
         for s in sorted(participants):
-            if s not in deactivated:
+            if s not in deactivated and s not in self.dead:
                 yield from self._ship_to(k, s)
 
+        if recovering:
+            self._finish_recovery(k, adopt, recovering)
         if len(new_active) != len(actives):
             self.metrics.dod_changes.append((rt.now(), len(new_active)))
             if self.tracer.enabled:
@@ -244,9 +415,89 @@ class MasterNode:
                     )
                 )
         self.active = new_active
-        self.inactive = sorted(set(self.all_slaves) - set(new_active))
+        self.inactive = sorted(
+            set(self.all_slaves) - set(new_active) - self.dead
+        )
         self.schedules = schedules
         self.metrics.reorgs += 1
+
+    # -- recovery epoch (fault plane) -------------------------------------
+    def _recovery_round(self, k: int) -> t.Generator:
+        """A distribution round that folds in failure recovery.
+
+        Runs at the first plain epoch after a failure was detected (a
+        reorganization epoch handles recovery itself).  Keeps the old
+        slot structure — the surviving slaves still hold last epoch's
+        schedule — but answers each sync with a moves-free
+        :class:`ReorgOrder` carrying the partition-groups to adopt and
+        the new slot schedule, then ships after the adoption acks.
+        """
+        rt, comm, cfg = self.rt, self.comm, self.cfg
+        t_dist = (k + 1) * cfg.dist_epoch
+        live = [s for s in self.active if s not in self.dead]
+        if not live:
+            # Nobody left to adopt anything: leave the failure records
+            # unrecovered and keep draining the clock.
+            self._unrecovered = []
+            yield rt.sleep_until(t_dist)
+            self._generate_upto(rt.now())
+            return
+        recovering = list(self._unrecovered)
+        adopt = self._plan_adoption(live)
+        new_schedules = build_schedules(live, cfg.num_subgroups, cfg.dist_epoch)
+        groups = groups_in_order(self.active, cfg.num_subgroups)
+        slot_len = cfg.dist_epoch / len(groups)
+        for g, members in enumerate(groups):
+            yield rt.sleep_until(t_dist + g * slot_len)
+            self._generate_upto(rt.now())
+            for s in members:
+                if s in self.dead:
+                    continue
+                sync = yield from self._sync_or_detect(s, k)
+                if sync is None:
+                    continue
+                adopted = adopt.get(s, ())
+                yield comm.send(
+                    s,
+                    ReorgOrder(
+                        k,
+                        clock=rt.now(),
+                        schedule=new_schedules.get(s),
+                        adopt=adopted,
+                    ),
+                )
+                alive = True
+                for _ in adopted:
+                    ack = yield from comm.recv_expect(
+                        s, MoveAck, timeout=self._detect_timeout
+                    )
+                    if peer_silent(ack):
+                        yield from self._on_slave_silent(s, k, "ack")
+                        alive = False
+                        break
+                if alive:
+                    yield from self._ship_to(k, s)
+        if len(live) != len(self.active):
+            self.metrics.dod_changes.append((rt.now(), len(live)))
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    DodEvent(
+                        t=rt.now(),
+                        node=self.comm.node_id,
+                        epoch=k,
+                        n_active=len(live),
+                        activated=(),
+                        deactivated=tuple(
+                            s for s in self.active if s in self.dead
+                        ),
+                    )
+                )
+        self.active = live
+        self.inactive = sorted(
+            set(self.all_slaves) - set(live) - self.dead
+        )
+        self.schedules = new_schedules
+        self._finish_recovery(k, adopt, recovering)
 
     # -- shutdown ----------------------------------------------------------------
     def _halt_round(self, k: int) -> t.Generator:
@@ -260,7 +511,11 @@ class MasterNode:
             order = [s for g in groups_in_order(self.active, cfg.num_subgroups) for s in g]
             yield rt.sleep_until(t_dist)
         for s in order:
-            yield from comm.recv_expect(s, SlaveSync)
+            if s in self.dead:
+                continue
+            sync = yield from self._sync_or_detect(s, k)
+            if sync is None:
+                continue  # the fence already sent this slave a Halt
             yield comm.send(s, Halt(k))
         for s in self.inactive:
             yield comm.send(s, Halt(k))

@@ -260,6 +260,10 @@ class MasterMetrics:
         self.moves_ordered = 0
         self.dod_changes: list[tuple[float, int]] = []
         self.supplier_counts: list[tuple[float, int, int, int]] = []
+        #: One record per detected slave failure (fault plane): slave,
+        #: epoch, detected_at, where, pids, window_bytes_lost, plus
+        #: recovered_at / recovery_latency once recovery completes.
+        self.failures: list[dict[str, t.Any]] = []
 
     def record_comm(self, t0: float, t1: float, nbytes: int, sent: bool) -> None:
         span = self.gate.overlap(t0, t1)

@@ -83,6 +83,11 @@ class ReorgOrder(Message):
     Carries the moves this slave participates in (as supplier and/or
     consumer), whether the slave is being deactivated afterwards, and a
     clock-synchronization stamp (Algorithm 1, line 18).
+
+    Recovery orders additionally carry ``adopt``: partition-groups of a
+    crashed slave this slave must re-own with *empty* window state (no
+    supplier survives to send a :class:`StateTransfer`).  Each adoption
+    is acknowledged with a ``role="adopt"`` :class:`MoveAck`.
     """
 
     epoch: int
@@ -92,9 +97,13 @@ class ReorgOrder(Message):
     clock: float = 0.0
     #: This slave's communication slot from the next epoch on.
     schedule: SlotSchedule | None = None
+    #: Partition-groups to adopt from a dead slave (rebuilt empty).
+    adopt: tuple[int, ...] = ()
 
     def wire_bytes(self, tuple_bytes: int) -> int:
-        return CONTROL_BYTES + 24 * (len(self.outgoing) + len(self.incoming))
+        return CONTROL_BYTES + 24 * (
+            len(self.outgoing) + len(self.incoming)
+        ) + 8 * len(self.adopt)
 
 
 @dataclass(frozen=True)

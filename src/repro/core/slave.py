@@ -19,6 +19,14 @@ software components (each node of the testbed has two CPUs):
 The two share the join state under a lock; the comm module only touches
 it for state moves, so a long processing pass delays a state move — as
 it would on the real system — but never deadlocks.
+
+Fault plane: a slave wired to a :class:`~repro.faults.injector.
+FaultInjector` routes every CPU charge through it (planned slowdowns);
+a consumer whose supplier died mid-transfer adopts the partition-group
+with empty window state (the :class:`~repro.faults.markers.NodeDown`
+marker replaces the :class:`~repro.core.protocol.StateTransfer`) and
+still acknowledges, keeping the master's ack count exact.  Recovery
+orders (``ReorgOrder.adopt``) can arrive at *plain* epochs too.
 """
 
 from __future__ import annotations
@@ -26,6 +34,7 @@ from __future__ import annotations
 import typing as t
 
 from repro.config import SystemConfig
+from repro.faults.markers import peer_silent
 from repro.core.join_module import JoinModule
 from repro.core.metrics import SlaveMetrics
 from repro.core.protocol import (
@@ -43,6 +52,9 @@ from repro.core.subgroups import SlotSchedule
 from repro.mp.comm import Communicator
 from repro.obs.events import DrainEvent, StateMoveEvent
 from repro.obs.tracer import NULL_TRACER, Tracer
+
+if t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
 
 #: Sentinel waking the join loop for shutdown.
 HALT_TOKEN = object()
@@ -68,6 +80,7 @@ class SlaveNode:
         schedule: SlotSchedule | None,
         active: bool,
         tracer: Tracer = NULL_TRACER,
+        faults: "FaultInjector | None" = None,
     ) -> None:
         self.node_id = node_id
         self.cfg = cfg
@@ -80,6 +93,7 @@ class SlaveNode:
         self.collector_id = collector_id
         self.schedule = schedule
         self.active = active
+        self.faults = faults
         self.epoch = 0
         # Share the module's cost model so a non-dedicated slave's
         # reduced speed also applies to its state-move work.
@@ -102,6 +116,12 @@ class SlaveNode:
     def _is_reorg_epoch(self, k: int) -> bool:
         return (k + 1) % self._reorg_every == 0
 
+    def _cpu_cost(self, cost: float) -> float:
+        """Modeled CPU seconds with planned slowdowns applied."""
+        if self.faults is None:
+            return cost
+        return self.faults.scaled_cpu(self.node_id, self.rt.now(), cost)
+
     # -- join loop ------------------------------------------------------
     def join_loop(self) -> t.Generator:
         rt, metrics = self.rt, self.metrics
@@ -114,7 +134,7 @@ class SlaveNode:
             yield self.lock.acquire()
             for unit in self.module.work_units():
                 t0 = rt.now()
-                yield rt.cpu(unit.cost)
+                yield rt.cpu(self._cpu_cost(unit.cost))
                 t1 = rt.now()
                 metrics.charge_cpu(_CPU_KIND[unit.kind], t0, t1)
                 unit.execute(t1)
@@ -178,9 +198,15 @@ class SlaveNode:
     def _plain_exchange(self, k: int) -> t.Generator:
         comm = self.comm
         yield comm.send(self.master_id, SlaveSync(k, self._make_report(k)))
-        msg = yield from comm.recv_expect(self.master_id, Shipment, Halt)
+        # A ReorgOrder at a plain epoch is a recovery round: the master
+        # is reassigning a dead slave's partition-groups.
+        msg = yield from comm.recv_expect(
+            self.master_id, Shipment, ReorgOrder, Halt
+        )
         if isinstance(msg, Halt):
             return True
+        if isinstance(msg, ReorgOrder):
+            return (yield from self._handle_order(msg))
         yield from self._accept_shipment(msg)
         return False
 
@@ -192,15 +218,22 @@ class SlaveNode:
         yield self.work_queue.put(WAKE_TOKEN)
 
     def _reorg_exchange(self, k: int, send_sync: bool) -> t.Generator:
-        rt, comm, metrics = self.rt, self.comm, self.metrics
-        tuple_bytes = self.cfg.tuple_bytes
+        comm = self.comm
         if send_sync:
             yield comm.send(self.master_id, SlaveSync(k, self._make_report(k)))
         self._reset_occupancy_window()
         msg = yield from comm.recv_expect(self.master_id, ReorgOrder, Halt)
         if isinstance(msg, Halt):
             return True
-        order: ReorgOrder = msg
+        return (yield from self._handle_order(msg))
+
+    def _handle_order(self, order: ReorgOrder) -> t.Generator:
+        """Execute one :class:`ReorgOrder` (reorganization or recovery).
+
+        Returns True when the exchange ended in a Halt.
+        """
+        rt, comm, metrics = self.rt, self.comm, self.metrics
+        tuple_bytes = self.cfg.tuple_bytes
         if order.schedule is not None:
             self.schedule = order.schedule
 
@@ -212,7 +245,7 @@ class SlaveNode:
             nbytes = (state.n_tuples + len(buffered)) * tuple_bytes
             t0 = rt.now()
             self._trace_move("begin", "supplier", mv.pid, mv.dst, nbytes, t0)
-            yield rt.cpu(self.cost_model.state_move_cost(nbytes))
+            yield rt.cpu(self._cpu_cost(self.cost_model.state_move_cost(nbytes)))
             metrics.charge_cpu("state_move", t0, rt.now())
             metrics.state_bytes_moved += nbytes
             yield comm.send(mv.dst, StateTransfer(mv.pid, state, buffered))
@@ -221,10 +254,20 @@ class SlaveNode:
         # Consumer role: receive and install.
         for mv in order.incoming:
             transfer = yield from comm.recv_expect(mv.src, StateTransfer)
+            if peer_silent(transfer):
+                # The supplier died before (or while) shipping this
+                # group's state: adopt the partition with empty windows
+                # — the same lost-state deviation as crash recovery —
+                # and still acknowledge, so the master's count is exact.
+                yield self.lock.acquire()
+                self.module.add_partition(mv.pid)
+                self.lock.release()
+                self._trace_move("lost", "consumer", mv.pid, mv.src, 0, rt.now())
+                continue
             nbytes = (transfer.state.n_tuples + len(transfer.buffered)) * tuple_bytes
             t0 = rt.now()
             self._trace_move("begin", "consumer", mv.pid, mv.src, nbytes, t0)
-            yield rt.cpu(self.cost_model.state_move_cost(nbytes))
+            yield rt.cpu(self._cpu_cost(self.cost_model.state_move_cost(nbytes)))
             metrics.charge_cpu("state_move", t0, rt.now())
             metrics.state_bytes_moved += nbytes
             yield self.lock.acquire()
@@ -235,6 +278,18 @@ class SlaveNode:
             self._trace_move("end", "consumer", mv.pid, mv.src, nbytes, rt.now())
             # The moved buffer may contain work; wake the join loop.
             yield self.work_queue.put(WAKE_TOKEN)
+
+        # Recovery role: re-own a dead slave's groups with empty state.
+        # Ack *before* installing: there is no transferred state to
+        # confirm (recovery epochs are moves-free), and the install may
+        # wait on the join lock behind a long pass — a saturated but
+        # live adopter must not trip the master's ack timeout.
+        for pid in order.adopt:
+            yield comm.send(self.master_id, MoveAck(pid, "adopt"))
+        for pid in order.adopt:
+            yield self.lock.acquire()
+            self.module.add_partition(pid)
+            self.lock.release()
 
         for mv in order.outgoing:
             yield comm.send(self.master_id, MoveAck(mv.pid, "supplier"))

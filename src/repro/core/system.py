@@ -65,8 +65,30 @@ class RunResult:
     #: Sampled gauge series ``{"n<node>.<gauge>": [(t, v), ...]}``
     #: (only with ``obs.sample_period``).
     series: dict[str, list[tuple[float, float]]] | None = None
+    #: Slave failures the master detected (fault plane): one record per
+    #: dead slave with detection epoch/time, lost pids and — once a
+    #: recovery round ran — recovery time and latency.
+    faults: list[dict[str, t.Any]] = dataclasses.field(default_factory=list)
+    #: Fault-plan injections that actually fired during the run.
+    injected_faults: list[dict[str, t.Any]] = dataclasses.field(
+        default_factory=list
+    )
 
     # -- headline metrics -------------------------------------------------
+    @property
+    def degraded(self) -> bool:
+        """True when the run survived one or more slave failures (its
+        output misses the dead slaves' lost window state)."""
+        return bool(self.faults)
+
+    @property
+    def recovery_latencies(self) -> list[float]:
+        """Detection-to-reassignment latency per recovered failure."""
+        return [
+            f["recovery_latency"]
+            for f in self.faults
+            if f.get("recovery_latency") is not None
+        ]
     @property
     def avg_delay(self) -> float:
         """Average production delay, seconds (Figures 5, 6, 8, 13)."""
@@ -133,6 +155,9 @@ class RunResult:
             "tuples_generated": self.tuples_generated,
             "slaves": self.slaves,
             "master": self.master,
+            "degraded": self.degraded,
+            "faults": self.faults,
+            "injected_faults": self.injected_faults,
         }
 
     def summary(self) -> str:
@@ -156,6 +181,12 @@ class RunResult:
         ]
         if self.dod_trace:
             lines.append(f"  degree-of-declustering trace: {self.dod_trace}")
+        if self.degraded:
+            latencies = ", ".join(f"{x:.2f}s" for x in self.recovery_latencies)
+            lines.append(
+                f"  DEGRADED: {len(self.faults)} slave failure(s), "
+                f"recovery latency: [{latencies}]"
+            )
         return "\n".join(lines)
 
 
@@ -177,12 +208,25 @@ class JoinSystem:
         sim = Simulator()
         runtime = SimRuntime(sim)
         tracer = build_tracer(cfg.obs, meta=trace_meta(cfg))
+        injector = None
+        if cfg.faults.enabled:
+            # Local import: repro.config -> repro.faults.plan must stay
+            # a one-way street (the injector pulls in the obs layer).
+            from repro.faults.injector import FaultInjector
+
+            injector = FaultInjector(
+                cfg.faults,
+                [slave_node_id(i) for i in range(cfg.num_slaves)],
+                cfg.dist_epoch,
+                tracer=tracer,
+            )
         transport = SimTransport(
             sim,
             cfg.network,
             cfg.tuple_bytes,
             # Transport spans are high-volume; opt in separately.
             tracer=tracer if cfg.obs.trace_transport else NULL_TRACER,
+            faults=injector,
         )
         cluster = build_cluster(
             cfg,
@@ -191,15 +235,36 @@ class JoinSystem:
             workload=self._workload_override,
             collect_pairs=self.collect_pairs,
             tracer=tracer,
+            faults=injector,
         )
 
         processes = [
             sim.process(gen, name=name) for name, gen in cluster.processes()
         ]
+        if injector is not None:
+            # Crash processes need the victims' Process handles: kill
+            # every process whose name is "slave<node_id>.<kind>".
+            by_node: dict[int, list[t.Any]] = {}
+            for proc in processes:
+                name = proc.name
+                if name.startswith("slave"):
+                    nid = int(name[len("slave"): name.index(".")])
+                    by_node.setdefault(nid, []).append(proc)
+            for nid, crash in injector.crash_targets():
+                sim.process(
+                    injector.crash_process(
+                        nid, crash, runtime, transport, by_node.get(nid, ())
+                    ),
+                    name=f"fault.crash{nid}",
+                )
         sim.run(None)
         stuck = [p.name for p in processes if p.is_alive]
         if stuck:
-            raise DeadlockError(f"processes never finished: {stuck}")
+            pending = transport.pending_summary()
+            detail = (
+                f"; pending channel ops: {'; '.join(pending)}" if pending else ""
+            )
+            raise DeadlockError(f"processes never finished: {stuck}{detail}")
 
         return collect_result(cfg, cluster, self.collect_pairs)
 
@@ -235,6 +300,9 @@ def collect_result(
         "reorgs": master_metrics.reorgs,
         "moves_ordered": master_metrics.moves_ordered,
         "supplier_counts": master_metrics.supplier_counts,
+        "failures": master_metrics.failures,
+        "dead_slaves": sorted(cluster.master.dead),
+        "partition_owners": dict(sorted(cluster.buffer.mapping.items())),
     }
 
     trace = cluster.tracer.memory_records()
@@ -259,4 +327,8 @@ def collect_result(
         pairs=pairs,
         trace=trace,
         series=series,
+        faults=list(master_metrics.failures),
+        injected_faults=(
+            cluster.faults.injected_records() if cluster.faults else []
+        ),
     )

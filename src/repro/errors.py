@@ -27,7 +27,17 @@ class ConfigError(ReproError):
 
 class ProtocolError(ReproError):
     """Raised when a node receives a message violating the fixed
-    communication schedule (unexpected type, epoch, or sender)."""
+    communication schedule (unexpected type, epoch, or sender).
+
+    The message names the receiving node, the peer rank and the
+    expected vs. actual message types, so a chaos-test failure can be
+    triaged straight from the traceback."""
+
+
+class FaultInjectionError(ReproError):
+    """Raised for invalid fault-plane operations at run time (e.g.
+    crashing a node the transport does not know, or re-killing a node
+    that is already dead)."""
 
 
 class CapacityError(ReproError):

@@ -1,0 +1,37 @@
+"""Deterministic fault injection and failure markers (``repro.faults``).
+
+The package splits into three modules:
+
+* :mod:`repro.faults.plan` — the declarative :class:`FaultPlan`
+  vocabulary carried by :class:`~repro.config.SystemConfig`;
+* :mod:`repro.faults.markers` — in-band ``NodeDown``/``RecvTimeout``
+  values the transport synthesizes at failed rendezvous points;
+* :mod:`repro.faults.injector` — the run-time enforcement object
+  shared by transport, slaves and system layer.
+
+Only the dependency-free ``plan`` and ``markers`` modules are exported
+here: :mod:`repro.config` imports this package, and the injector (which
+depends on the observability layer) must stay out of that import cycle.
+Import it explicitly as ``from repro.faults.injector import
+FaultInjector``.
+"""
+
+from repro.faults.markers import NodeDown, RecvTimeout, peer_silent
+from repro.faults.plan import (
+    CrashFault,
+    FaultPlan,
+    MessageFault,
+    SlowFault,
+    parse_fault,
+)
+
+__all__ = [
+    "CrashFault",
+    "FaultPlan",
+    "MessageFault",
+    "NodeDown",
+    "RecvTimeout",
+    "SlowFault",
+    "parse_fault",
+    "peer_silent",
+]

@@ -1,0 +1,261 @@
+"""Deterministic fault plans (the injection vocabulary).
+
+A :class:`FaultPlan` describes every fault of a run *up front*, as part
+of :class:`~repro.config.SystemConfig` — fault schedules are therefore
+seeded, serialized and replayed exactly like the workload itself.  The
+plan knows three fault shapes:
+
+* :class:`CrashFault` — fail-stop: slave *i* (0-based index) dies at
+  simulated time *t*.  Its processes are killed, pending channel
+  operations are resolved (peers observe ``NodeDown``), and anything
+  later sent to it is silently discarded, like writes into a TCP
+  buffer whose remote end is gone.
+* :class:`MessageFault` — the *k*-th message posted on the directed
+  pair ``(src, dst)`` (1-based, node ids) is dropped, or delayed by a
+  fixed number of seconds.
+* :class:`SlowFault` — slave *i*'s CPU costs are multiplied by
+  ``factor`` over ``[start, stop)``, modeling a non-dedicated node
+  losing its CPU to background load mid-run.
+
+An *empty* plan is the default and guarantees byte-identical behavior
+with pre-fault-layer builds: no timers are armed, no counters consulted,
+no extra events scheduled.
+
+The CLI spec grammar (``swjoin run --fault SPEC``, repeatable)::
+
+    crash:2@35s            crash slave 2 at t=35
+    drop:2->0@3            drop the 3rd message slave-node 2 sends node 0
+    delay:2->0@3+0.5s      delay that message by 0.5 s instead
+    slow:1x4@10-20s        slave 1 runs 4x slower during [10, 20)
+
+Trailing ``s`` on seconds is optional everywhere.
+"""
+
+from __future__ import annotations
+
+import re
+import typing as t
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "CrashFault",
+    "MessageFault",
+    "SlowFault",
+    "FaultPlan",
+    "parse_fault",
+]
+
+
+@dataclass(frozen=True)
+class CrashFault:
+    """Fail-stop crash of one slave at a simulated time."""
+
+    #: Slave *index* (0-based; node id is assigned by the cluster).
+    slave: int
+    #: Simulated time of the crash, seconds.
+    at: float
+
+    def validated(self, num_slaves: int | None = None) -> "CrashFault":
+        if self.slave < 0:
+            raise ConfigError(f"crash slave index must be >= 0: {self.slave}")
+        if num_slaves is not None and self.slave >= num_slaves:
+            raise ConfigError(
+                f"crash targets slave {self.slave} but the cluster has "
+                f"only {num_slaves} slaves"
+            )
+        if self.at < 0:
+            raise ConfigError(f"crash time must be >= 0: {self.at}")
+        return self
+
+    def spec(self) -> str:
+        return f"crash:{self.slave}@{self.at:g}s"
+
+
+@dataclass(frozen=True)
+class MessageFault:
+    """Drop or delay one scheduled message on a directed node pair."""
+
+    #: Sender node id (0 = master, 1 = collector, slaves from 2).
+    src: int
+    #: Receiver node id.
+    dst: int
+    #: Which message: the k-th posted on the pair, 1-based.
+    k: int
+    #: ``"drop"`` or ``"delay"``.
+    action: str = "drop"
+    #: Extra transfer seconds when ``action == "delay"``.
+    delay: float = 0.0
+
+    def validated(self) -> "MessageFault":
+        if self.src < 0 or self.dst < 0 or self.src == self.dst:
+            raise ConfigError(
+                f"message fault needs distinct non-negative endpoints: "
+                f"{self.src}->{self.dst}"
+            )
+        if self.k < 1:
+            raise ConfigError(f"message ordinal is 1-based: {self.k}")
+        if self.action not in ("drop", "delay"):
+            raise ConfigError(f"unknown message-fault action: {self.action!r}")
+        if self.action == "delay" and self.delay <= 0:
+            raise ConfigError("delay faults need a positive delay")
+        if self.action == "drop" and self.delay:
+            raise ConfigError("drop faults take no delay")
+        return self
+
+    def spec(self) -> str:
+        if self.action == "drop":
+            return f"drop:{self.src}->{self.dst}@{self.k}"
+        return f"delay:{self.src}->{self.dst}@{self.k}+{self.delay:g}s"
+
+
+@dataclass(frozen=True)
+class SlowFault:
+    """CPU slowdown of one slave over a time interval."""
+
+    #: Slave index (0-based).
+    slave: int
+    #: CPU cost multiplier (> 1 means slower).
+    factor: float
+    #: Interval ``[start, stop)`` in simulated seconds.
+    start: float
+    stop: float
+
+    def validated(self, num_slaves: int | None = None) -> "SlowFault":
+        if self.slave < 0:
+            raise ConfigError(f"slow slave index must be >= 0: {self.slave}")
+        if num_slaves is not None and self.slave >= num_slaves:
+            raise ConfigError(
+                f"slowdown targets slave {self.slave} but the cluster "
+                f"has only {num_slaves} slaves"
+            )
+        if self.factor <= 0:
+            raise ConfigError(f"slowdown factor must be positive: {self.factor}")
+        if self.start < 0 or self.stop <= self.start:
+            raise ConfigError(
+                f"slowdown needs 0 <= start < stop: [{self.start}, {self.stop})"
+            )
+        return self
+
+    def spec(self) -> str:
+        return f"slow:{self.slave}x{self.factor:g}@{self.start:g}-{self.stop:g}s"
+
+
+_CRASH_RE = re.compile(r"^crash:(\d+)@([0-9.]+)s?$")
+_DROP_RE = re.compile(r"^drop:(\d+)->(\d+)@(\d+)$")
+_DELAY_RE = re.compile(r"^delay:(\d+)->(\d+)@(\d+)\+([0-9.]+)s?$")
+_SLOW_RE = re.compile(r"^slow:(\d+)x([0-9.]+)@([0-9.]+)-([0-9.]+)s?$")
+
+Fault = t.Union[CrashFault, MessageFault, SlowFault]
+
+
+def parse_fault(spec: str) -> Fault:
+    """Parse one ``--fault`` spec string (see module docstring)."""
+    text = spec.strip()
+    m = _CRASH_RE.match(text)
+    if m:
+        return CrashFault(int(m.group(1)), float(m.group(2))).validated()
+    m = _DROP_RE.match(text)
+    if m:
+        return MessageFault(
+            int(m.group(1)), int(m.group(2)), int(m.group(3)), "drop"
+        ).validated()
+    m = _DELAY_RE.match(text)
+    if m:
+        return MessageFault(
+            int(m.group(1)),
+            int(m.group(2)),
+            int(m.group(3)),
+            "delay",
+            float(m.group(4)),
+        ).validated()
+    m = _SLOW_RE.match(text)
+    if m:
+        return SlowFault(
+            int(m.group(1)),
+            float(m.group(2)),
+            float(m.group(3)),
+            float(m.group(4)),
+        ).validated()
+    raise ConfigError(
+        f"unparseable fault spec {spec!r} (expected crash:I@T, "
+        f"drop:SRC->DST@K, delay:SRC->DST@K+D or slow:IxF@T0-T1)"
+    )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The complete, deterministic fault schedule of one run."""
+
+    crashes: tuple[CrashFault, ...] = ()
+    messages: tuple[MessageFault, ...] = ()
+    slowdowns: tuple[SlowFault, ...] = ()
+    #: Heartbeat timeout (seconds) for the master's scheduled receives.
+    #: ``None`` defaults to one distribution epoch *when the plan is
+    #: enabled*; with an empty plan no timeout is ever armed.
+    detect_timeout: float | None = None
+
+    @property
+    def enabled(self) -> bool:
+        """True when this plan changes anything about the run."""
+        return bool(
+            self.crashes
+            or self.messages
+            or self.slowdowns
+            or self.detect_timeout is not None
+        )
+
+    def effective_timeout(self, dist_epoch: float) -> float:
+        """The armed detection timeout (defaults to one dist epoch)."""
+        return self.detect_timeout if self.detect_timeout is not None else dist_epoch
+
+    def validated(self, num_slaves: int | None = None) -> "FaultPlan":
+        for crash in self.crashes:
+            crash.validated(num_slaves)
+        for msg in self.messages:
+            msg.validated()
+        for slow in self.slowdowns:
+            slow.validated(num_slaves)
+        if self.detect_timeout is not None and self.detect_timeout <= 0:
+            raise ConfigError("detect_timeout must be positive (or None)")
+        seen: set[tuple[int, int, int]] = set()
+        for msg in self.messages:
+            key = (msg.src, msg.dst, msg.k)
+            if key in seen:
+                raise ConfigError(
+                    f"duplicate message fault on pair "
+                    f"{msg.src}->{msg.dst} ordinal {msg.k}"
+                )
+            seen.add(key)
+        return self
+
+    def specs(self) -> list[str]:
+        """Round-trippable spec strings (CLI echo, trace metadata)."""
+        faults: list[Fault] = [*self.crashes, *self.messages, *self.slowdowns]
+        return [f.spec() for f in faults]
+
+    @classmethod
+    def parse(
+        cls,
+        specs: t.Sequence[str],
+        detect_timeout: float | None = None,
+    ) -> "FaultPlan":
+        """Build a plan from CLI ``--fault`` spec strings."""
+        crashes: list[CrashFault] = []
+        messages: list[MessageFault] = []
+        slowdowns: list[SlowFault] = []
+        for spec in specs:
+            fault = parse_fault(spec)
+            if isinstance(fault, CrashFault):
+                crashes.append(fault)
+            elif isinstance(fault, MessageFault):
+                messages.append(fault)
+            else:
+                slowdowns.append(fault)
+        return cls(
+            crashes=tuple(crashes),
+            messages=tuple(messages),
+            slowdowns=tuple(slowdowns),
+            detect_timeout=detect_timeout,
+        ).validated()

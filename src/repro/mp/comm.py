@@ -12,6 +12,7 @@ from __future__ import annotations
 import typing as t
 
 from repro.errors import ProtocolError
+from repro.faults.markers import peer_silent
 
 
 class Endpoint(t.Protocol):
@@ -21,7 +22,11 @@ class Endpoint(t.Protocol):
 
     def send(self, dst: int, message: t.Any) -> t.Any: ...  # pragma: no cover
 
-    def recv(self, src: int) -> t.Any: ...  # pragma: no cover
+    def recv(
+        self, src: int, timeout: float | None = None
+    ) -> t.Any: ...  # pragma: no cover
+
+    def drain(self, src: int) -> None: ...  # pragma: no cover
 
 
 class Communicator:
@@ -39,23 +44,42 @@ class Communicator:
         """Awaitable: blocking send (rendezvous)."""
         return self.endpoint.send(dst, message)
 
-    def recv(self, src: int) -> t.Any:
-        """Awaitable: blocking receive from *src*."""
-        return self.endpoint.recv(src)
+    def recv(self, src: int, timeout: float | None = None) -> t.Any:
+        """Awaitable: blocking receive from *src*.
 
-    def recv_expect(self, src: int, *types: type) -> t.Generator:
+        With a *timeout*, the awaitable resolves to a
+        :class:`~repro.faults.markers.RecvTimeout` marker if the peer
+        stays silent that long.
+        """
+        return self.endpoint.recv(src, timeout)
+
+    def recv_expect(
+        self, src: int, *types: type, timeout: float | None = None
+    ) -> t.Generator:
         """Receive from *src* and type-check against the fixed schedule.
 
         Usage: ``msg = yield from comm.recv_expect(src, Shipment, Halt)``.
+
+        Fault markers (``NodeDown``/``RecvTimeout``) bypass the type
+        check and are returned as-is: a silent peer is the caller's
+        decision to make, not a protocol violation by a live one.
         """
-        message = yield self.endpoint.recv(src)
+        message = yield self.endpoint.recv(src, timeout)
+        if peer_silent(message):
+            return message
         if types and not isinstance(message, types):
-            names = "/".join(tp.__name__ for tp in types)
+            names = " | ".join(tp.__name__ for tp in types)
             raise ProtocolError(
-                f"node {self.node_id} expected {names} from {src}, "
-                f"got {type(message).__name__}"
+                f"protocol violation at node {self.node_id}: expected "
+                f"{names} from peer {src}, got {type(message).__name__} "
+                f"({message!r:.160s})"
             )
         return message
+
+    def drain(self, src: int) -> None:
+        """Fence the channel from *src*: pending and future sends by
+        *src* to this node complete silently (see the transport)."""
+        self.endpoint.drain(src)
 
     # -- collectives (serial, fixed order) -----------------------------------
     def bcast(self, targets: t.Sequence[int], message: t.Any) -> t.Generator:

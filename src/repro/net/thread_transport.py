@@ -12,6 +12,7 @@ import queue
 import time
 import typing as t
 
+from repro.faults.markers import RecvTimeout
 from repro.net.sim_transport import CommStats
 from repro.runtime.thread import Thunk
 
@@ -79,12 +80,24 @@ class ThreadEndpoint:
 
         return Thunk(fn)
 
-    def recv(self, src: int) -> Thunk:
+    def recv(self, src: int, timeout: float | None = None) -> Thunk:
         chan = self.transport._channel(src, self.node_id)
 
         def fn() -> t.Any:
             t0 = self.transport._now()
-            message = chan.data.get()
+            if timeout is None:
+                message = chan.data.get()
+            else:
+                # Model seconds -> wall seconds via the time scale.
+                try:
+                    message = chan.data.get(
+                        timeout=max(0.0, timeout) * self.transport.time_scale
+                    )
+                except queue.Empty:
+                    t1 = self.transport._now()
+                    if self.stats is not None:
+                        self.stats.record_idle(t0, t1)
+                    return RecvTimeout(timeout)
             chan.ack.put(True)
             t1 = self.transport._now()
             if self.stats is not None:
@@ -94,3 +107,8 @@ class ThreadEndpoint:
             return message
 
         return Thunk(fn)
+
+    def drain(self, src: int) -> None:
+        """Fencing is a no-op on the thread backend: a live thread's
+        blocked ``send`` is released at interpreter shutdown, and the
+        chaos suite only runs against the simulated transport."""

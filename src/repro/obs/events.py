@@ -22,6 +22,8 @@ kind            meaning
 ``state_move``  begin/end of one partition-group state transfer
 ``transport``   one rendezvous transfer on the wire (opt-in, high volume)
 ``sample``      one periodic gauge sample of a node (time-series layer)
+``fault``       a fault fired (injection) or was detected/fenced (master)
+``recovery``    the master reassigned a dead slave's partitions
 ==============  ============================================================
 """
 
@@ -43,6 +45,8 @@ __all__ = [
     "StateMoveEvent",
     "TransportEvent",
     "SampleEvent",
+    "FaultEvent",
+    "RecoveryEvent",
     "EVENT_KINDS",
 ]
 
@@ -200,6 +204,43 @@ class SampleEvent(TraceEvent):
     gauges: dict[str, float]
 
 
+@dataclasses.dataclass(frozen=True)
+class FaultEvent(TraceEvent):
+    """One fault-plane action.
+
+    ``action`` is ``crash``/``drop``/``delay``/``slow`` for injections
+    (emitted by the injector; ``node`` is the acting side) and
+    ``detect``/``fence`` for the master's failure handling (``node`` is
+    the master).  ``target`` is the affected node; ``info`` carries the
+    action's scalar (crash time, delay seconds, slowdown factor, or the
+    armed detection timeout).
+    """
+
+    kind: t.ClassVar[str] = "fault"
+
+    action: str
+    target: int
+    epoch: int = -1
+    info: float = 0.0
+
+
+@dataclasses.dataclass(frozen=True)
+class RecoveryEvent(TraceEvent):
+    """The master reassigned dead slaves' partition-groups.
+
+    ``latency`` is the recovery latency of the *oldest* outstanding
+    failure folded into this round (detection to reassignment).
+    """
+
+    kind: t.ClassVar[str] = "recovery"
+
+    epoch: int
+    dead: tuple[int, ...]
+    pids: tuple[int, ...]
+    adopters: tuple[int, ...]
+    latency: float
+
+
 EVENT_KINDS: tuple[str, ...] = tuple(
     cls.kind
     for cls in (
@@ -214,5 +255,7 @@ EVENT_KINDS: tuple[str, ...] = tuple(
         StateMoveEvent,
         TransportEvent,
         SampleEvent,
+        FaultEvent,
+        RecoveryEvent,
     )
 )

@@ -1,0 +1,69 @@
+"""Fault injection is part of the seeded, replayable experiment state.
+
+Same seed + same FaultPlan must reproduce the run byte-for-byte;
+different fault schedules must visibly diverge; and a plan that only
+arms detection (no faults) must not perturb a healthy run at all.
+"""
+
+import json
+
+from repro.config import ObservabilityConfig
+from repro.core.system import JoinSystem
+from repro.faults.plan import FaultPlan
+
+from tests.faults.test_chaos import SEEDS, chaos_cfg
+
+
+def result_fingerprint(result) -> str:
+    return json.dumps(result.to_dict(), sort_keys=True, default=str)
+
+
+def test_same_seed_same_plan_is_byte_identical():
+    cfg = chaos_cfg(SEEDS[0], faults=FaultPlan.parse(["crash:1@5s"]))
+    first = JoinSystem(cfg).run()
+    second = JoinSystem(cfg).run()
+    assert result_fingerprint(first) == result_fingerprint(second)
+
+
+def test_different_fault_schedules_diverge():
+    early = chaos_cfg(SEEDS[0], faults=FaultPlan.parse(["crash:1@3s"]))
+    late = chaos_cfg(SEEDS[0], faults=FaultPlan.parse(["crash:1@9s"]))
+    a = JoinSystem(early).run()
+    b = JoinSystem(late).run()
+    assert a.injected_faults != b.injected_faults
+    assert a.faults[0]["detected_at"] != b.faults[0]["detected_at"]
+    assert result_fingerprint(a) != result_fingerprint(b)
+
+
+def test_detection_timers_alone_do_not_perturb_the_run():
+    """Arming heartbeat timeouts without any fault must leave every
+    metric identical to the fault-free run (zero-overhead invariant)."""
+    plain = chaos_cfg(SEEDS[0])
+    armed = plain.with_(faults=FaultPlan(detect_timeout=5.0))
+    baseline = JoinSystem(plain).run()
+    guarded = JoinSystem(armed).run()
+    assert not guarded.degraded
+    assert result_fingerprint(baseline) == result_fingerprint(guarded)
+
+
+def test_trace_records_fault_and_recovery_events():
+    """With tracing on, the trace tells the failure story: injection,
+    detection, fencing, then one recovery event naming the adopters."""
+    cfg = chaos_cfg(
+        SEEDS[0],
+        faults=FaultPlan.parse(["crash:1@5s"]),
+        obs=ObservabilityConfig(trace_memory=True),
+    )
+    result = JoinSystem(cfg).run()
+    assert result.trace is not None
+    by_kind: dict[str, list] = {}
+    for record in result.trace:
+        by_kind.setdefault(record["kind"], []).append(record)
+    fault_actions = [r["action"] for r in by_kind.get("fault", ())]
+    assert "crash" in fault_actions
+    assert "detect" in fault_actions
+    assert "fence" in fault_actions
+    recoveries = by_kind.get("recovery", [])
+    assert len(recoveries) == 1
+    assert list(recoveries[0]["dead"]) == [result.faults[0]["slave"]]
+    assert sorted(recoveries[0]["pids"]) == sorted(result.faults[0]["pids"])

@@ -1,0 +1,104 @@
+"""FaultPlan parsing, validation and round-tripping."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.errors import ConfigError
+from repro.faults.plan import (
+    CrashFault,
+    FaultPlan,
+    MessageFault,
+    SlowFault,
+    parse_fault,
+)
+
+
+class TestParse:
+    def test_crash_spec(self):
+        fault = parse_fault("crash:2@35s")
+        assert fault == CrashFault(2, 35.0)
+        assert fault.spec() == "crash:2@35s"
+
+    def test_trailing_s_is_optional(self):
+        assert parse_fault("crash:0@1.5") == CrashFault(0, 1.5)
+
+    def test_drop_spec(self):
+        fault = parse_fault("drop:2->0@3")
+        assert fault == MessageFault(2, 0, 3, "drop")
+        assert fault.spec() == "drop:2->0@3"
+
+    def test_delay_spec(self):
+        fault = parse_fault("delay:0->3@2+0.5s")
+        assert fault == MessageFault(0, 3, 2, "delay", 0.5)
+        assert fault.spec() == "delay:0->3@2+0.5s"
+
+    def test_slow_spec(self):
+        fault = parse_fault("slow:1x4@10-20s")
+        assert fault == SlowFault(1, 4.0, 10.0, 20.0)
+        assert fault.spec() == "slow:1x4@10-20s"
+
+    def test_specs_round_trip_through_parse(self):
+        plan = FaultPlan.parse(
+            ["crash:1@5s", "drop:0->2@3", "delay:2->0@1+0.25s", "slow:0x2@1-9s"]
+        )
+        assert FaultPlan.parse(plan.specs()) == plan
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "crash:1",
+            "crash:@3s",
+            "boom:1@3s",
+            "drop:1->1@2",  # src == dst
+            "drop:0->2@0",  # ordinals are 1-based
+            "delay:0->2@1+0s",  # delay must be positive
+            "slow:1x0@1-2s",  # factor must be positive
+            "slow:1x2@5-5s",  # empty interval
+            "",
+        ],
+    )
+    def test_bad_specs_raise_config_error(self, spec):
+        with pytest.raises(ConfigError):
+            parse_fault(spec)
+
+
+class TestValidation:
+    def test_crash_index_checked_against_cluster_size(self):
+        plan = FaultPlan.parse(["crash:5@1s"])
+        with pytest.raises(ConfigError, match="only 3 slaves"):
+            plan.validated(num_slaves=3)
+
+    def test_duplicate_message_ordinal_rejected(self):
+        plan = FaultPlan(
+            messages=(
+                MessageFault(0, 2, 3, "drop"),
+                MessageFault(0, 2, 3, "delay", 0.5),
+            )
+        )
+        with pytest.raises(ConfigError, match="duplicate"):
+            plan.validated()
+
+    def test_nonpositive_detect_timeout_rejected(self):
+        with pytest.raises(ConfigError, match="detect_timeout"):
+            FaultPlan(detect_timeout=0.0).validated()
+
+    def test_system_config_validates_its_plan(self):
+        cfg = SystemConfig.paper_defaults()
+        with pytest.raises(ConfigError):
+            cfg.with_(faults=FaultPlan.parse(["crash:99@1s"]))
+
+
+class TestEnablement:
+    def test_empty_plan_is_disabled(self):
+        plan = FaultPlan()
+        assert not plan.enabled
+
+    def test_any_fault_enables_the_plan(self):
+        assert FaultPlan.parse(["crash:0@1s"]).enabled
+        assert FaultPlan.parse(["drop:0->2@1"]).enabled
+        assert FaultPlan.parse(["slow:0x2@1-2s"]).enabled
+        assert FaultPlan(detect_timeout=3.0).enabled
+
+    def test_effective_timeout_defaults_to_dist_epoch(self):
+        assert FaultPlan.parse(["crash:0@1s"]).effective_timeout(2.0) == 2.0
+        assert FaultPlan(detect_timeout=0.75).effective_timeout(2.0) == 0.75

@@ -8,6 +8,9 @@ import numpy as np
 import pytest
 
 from repro import JoinSystem, SystemConfig
+from repro.core.hashing import partition_of
+from repro.core.system import slave_node_id
+from repro.faults.plan import FaultPlan
 from repro.reference import naive_window_join
 from repro.simul.rng import RngRegistry
 from repro.workload.generator import TwoStreamWorkload
@@ -103,3 +106,57 @@ class TestOracleEquivalence:
         cfg = base_cfg.with_(dist_epoch=0.5, reorg_epoch=2.0, rate=600.0)
         got, expected, _ = run_and_compare(cfg, seed=9)
         assert np.array_equal(got, expected)
+
+
+def pair_partitions(trace, pairs, npart):
+    """Partition id of each output pair (via its stream-0 tuple's key)."""
+    s0 = trace.stream == 0
+    key_by_seq = np.zeros(int(trace.seq[s0].max()) + 1, dtype=trace.key.dtype)
+    key_by_seq[trace.seq[s0]] = trace.key[s0]
+    return partition_of(key_by_seq[pairs[:, 0]], npart)
+
+
+class TestDegradedOracle:
+    """Failure semantics: a crash loses only the dead slave's window
+    state.  Output restricted to partitions that never lived on the
+    victim must still match the naive oracle exactly, and nothing the
+    degraded run produces may be spurious."""
+
+    def test_surviving_partitions_stay_exact_under_crash(self, base_cfg):
+        cfg = base_cfg.with_(
+            num_slaves=3,
+            run_seconds=18.0,
+            # Keep partition placement static so "never lived on the
+            # victim" is exactly the complement of the lost pids.
+            load_balancing=False,
+            faults=FaultPlan.parse(["crash:1@7s"]),
+        )
+        trace = closed_trace(cfg, seed=11)
+        result = JoinSystem(
+            cfg, collect_pairs=True, workload=TraceReplayer(trace)
+        ).run()
+        assert result.degraded
+        assert result.faults[0]["slave"] == slave_node_id(1)
+        lost_pids = sorted(result.faults[0]["pids"])
+        assert lost_pids  # the victim owned state when it died
+
+        got = result.pairs
+        got = got[np.lexsort((got[:, 1], got[:, 0]))]
+        expected = naive_window_join(trace, cfg.window_seconds)
+
+        # No spurious output: every produced pair is a true join result.
+        got_set = set(map(tuple, got.tolist()))
+        expected_set = set(map(tuple, expected.tolist()))
+        assert got_set <= expected_set
+        # The lost window state cost actual output (non-vacuous).
+        assert len(got) < len(expected)
+
+        # Surviving partitions are exact.
+        exp_surviving = expected[
+            ~np.isin(pair_partitions(trace, expected, cfg.npart), lost_pids)
+        ]
+        got_surviving = got[
+            ~np.isin(pair_partitions(trace, got, cfg.npart), lost_pids)
+        ]
+        assert len(exp_surviving) > 0
+        assert np.array_equal(got_surviving, exp_surviving)

@@ -51,6 +51,19 @@ class TestSIM001:
         ):
             assert fresh_keys({path: WALL_CLOCK_BAD}, only={"SIM001"}) == []
 
+    def test_faults_package_is_in_scope(self):
+        """The fault plane runs on simulated time like everything else:
+        no wall-clock exemption for repro.faults."""
+        keys = fresh_keys(
+            {"src/repro/faults/x.py": WALL_CLOCK_BAD}, only={"SIM001"}
+        )
+        assert keys == [
+            "SIM001 src/repro/faults/x.py:6",
+            "SIM001 src/repro/faults/x.py:7",
+            "SIM001 src/repro/faults/x.py:8",
+            "SIM001 src/repro/faults/x.py:9",
+        ]
+
     def test_simulated_now_is_fine(self):
         clean = "def step(rt):\n    return rt.now() + 1.0\n"
         assert fresh_keys({"src/repro/core/x.py": clean}, only={"SIM001"}) == []
