@@ -1,0 +1,157 @@
+"""Backend benchmark: throughput and CPU utilization, sim vs thread vs
+process.
+
+All three backends replay the *same* pregenerated trace (so workload
+generation — pure Python, GIL-bound — is paid once, outside the
+measured runs) under a near-zero modeled cost model: wall time is then
+dominated by the real numpy join work, which is exactly what
+distinguishes the backends.  The DES backend executes it single
+threaded by construction, the thread backend is GIL-bound, and the
+process backend spreads the per-slave probe work across cores.
+
+The default geometry (wide windows, few partitions) makes per-slave
+probe compute dominate the master's serial shipping path, so the
+process backend's multicore advantage is visible over its fork/wire
+overhead.  Reported per backend:
+
+* **wall_seconds** — end-to-end run time;
+* **cpu_seconds** — process CPU (self + reaped children);
+* **cpu_utilization** — cpu/wall: effective busy cores;
+* **throughput_tuples_per_s** — trace tuples ingested per wall second.
+
+Writes a JSON report (CI publishes it as ``BENCH_backends.json``)::
+
+    python benchmarks/bench_backends.py --out BENCH_backends.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import resource
+import time
+import typing as t
+
+from repro.config import CostModelConfig, SystemConfig
+from repro.core.system import JoinSystem
+from repro.simul.rng import RngRegistry
+from repro.workload.generator import TwoStreamWorkload
+from repro.workload.traces import TraceReplayer
+
+BACKENDS = ("sim", "thread", "process")
+
+#: Near-zero modeled costs: the DES cost model charges simulated
+#: seconds (slept on the wall backends); zeroing it makes the *real*
+#: compute the only load, the quantity this benchmark compares.
+CHEAP_COST = CostModelConfig(
+    tuple_cost=1e-7,
+    scan_byte_cost=1e-13,
+    state_move_byte_cost=1e-12,
+    expire_byte_cost=0.0,
+)
+
+
+def bench_cfg(args: argparse.Namespace) -> SystemConfig:
+    return (
+        SystemConfig.paper_defaults()
+        .scaled(0.05)
+        .with_(
+            num_slaves=args.slaves,
+            npart=8,
+            rate=args.rate,
+            window_seconds=120.0,
+            run_seconds=150.0,
+            warmup_seconds=30.0,
+            time_scale=args.time_scale,
+            cost=CHEAP_COST,
+            seed=args.seed,
+        )
+    )
+
+
+def cpu_seconds() -> float:
+    mine = resource.getrusage(resource.RUSAGE_SELF)
+    kids = resource.getrusage(resource.RUSAGE_CHILDREN)
+    return mine.ru_utime + mine.ru_stime + kids.ru_utime + kids.ru_stime
+
+
+def measure(cfg: SystemConfig, backend: str, trace: t.Any) -> dict[str, t.Any]:
+    wall0, cpu0 = time.perf_counter(), cpu_seconds()
+    result = JoinSystem(
+        cfg.with_(backend=backend), workload=TraceReplayer(trace)
+    ).run()
+    wall = time.perf_counter() - wall0
+    cpu = cpu_seconds() - cpu0
+    return {
+        "backend": backend,
+        "wall_seconds": round(wall, 3),
+        "cpu_seconds": round(cpu, 3),
+        "cpu_utilization": round(cpu / wall, 3),
+        "throughput_tuples_per_s": round(result.tuples_generated / wall, 1),
+        "tuples": result.tuples_generated,
+        "outputs": result.outputs,
+    }
+
+
+def main(argv: t.Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rate", type=float, default=4000.0)
+    parser.add_argument("--slaves", type=int, default=4)
+    parser.add_argument("--time-scale", type=float, default=0.005)
+    parser.add_argument("--seed", type=int, default=20130724)
+    parser.add_argument("--out", default="BENCH_backends.json")
+    args = parser.parse_args(argv)
+
+    cfg = bench_cfg(args)
+    workload = TwoStreamWorkload.poisson_bmodel(
+        RngRegistry(cfg.seed), cfg.rate, cfg.b_skew, cfg.key_domain
+    )
+    trace = workload.generate(0.0, cfg.run_seconds)
+
+    started = time.perf_counter()
+    runs = [measure(cfg, backend, trace) for backend in BACKENDS]
+    by_backend = {run["backend"]: run for run in runs}
+    speedup = (
+        by_backend["thread"]["wall_seconds"]
+        / by_backend["process"]["wall_seconds"]
+    )
+    report = {
+        "benchmark": "backends",
+        "trace_tuples": int(len(trace.ts)),
+        "config": {
+            "rate": cfg.rate,
+            "slaves": cfg.num_slaves,
+            "npart": cfg.npart,
+            "window_s": cfg.window_seconds,
+            "run_s": cfg.run_seconds,
+            "time_scale": cfg.time_scale,
+            "seed": cfg.seed,
+        },
+        "runs": runs,
+        "summary": {
+            "process_over_thread_speedup": round(speedup, 2),
+            "process_beats_thread": speedup > 1.0,
+            "process_cpu_utilization": by_backend["process"][
+                "cpu_utilization"
+            ],
+            "thread_cpu_utilization": by_backend["thread"]["cpu_utilization"],
+        },
+        "wall_seconds": round(time.perf_counter() - started, 2),
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    for run in runs:
+        print(
+            f"{run['backend']:>8}: wall={run['wall_seconds']:.2f}s "
+            f"cpu={run['cpu_seconds']:.2f}s "
+            f"util={run['cpu_utilization']:.2f} "
+            f"throughput={run['throughput_tuples_per_s']:,.0f} t/s"
+        )
+    print(json.dumps(report["summary"], indent=2))
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

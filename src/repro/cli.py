@@ -36,6 +36,15 @@ def _add_run_parser(sub: t.Any) -> None:
     p.add_argument("--dist-epoch", type=float, default=2.0)
     p.add_argument("--subgroups", type=int, default=1)
     p.add_argument("--seed", type=int, default=20130724)
+    p.add_argument("--backend", choices=("sim", "thread", "process"),
+                   default="sim",
+                   help="runtime backend: deterministic DES (sim, default), "
+                        "one thread per node generator (thread), or one OS "
+                        "process per cluster node (process)")
+    p.add_argument("--time-scale", type=float, default=None,
+                   metavar="FACTOR",
+                   help="wall seconds per modeled second on the thread/"
+                        "process backends (default 0.05; ignored by sim)")
     p.add_argument("--no-fine-tuning", action="store_true")
     p.add_argument("--adaptive", action="store_true",
                    help="enable adaptive degree of declustering")
@@ -78,6 +87,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     cfg = SystemConfig.paper_defaults()
     if args.scale != 1.0:
         cfg = cfg.scaled(args.scale)
+    if args.time_scale is None:
+        # A watchable default: 5% wall speed demos a scaled run in a
+        # few seconds without starving the real compute.
+        args.time_scale = 0.05
     cfg = cfg.with_(
         rate=args.rate,
         num_slaves=args.slaves,
@@ -86,6 +99,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         dist_epoch=args.dist_epoch,
         num_subgroups=args.subgroups,
         seed=args.seed,
+        backend=args.backend,
+        time_scale=args.time_scale,
         fine_tuning=not args.no_fine_tuning,
         adaptive_declustering=args.adaptive,
         load_balancing=not args.no_load_balancing,

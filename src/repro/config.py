@@ -240,6 +240,18 @@ class SystemConfig:
     #: Initial number of active slaves (defaults to all).
     initial_active_slaves: int | None = None
 
+    # -- execution backend -------------------------------------------------
+    #: Runtime backend executing the cluster: ``"sim"`` (deterministic
+    #: DES kernel), ``"thread"`` (one OS thread per node generator) or
+    #: ``"process"`` (one OS process per cluster node, real sockets).
+    #: Registered in :mod:`repro.core.system`; unknown names raise
+    #: :class:`ConfigError` at run time with the available set.
+    backend: str = "sim"
+    #: Wall seconds per modeled second on the wall-clock backends
+    #: (thread/process): ``time_scale=0.01`` compresses a 60-second
+    #: scenario into 0.6 wall seconds.  Ignored by the DES backend.
+    time_scale: float = 1.0
+
     # -- run --------------------------------------------------------------
     #: Simulated run length, seconds (paper: 20 minutes).
     run_seconds: float = 1200.0
@@ -360,6 +372,10 @@ class SystemConfig:
             raise ConfigError("need 0 <= th_con < th_sup <= 1")
         if not 0 < self.beta < 1:
             raise ConfigError("beta must lie in (0, 1)")
+        if not self.backend or not isinstance(self.backend, str):
+            raise ConfigError("backend must be a non-empty string")
+        if self.time_scale <= 0:
+            raise ConfigError("time_scale must be positive")
         if self.run_seconds <= 0 or not 0 <= self.warmup_seconds < self.run_seconds:
             raise ConfigError("need 0 <= warmup_seconds < run_seconds")
         if self.slave_buffer_bytes < self.block_bytes:

@@ -1,9 +1,24 @@
 """System wiring and the run loop.
 
-:class:`JoinSystem` assembles a simulated cluster — master, slaves,
-collector, transport — from a :class:`~repro.config.SystemConfig`, runs
-it to completion on the DES kernel, and returns a :class:`RunResult`
+:class:`JoinSystem` assembles a cluster — master, slaves, collector,
+transport — from a :class:`~repro.config.SystemConfig`, runs it to
+completion on the configured backend, and returns a :class:`RunResult`
 with every metric the paper's evaluation section reports.
+
+Backends live in a registry keyed by ``SystemConfig.backend``:
+
+``sim``
+    The deterministic DES kernel (:class:`SimBackend`, the default).
+``thread``
+    One OS thread per node generator, wall-clock time
+    (:class:`~repro.runtime.thread.ThreadBackend`).
+``process``
+    One OS process per cluster node, socket-pair channels and the
+    :mod:`repro.net.wire` codec
+    (:class:`~repro.runtime.process.ProcessBackend`).
+
+The non-default backends are registered through lazy factories so that
+importing this module never pulls in the wall-clock runtime stack.
 """
 
 from __future__ import annotations
@@ -23,7 +38,7 @@ from repro.core.cluster import (
     trace_meta,
 )
 from repro.core.metrics import DelayStats
-from repro.errors import DeadlockError
+from repro.errors import ConfigError, DeadlockError
 from repro.net.sim_transport import SimTransport
 from repro.obs.tracer import NULL_TRACER, build_tracer
 from repro.runtime.sim import SimRuntime
@@ -32,7 +47,13 @@ from repro.simul.kernel import Simulator
 __all__ = [
     "JoinSystem",
     "RunResult",
+    "Backend",
+    "SimBackend",
+    "register_backend",
+    "available_backends",
+    "get_backend",
     "collect_result",
+    "master_snapshot",
     "MASTER_ID",
     "COLLECTOR_ID",
     "slave_node_id",
@@ -190,8 +211,52 @@ class RunResult:
         return "\n".join(lines)
 
 
+class Backend(t.Protocol):
+    """A runtime backend: executes one configured cluster to completion."""
+
+    name: str
+
+    def run(
+        self,
+        cfg: SystemConfig,
+        collect_pairs: bool = False,
+        workload: t.Any = None,
+    ) -> "RunResult": ...  # pragma: no cover - protocol
+
+
+#: name -> zero-arg factory.  Factories, not instances, so the thread
+#: and process backends import lazily (registration is cheap, the
+#: runtime stack loads only when actually selected).
+_BACKEND_FACTORIES: dict[str, t.Callable[[], Backend]] = {}
+
+
+def register_backend(name: str, factory: t.Callable[[], Backend]) -> None:
+    """Register (or replace) a runtime backend under *name*."""
+    _BACKEND_FACTORIES[name] = factory
+
+
+def available_backends() -> list[str]:
+    """Registered backend names, sorted."""
+    return sorted(_BACKEND_FACTORIES)
+
+
+def get_backend(name: str) -> Backend:
+    """Instantiate the backend registered under *name*.
+
+    Raises :class:`~repro.errors.ConfigError` for unknown names, listing
+    what is available.
+    """
+    factory = _BACKEND_FACTORIES.get(name)
+    if factory is None:
+        raise ConfigError(
+            f"unknown backend {name!r}; available: "
+            f"{', '.join(available_backends())}"
+        )
+    return factory()
+
+
 class JoinSystem:
-    """One fully wired simulated cluster run."""
+    """One fully wired cluster run on the configured backend."""
 
     def __init__(
         self,
@@ -204,7 +269,23 @@ class JoinSystem:
         self._workload_override = workload
 
     def run(self) -> RunResult:
-        cfg = self.cfg
+        backend = get_backend(self.cfg.backend)
+        return backend.run(
+            self.cfg, self.collect_pairs, self._workload_override
+        )
+
+
+class SimBackend:
+    """The deterministic DES backend (``backend="sim"``)."""
+
+    name = "sim"
+
+    def run(
+        self,
+        cfg: SystemConfig,
+        collect_pairs: bool = False,
+        workload: t.Any = None,
+    ) -> RunResult:
         sim = Simulator()
         runtime = SimRuntime(sim)
         tracer = build_tracer(cfg.obs, meta=trace_meta(cfg))
@@ -232,8 +313,8 @@ class JoinSystem:
             cfg,
             runtime,
             transport,
-            workload=self._workload_override,
-            collect_pairs=self.collect_pairs,
+            workload=workload,
+            collect_pairs=collect_pairs,
             tracer=tracer,
             faults=injector,
         )
@@ -266,7 +347,46 @@ class JoinSystem:
             )
             raise DeadlockError(f"processes never finished: {stuck}{detail}")
 
-        return collect_result(cfg, cluster, self.collect_pairs)
+        return collect_result(cfg, cluster, collect_pairs)
+
+
+def _thread_backend() -> Backend:
+    from repro.runtime.thread import ThreadBackend
+
+    return ThreadBackend()
+
+
+def _process_backend() -> Backend:
+    from repro.runtime.process import ProcessBackend
+
+    return ProcessBackend()
+
+
+register_backend("sim", SimBackend)
+register_backend("thread", _thread_backend)
+register_backend("process", _process_backend)
+
+
+def master_snapshot(cluster: "Cluster") -> dict[str, t.Any]:
+    """Master-side metric snapshot (shared by every backend; the
+    process backend pickles this dict across the result pipe)."""
+    master_metrics = cluster.master_metrics
+    return {
+        "comm_time": master_metrics.comm_time,
+        "idle_time": master_metrics.idle_time,
+        "bytes_sent": master_metrics.bytes_sent,
+        "bytes_received": master_metrics.bytes_received,
+        "messages": master_metrics.messages,
+        "max_buffer_bytes": master_metrics.max_buffer_bytes,
+        "tuples_ingested": master_metrics.tuples_ingested,
+        "epochs": master_metrics.epochs,
+        "reorgs": master_metrics.reorgs,
+        "moves_ordered": master_metrics.moves_ordered,
+        "supplier_counts": master_metrics.supplier_counts,
+        "failures": master_metrics.failures,
+        "dead_slaves": sorted(cluster.master.dead),
+        "partition_owners": dict(sorted(cluster.buffer.mapping.items())),
+    }
 
 
 def collect_result(
@@ -288,22 +408,6 @@ def collect_result(
         )
 
     master_metrics = cluster.master_metrics
-    master_snapshot = {
-        "comm_time": master_metrics.comm_time,
-        "idle_time": master_metrics.idle_time,
-        "bytes_sent": master_metrics.bytes_sent,
-        "bytes_received": master_metrics.bytes_received,
-        "messages": master_metrics.messages,
-        "max_buffer_bytes": master_metrics.max_buffer_bytes,
-        "tuples_ingested": master_metrics.tuples_ingested,
-        "epochs": master_metrics.epochs,
-        "reorgs": master_metrics.reorgs,
-        "moves_ordered": master_metrics.moves_ordered,
-        "supplier_counts": master_metrics.supplier_counts,
-        "failures": master_metrics.failures,
-        "dead_slaves": sorted(cluster.master.dead),
-        "partition_owners": dict(sorted(cluster.buffer.mapping.items())),
-    }
 
     trace = cluster.tracer.memory_records()
     series = (
@@ -318,7 +422,7 @@ def collect_result(
         delays=merged,
         collector_delays=cluster.collector.delays,
         slaves=[m.snapshot() for m in cluster.slave_metrics],
-        master=master_snapshot,
+        master=master_snapshot(cluster),
         dod_trace=list(master_metrics.dod_changes),
         delay_timeline=cluster.collector.timeline_rows(),
         tuples_generated=workload.tuples_generated

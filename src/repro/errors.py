@@ -40,6 +40,13 @@ class FaultInjectionError(ReproError):
     that is already dead)."""
 
 
+class WireError(ReproError):
+    """Raised by the wire codec for malformed frames: bad magic, an
+    unsupported version, an unknown message tag, truncation, or
+    trailing bytes.  A decode failure never yields a partial message —
+    the frame is rejected whole."""
+
+
 class CapacityError(ReproError):
     """Raised when a bounded buffer would exceed its allotted capacity."""
 

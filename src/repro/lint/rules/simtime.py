@@ -45,10 +45,13 @@ WALL_CLOCK_NAMES = frozenset(
 )
 
 #: Files that legitimately touch the host clock: the wall-clock-backed
-#: thread runtime/transport pair and the CLI's elapsed-time reporting.
+#: thread/process runtime and transport pairs and the CLI's
+#: elapsed-time reporting.
 WALL_CLOCK_ALLOWED_SUFFIXES: tuple[str, ...] = (
     "repro/runtime/thread.py",
+    "repro/runtime/process.py",
     "repro/net/thread_transport.py",
+    "repro/net/proc_transport.py",
     "repro/cli.py",
 )
 

@@ -1,0 +1,341 @@
+"""Socket-pair channels for the process backend.
+
+Each unordered node pair of the cluster shares one full-duplex
+``socket.socketpair()``; the two endpoint processes inherit one end
+each (the parent closes both after forking, so peer death is
+observable as EOF).  Messages travel as length-prefixed frames::
+
+    length  4 bytes  big-endian payload size
+    payload         one :mod:`repro.net.wire` encoded message
+
+Semantics, mirrored from :class:`~repro.net.sim_transport.SimTransport`
+so :mod:`repro.mp.comm` collectives behave identically:
+
+* **FIFO per pair** — kernel stream sockets preserve order; the fixed
+  communication schedule needs nothing stronger.
+* **peer EOF → NodeDown** — when the remote process exits (cleanly or
+  killed), buffered frames are still delivered, then ``recv`` resolves
+  to :class:`~repro.faults.markers.NodeDown`, the same marker the DES
+  transport synthesizes for a reaped node.  The PR 3 failure-detection
+  path in the master therefore works unchanged.
+* **sends to a dead peer complete silently** — a write hitting a
+  closed socket (``BrokenPipeError``/``ECONNRESET``) is the
+  TCP-buffered-write model of a fail-stop peer: the sender cannot
+  know, the message is discarded, the send "succeeds".
+* **recv timeout → RecvTimeout** — an armed detection timeout that
+  elapses with no frame resolves to
+  :class:`~repro.faults.markers.RecvTimeout` (timeout is in *modeled*
+  seconds; the wall wait is scaled by ``time_scale``).
+* **drain fences a pair** — after ``drain(src)``, frames from *src*
+  are consumed and discarded by a background reader so a live-but-late
+  peer can never wedge on a full socket buffer, and local receives
+  from the fenced peer resolve to ``NodeDown`` (the master never
+  legitimately receives from a slave it fenced).
+
+Unlike the rendezvous transports, sends are *buffered*: ``send``
+completes once the frame is written to the socket, which blocks only
+when the kernel buffer fills (natural backpressure).  Statistics
+therefore measure real wall time spent writing/reading, not modeled
+rendezvous spans — see the backend matrix in the README.
+"""
+
+from __future__ import annotations
+
+import select
+import socket
+import struct
+import threading
+import time
+import typing as t
+
+from repro.faults.markers import NodeDown, RecvTimeout
+from repro.net.sim_transport import CommStats
+from repro.net.wire import decode_message, encode_message
+from repro.runtime.thread import Thunk
+
+#: Frame header: big-endian payload length.
+FRAME_HEADER = struct.Struct("!I")
+#: Refuse absurd frames (a corrupted header would otherwise make the
+#: reader try to allocate gigabytes before failing).
+MAX_FRAME_BYTES = 1 << 30
+
+#: Sentinel distinguishing "timed out" from "EOF" inside the reader.
+_TIMED_OUT = object()
+_EOF = object()
+
+
+def write_frame(sock: socket.socket, payload: bytes) -> None:
+    """Write one length-prefixed frame (blocking until buffered)."""
+    sock.sendall(FRAME_HEADER.pack(len(payload)) + payload)
+
+
+class FrameReader:
+    """Incremental frame reassembly over one stream socket.
+
+    Keeps a byte buffer so a frame split across arbitrarily many
+    ``recv`` calls (partial reads) — or several frames arriving in one
+    ``recv`` — reassembles correctly.  Exactly one thread reads any
+    given channel, so the buffer needs no lock.
+    """
+
+    def __init__(self, sock: socket.socket, chunk_bytes: int = 65536) -> None:
+        self.sock = sock
+        self.chunk_bytes = chunk_bytes
+        self._buf = bytearray()
+        self._eof = False
+
+    def _fill(self, deadline: float | None) -> bool:
+        """Read one chunk into the buffer.
+
+        Returns False on timeout; sets ``_eof`` on connection end.
+        """
+        if deadline is not None:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return False
+            ready, _, _ = select.select([self.sock], [], [], remaining)
+            if not ready:
+                return False
+        try:
+            chunk = self.sock.recv(self.chunk_bytes)
+        except (ConnectionResetError, OSError):
+            chunk = b""
+        if not chunk:
+            self._eof = True
+        else:
+            self._buf += chunk
+        return True
+
+    def read_frame(self, timeout: float | None = None) -> t.Any:
+        """One frame's payload bytes, ``_EOF``, or ``_TIMED_OUT``.
+
+        *timeout* is in wall seconds and bounds the wait for the
+        *first* byte of the frame; once a frame has started arriving it
+        is read to completion (the peer is evidently alive).
+        """
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        while len(self._buf) < FRAME_HEADER.size:
+            if self._eof:
+                return _EOF
+            started = len(self._buf) > 0
+            if not self._fill(None if started else deadline):
+                return _TIMED_OUT
+        (length,) = FRAME_HEADER.unpack(bytes(self._buf[: FRAME_HEADER.size]))
+        if length > MAX_FRAME_BYTES:
+            raise ValueError(f"frame of {length} bytes exceeds sanity bound")
+        total = FRAME_HEADER.size + length
+        while len(self._buf) < total:
+            if self._eof:
+                # A torn frame: the peer died mid-write.  Surface it as
+                # EOF — the partial payload must never reach the codec.
+                return _EOF
+            self._fill(None)
+        payload = bytes(self._buf[FRAME_HEADER.size : total])
+        del self._buf[:total]
+        return payload
+
+
+class _Channel:
+    """This node's half of one peer socket."""
+
+    __slots__ = ("peer", "sock", "reader", "send_lock", "draining")
+
+    def __init__(self, peer: int, sock: socket.socket) -> None:
+        self.peer = peer
+        self.sock = sock
+        self.reader = FrameReader(sock)
+        self.send_lock = threading.Lock()
+        self.draining = False
+
+
+class _ForeignEndpoint:
+    """Endpoint stub for a node that lives in another OS process.
+
+    ``build_cluster`` wires every node of the cluster, but a process
+    backend child only *runs* its own node's generators — the other
+    nodes' endpoints must never be exercised here.
+    """
+
+    __slots__ = ("node_id",)
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+
+    def _refuse(self, *_a: t.Any, **_k: t.Any) -> t.NoReturn:
+        raise RuntimeError(
+            f"node {self.node_id} lives in another process; its endpoint "
+            "cannot be used here"
+        )
+
+    send = _refuse
+    recv = _refuse
+    drain = _refuse
+
+
+class ProcTransport:
+    """One process's view of the cluster interconnect.
+
+    ``peers`` maps peer node id -> this process's end of the shared
+    socket pair.  ``endpoint`` hands out the real endpoint for the
+    local node and refusing stubs for every other node.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        peers: t.Mapping[int, socket.socket],
+        tuple_bytes: int,
+        time_scale: float = 1.0,
+        origin: float | None = None,
+    ) -> None:
+        if time_scale <= 0:
+            raise ValueError("time_scale must be positive")
+        self.node_id = node_id
+        self.tuple_bytes = tuple_bytes
+        self.time_scale = time_scale
+        self._origin = time.monotonic() if origin is None else origin
+        self._channels = {
+            peer: _Channel(peer, sock) for peer, sock in peers.items()
+        }
+        self._drain_threads: list[threading.Thread] = []
+
+    # -- clock ---------------------------------------------------------------
+    def _now(self) -> float:
+        return (time.monotonic() - self._origin) / self.time_scale
+
+    def rebase(self, origin: float) -> None:
+        """Move modeled t=0 to the given ``time.monotonic()`` value (set
+        by the process backend's start barrier, shared by all nodes)."""
+        self._origin = origin
+
+    # -- wiring --------------------------------------------------------------
+    def endpoint(
+        self, node_id: int, stats: CommStats | None = None
+    ) -> "ProcEndpoint | _ForeignEndpoint":
+        if node_id != self.node_id:
+            return _ForeignEndpoint(node_id)
+        return ProcEndpoint(self, stats)
+
+    def channel(self, peer: int) -> _Channel:
+        chan = self._channels.get(peer)
+        if chan is None:
+            raise RuntimeError(
+                f"node {self.node_id} has no channel to peer {peer}"
+            )
+        return chan
+
+    def close(self) -> None:
+        """Close every socket (end of run; peers observe EOF)."""
+        for chan in self._channels.values():
+            try:
+                chan.sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            chan.sock.close()
+
+    def _message_bytes(self, message: t.Any) -> int:
+        # Stats record the *modeled* 64 B/tuple wire size, like the sim
+        # and thread transports, so per-byte metrics stay comparable.
+        wire = getattr(message, "wire_bytes", None)
+        return 64 if wire is None else int(wire(self.tuple_bytes))
+
+    # -- fencing -------------------------------------------------------------
+    def drain_peer(self, peer: int) -> None:
+        """Fence *peer*: discard its frames in the background forever.
+
+        Idempotent.  Keeps a live-but-fenced peer from blocking on a
+        full socket buffer (the process analogue of
+        :meth:`SimTransport.drain_pair`'s silently-completing sends).
+        """
+        chan = self.channel(peer)
+        if chan.draining:
+            return
+        chan.draining = True
+
+        def discard() -> None:
+            while True:
+                frame = chan.reader.read_frame(None)
+                if frame is _EOF:
+                    return
+
+        thread = threading.Thread(
+            target=discard,
+            name=f"drain:{peer}->{self.node_id}",
+            daemon=True,
+        )
+        self._drain_threads.append(thread)
+        thread.start()
+
+
+class ProcEndpoint:
+    """The local node's handle on the process transport."""
+
+    __slots__ = ("transport", "node_id", "stats")
+
+    def __init__(
+        self, transport: ProcTransport, stats: CommStats | None
+    ) -> None:
+        self.transport = transport
+        self.node_id = transport.node_id
+        self.stats = stats
+
+    def send(self, dst: int, message: t.Any) -> Thunk:
+        transport = self.transport
+        chan = transport.channel(dst)
+
+        def fn() -> None:
+            payload = encode_message(message)
+            t0 = transport._now()
+            try:
+                with chan.send_lock:
+                    write_frame(chan.sock, payload)
+            except (BrokenPipeError, ConnectionResetError, OSError):
+                # Fail-stop peer: the write lands in a void, exactly
+                # like a TCP write buffered towards a dead host.  The
+                # sender cannot observe the difference.
+                pass
+            t1 = transport._now()
+            if self.stats is not None:
+                nbytes = transport._message_bytes(message)
+                self.stats.record_comm(t0, t1, nbytes, sent=True)
+
+        return Thunk(fn)
+
+    def recv(self, src: int, timeout: float | None = None) -> Thunk:
+        transport = self.transport
+        chan = transport.channel(src)
+
+        def fn() -> t.Any:
+            t0 = transport._now()
+            if chan.draining:
+                # The pair is fenced: this node gave up on the peer.
+                return NodeDown(src)
+            wall = (
+                None
+                if timeout is None
+                else max(0.0, timeout) * transport.time_scale
+            )
+            frame = chan.reader.read_frame(wall)
+            t1 = transport._now()
+            if frame is _TIMED_OUT:
+                if self.stats is not None:
+                    self.stats.record_idle(t0, t1)
+                return RecvTimeout(timeout or 0.0)
+            if frame is _EOF:
+                if self.stats is not None:
+                    self.stats.record_idle(t0, t1)
+                return NodeDown(src)
+            message = decode_message(frame)
+            if self.stats is not None:
+                nbytes = transport._message_bytes(message)
+                self.stats.record_idle(t0, t1)
+                self.stats.record_comm(t1, t1, nbytes, sent=False)
+            return message
+
+        return Thunk(fn)
+
+    def drain(self, src: int) -> None:
+        """Fence the channel from *src* (see :meth:`ProcTransport.drain_peer`)."""
+        self.transport.drain_peer(src)

@@ -1,0 +1,453 @@
+"""Versioned wire codec for the process backend.
+
+The process backend runs master, slaves and collector as separate OS
+processes, so every message of :mod:`repro.core.protocol` must cross a
+real socket.  This module is the (de)serializer: a small, explicit,
+versioned binary format — **not** pickle — so that
+
+* a truncated or corrupted frame raises :class:`~repro.errors.WireError`
+  instead of silently producing garbage (or executing attacker-chosen
+  code, as unpickling a socket would);
+* the format is independent of Python object layout: renaming a field
+  or reordering a dataclass is caught by the version byte and the
+  round-trip property tests, not by a crash three epochs later.
+
+Layout.  Every encoded message starts with a fixed header::
+
+    magic   2 bytes   b"SJ"
+    version 1 byte    WIRE_VERSION
+    tag     1 byte    message type (see _TAGS)
+
+followed by the type's body.  Scalars use network byte order
+(``struct`` format ``!``); strings and numpy arrays are length-prefixed.
+Array columns travel as raw little-endian bytes of their canonical
+dtype (the :mod:`repro.data.tuples` column dtypes are fixed by
+construction), so encoding is a ``tobytes``/``frombuffer`` pair — no
+per-element work.
+
+The codec is deliberately closed-world: only the message types of the
+fixed communication schedule (plus their payload structures
+:class:`~repro.data.tuples.TupleBatch`,
+:class:`~repro.core.metrics.DelayStats`,
+:class:`~repro.core.partition_group.PartitionGroupState`) can travel.
+Encoding any other object raises :class:`~repro.errors.WireError`.
+"""
+
+from __future__ import annotations
+
+import struct
+import typing as t
+
+import numpy as np
+
+from repro.core.metrics import DelayStats
+from repro.core.partition_group import GroupState, PartitionGroupState
+from repro.core.protocol import (
+    Activate,
+    Halt,
+    LoadReport,
+    MoveAck,
+    MoveDirective,
+    ReorgOrder,
+    ResultReport,
+    Shipment,
+    SlaveSync,
+    StateTransfer,
+)
+from repro.core.subgroups import SlotSchedule
+from repro.data.tuples import (
+    KEY_DTYPE,
+    SEQ_DTYPE,
+    STREAM_DTYPE,
+    TS_DTYPE,
+    TupleBatch,
+)
+from repro.errors import WireError
+
+__all__ = ["WIRE_VERSION", "MAGIC", "encode_message", "decode_message"]
+
+#: Bump on any incompatible change to the byte layout below.
+WIRE_VERSION = 1
+MAGIC = b"SJ"
+
+_U8 = struct.Struct("!B")
+_I64 = struct.Struct("!q")
+_F64 = struct.Struct("!d")
+_U32 = struct.Struct("!I")
+
+#: Dtypes an encoded array may carry, keyed by a one-byte code.  All
+#: arrays travel little-endian regardless of host order.
+_DTYPES: dict[int, np.dtype] = {
+    0: np.dtype("<f8"),
+    1: np.dtype("<i8"),
+    2: np.dtype("<u1"),
+}
+_DTYPE_CODES = {dt: code for code, dt in _DTYPES.items()}
+
+
+class _Writer:
+    """Append-only byte buffer with scalar helpers."""
+
+    __slots__ = ("buf",)
+
+    def __init__(self) -> None:
+        self.buf = bytearray()
+
+    def u8(self, v: int) -> None:
+        self.buf += _U8.pack(v)
+
+    def i64(self, v: int) -> None:
+        self.buf += _I64.pack(int(v))
+
+    def f64(self, v: float) -> None:
+        self.buf += _F64.pack(float(v))
+
+    def u32(self, v: int) -> None:
+        self.buf += _U32.pack(int(v))
+
+    def str_(self, s: str) -> None:
+        raw = s.encode("utf-8")
+        self.u32(len(raw))
+        self.buf += raw
+
+    def array(self, arr: np.ndarray) -> None:
+        canonical = arr.astype(arr.dtype.newbyteorder("<"), copy=False)
+        code = _DTYPE_CODES.get(canonical.dtype)
+        if code is None:
+            raise WireError(f"array dtype not on the wire menu: {arr.dtype}")
+        self.u8(code)
+        self.u32(len(canonical))
+        self.buf += canonical.tobytes()
+
+
+class _Reader:
+    """Bounds-checked cursor over one frame's bytes."""
+
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+
+    def take(self, n: int) -> bytes:
+        end = self.pos + n
+        if end > len(self.data):
+            raise WireError(
+                f"truncated frame: wanted {n} bytes at offset {self.pos}, "
+                f"frame has {len(self.data)}"
+            )
+        out = self.data[self.pos : end]
+        self.pos = end
+        return out
+
+    def u8(self) -> int:
+        return int(_U8.unpack(self.take(1))[0])
+
+    def i64(self) -> int:
+        return int(_I64.unpack(self.take(8))[0])
+
+    def f64(self) -> float:
+        return float(_F64.unpack(self.take(8))[0])
+
+    def u32(self) -> int:
+        return int(_U32.unpack(self.take(4))[0])
+
+    def str_(self) -> str:
+        n = self.u32()
+        return self.take(n).decode("utf-8")
+
+    def array(self) -> np.ndarray:
+        code = self.u8()
+        dtype = _DTYPES.get(code)
+        if dtype is None:
+            raise WireError(f"unknown array dtype code: {code}")
+        n = self.u32()
+        raw = self.take(n * dtype.itemsize)
+        return np.frombuffer(raw, dtype=dtype).copy()
+
+    def done(self) -> None:
+        if self.pos != len(self.data):
+            raise WireError(
+                f"{len(self.data) - self.pos} trailing bytes after message body"
+            )
+
+
+# -- payload structures ------------------------------------------------------
+
+
+def _put_batch(w: _Writer, batch: TupleBatch) -> None:
+    w.array(batch.ts)
+    w.array(batch.key)
+    w.array(batch.seq)
+    w.array(batch.stream)
+
+
+def _get_batch(r: _Reader) -> TupleBatch:
+    ts = r.array()
+    key = r.array()
+    seq = r.array()
+    stream = r.array()
+    if not len(ts) == len(key) == len(seq) == len(stream):
+        raise WireError("tuple batch columns of unequal length")
+    return TupleBatch(
+        ts.astype(TS_DTYPE, copy=False),
+        key.astype(KEY_DTYPE, copy=False),
+        seq.astype(SEQ_DTYPE, copy=False),
+        stream.astype(STREAM_DTYPE, copy=False),
+    )
+
+
+def _put_delay_stats(w: _Writer, stats: DelayStats) -> None:
+    w.i64(stats.count)
+    w.f64(stats.total)
+    w.f64(stats.minimum)
+    w.f64(stats.maximum)
+    w.array(stats.histogram)
+
+
+def _get_delay_stats(r: _Reader) -> DelayStats:
+    stats = DelayStats()
+    stats.count = r.i64()
+    stats.total = r.f64()
+    stats.minimum = r.f64()
+    stats.maximum = r.f64()
+    histogram = r.array().astype(np.int64, copy=False)
+    if len(histogram) != len(stats.histogram):
+        raise WireError(
+            f"delay histogram has {len(histogram)} bins, "
+            f"expected {len(stats.histogram)}"
+        )
+    stats.histogram = histogram
+    return stats
+
+
+def _put_schedule(w: _Writer, schedule: SlotSchedule | None) -> None:
+    if schedule is None:
+        w.u8(0)
+        return
+    w.u8(1)
+    w.i64(schedule.group_index)
+    w.i64(schedule.n_groups)
+    w.f64(schedule.dist_epoch)
+
+
+def _get_schedule(r: _Reader) -> SlotSchedule | None:
+    if not r.u8():
+        return None
+    return SlotSchedule(r.i64(), r.i64(), r.f64())
+
+
+def _put_moves(w: _Writer, moves: t.Sequence[MoveDirective]) -> None:
+    w.u32(len(moves))
+    for mv in moves:
+        w.i64(mv.pid)
+        w.i64(mv.src)
+        w.i64(mv.dst)
+
+
+def _get_moves(r: _Reader) -> tuple[MoveDirective, ...]:
+    return tuple(
+        MoveDirective(r.i64(), r.i64(), r.i64()) for _ in range(r.u32())
+    )
+
+
+def _put_state(w: _Writer, state: PartitionGroupState) -> None:
+    w.i64(state.pid)
+    w.i64(state.global_depth)
+    w.u32(len(state.groups))
+    for group in state.groups:
+        w.i64(group.pattern)
+        w.i64(group.local_depth)
+        w.u32(len(group.streams))
+        for committed, fresh in group.streams:
+            _put_batch(w, committed)
+            _put_batch(w, fresh)
+
+
+def _get_state(r: _Reader) -> PartitionGroupState:
+    pid = r.i64()
+    global_depth = r.i64()
+    groups = []
+    for _ in range(r.u32()):
+        pattern = r.i64()
+        local_depth = r.i64()
+        streams = tuple(
+            (_get_batch(r), _get_batch(r)) for _ in range(r.u32())
+        )
+        groups.append(GroupState(pattern, local_depth, streams))
+    return PartitionGroupState(pid, global_depth, tuple(groups))
+
+
+def _put_report(w: _Writer, report: LoadReport) -> None:
+    w.i64(report.epoch)
+    w.f64(report.avg_occupancy)
+    w.f64(report.last_occupancy)
+    w.i64(report.window_bytes)
+
+
+def _get_report(r: _Reader) -> LoadReport:
+    return LoadReport(r.i64(), r.f64(), r.f64(), r.i64())
+
+
+# -- message bodies ----------------------------------------------------------
+
+
+def _enc_shipment(w: _Writer, m: Shipment) -> None:
+    w.i64(m.epoch)
+    w.f64(m.epoch_start)
+    w.f64(m.epoch_end)
+    _put_batch(w, m.batch)
+
+
+def _dec_shipment(r: _Reader) -> Shipment:
+    return Shipment(r.i64(), r.f64(), r.f64(), _get_batch(r))
+
+
+def _enc_load_report(w: _Writer, m: LoadReport) -> None:
+    _put_report(w, m)
+
+
+def _dec_load_report(r: _Reader) -> LoadReport:
+    return _get_report(r)
+
+
+def _enc_reorg_order(w: _Writer, m: ReorgOrder) -> None:
+    w.i64(m.epoch)
+    _put_moves(w, m.outgoing)
+    _put_moves(w, m.incoming)
+    w.u8(1 if m.deactivate else 0)
+    w.f64(m.clock)
+    _put_schedule(w, m.schedule)
+    w.u32(len(m.adopt))
+    for pid in m.adopt:
+        w.i64(pid)
+
+
+def _dec_reorg_order(r: _Reader) -> ReorgOrder:
+    epoch = r.i64()
+    outgoing = _get_moves(r)
+    incoming = _get_moves(r)
+    deactivate = bool(r.u8())
+    clock = r.f64()
+    schedule = _get_schedule(r)
+    adopt = tuple(r.i64() for _ in range(r.u32()))
+    return ReorgOrder(
+        epoch,
+        outgoing=outgoing,
+        incoming=incoming,
+        deactivate=deactivate,
+        clock=clock,
+        schedule=schedule,
+        adopt=adopt,
+    )
+
+
+def _enc_state_transfer(w: _Writer, m: StateTransfer) -> None:
+    w.i64(m.pid)
+    _put_state(w, m.state)
+    _put_batch(w, m.buffered)
+
+
+def _dec_state_transfer(r: _Reader) -> StateTransfer:
+    return StateTransfer(r.i64(), _get_state(r), _get_batch(r))
+
+
+def _enc_move_ack(w: _Writer, m: MoveAck) -> None:
+    w.i64(m.pid)
+    w.str_(m.role)
+
+
+def _dec_move_ack(r: _Reader) -> MoveAck:
+    return MoveAck(r.i64(), r.str_())
+
+
+def _enc_activate(w: _Writer, m: Activate) -> None:
+    w.i64(m.epoch)
+    w.f64(m.clock)
+    _put_schedule(w, m.schedule)
+
+
+def _dec_activate(r: _Reader) -> Activate:
+    return Activate(r.i64(), r.f64(), _get_schedule(r))
+
+
+def _enc_result_report(w: _Writer, m: ResultReport) -> None:
+    w.i64(m.epoch)
+    _put_delay_stats(w, m.stats)
+
+
+def _dec_result_report(r: _Reader) -> ResultReport:
+    return ResultReport(r.i64(), _get_delay_stats(r))
+
+
+def _enc_halt(w: _Writer, m: Halt) -> None:
+    w.i64(m.epoch)
+
+
+def _dec_halt(r: _Reader) -> Halt:
+    return Halt(r.i64())
+
+
+def _enc_slave_sync(w: _Writer, m: SlaveSync) -> None:
+    w.i64(m.epoch)
+    _put_report(w, m.report)
+
+
+def _dec_slave_sync(r: _Reader) -> SlaveSync:
+    return SlaveSync(r.i64(), _get_report(r))
+
+
+#: tag -> (type, encoder, decoder).  Tags are part of the wire format:
+#: never renumber, only append (and bump WIRE_VERSION on change).
+_TAGS: dict[int, tuple[type, t.Any, t.Any]] = {
+    1: (Shipment, _enc_shipment, _dec_shipment),
+    2: (LoadReport, _enc_load_report, _dec_load_report),
+    3: (ReorgOrder, _enc_reorg_order, _dec_reorg_order),
+    4: (StateTransfer, _enc_state_transfer, _dec_state_transfer),
+    5: (MoveAck, _enc_move_ack, _dec_move_ack),
+    6: (Activate, _enc_activate, _dec_activate),
+    7: (ResultReport, _enc_result_report, _dec_result_report),
+    8: (Halt, _enc_halt, _dec_halt),
+    9: (SlaveSync, _enc_slave_sync, _dec_slave_sync),
+}
+_TAG_OF = {tp: tag for tag, (tp, _e, _d) in _TAGS.items()}
+
+
+def encode_message(message: t.Any) -> bytes:
+    """Serialize one protocol message to wire bytes (header + body)."""
+    tag = _TAG_OF.get(type(message))
+    if tag is None:
+        raise WireError(
+            f"{type(message).__name__} is not a wire message type"
+        )
+    w = _Writer()
+    w.buf += MAGIC
+    w.u8(WIRE_VERSION)
+    w.u8(tag)
+    _TAGS[tag][1](w, message)
+    return bytes(w.buf)
+
+
+def decode_message(data: bytes) -> t.Any:
+    """Deserialize wire bytes back into a protocol message.
+
+    Raises :class:`~repro.errors.WireError` on a bad magic, an
+    unsupported version, an unknown tag, truncation, or trailing bytes.
+    """
+    r = _Reader(data)
+    magic = r.take(2)
+    if magic != MAGIC:
+        raise WireError(f"bad frame magic: {magic!r}")
+    version = r.u8()
+    if version != WIRE_VERSION:
+        raise WireError(
+            f"unsupported wire version {version} (this build speaks "
+            f"{WIRE_VERSION})"
+        )
+    tag = r.u8()
+    entry = _TAGS.get(tag)
+    if entry is None:
+        raise WireError(f"unknown message tag: {tag}")
+    message = entry[2](r)
+    r.done()
+    return message

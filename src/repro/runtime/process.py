@@ -1,0 +1,417 @@
+"""Multicore process backend: one OS process per cluster node.
+
+``backend="process"`` runs the master, each slave and the collector as
+real OS processes (``fork``), connected by one full-duplex
+``socket.socketpair()`` per node pair carrying :mod:`repro.net.wire`
+frames.  Each child rebuilds the *full* cluster deterministically from
+the config (same seed, same round-robin partition map) but spawns only
+its own node's generators, driven by a per-process
+:class:`~repro.runtime.thread.ThreadRuntime` — the identical generator
+code that runs on the DES kernel and the thread backend.
+
+Startup protocol (per child, over a parent<->child pipe):
+
+1. build the cluster, report ``("ready", node_id)``;
+2. receive the shared clock *origin* (a ``time.monotonic()`` value —
+   system-wide on Linux — placed slightly in the future so every node
+   starts modeled t=0 simultaneously, after all setup work);
+3. rebase runtime and transport, spawn the node's generators;
+4. on completion, ship a pickled metrics payload back and exit —
+   process exit closes the sockets, so peers observe EOF exactly when
+   the node is truly gone.
+
+Crash faults (``crash:<slave>@<t>``) are injected by the parent:
+a timer SIGKILLs the victim's process at the scaled wall time.  Peer
+EOF then drives the same ``NodeDown`` detection/recovery machinery the
+DES fault plane exercises.  Message and slowdown faults hang off the
+simulated transport and are rejected up front.
+
+Determinism caveat: the joined-output *multiset* is backend-invariant,
+but wall-clock scheduling makes per-epoch timing, metric values and —
+under a detection timeout — the exact detection epoch load-dependent.
+See DESIGN.md ("Runtime backends").
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import socket
+import threading
+import time
+import traceback
+import typing as t
+from multiprocessing import connection as mp_connection
+
+import numpy as np
+
+from repro.config import SystemConfig
+from repro.core.cluster import (
+    COLLECTOR_ID,
+    MASTER_ID,
+    Cluster,
+    build_cluster,
+    slave_node_id,
+)
+from repro.core.metrics import DelayStats, MeasurementWindow, SlaveMetrics
+from repro.core.system import RunResult, master_snapshot
+from repro.errors import ConfigError, DeadlockError
+from repro.net.proc_transport import ProcTransport
+from repro.runtime.thread import ThreadRuntime, reject_unsupported
+
+#: Wall seconds between "all nodes ready" and modeled t=0: covers pipe
+#: latency, the rebase and thread spawning in every child.
+STARTUP_GRACE = 0.5
+#: Wall seconds the parent waits for each child's "ready".
+SETUP_TIMEOUT = 120.0
+
+_Pair = tuple[int, int]
+_Sockets = dict[_Pair, tuple[socket.socket, socket.socket]]
+
+
+def _owner_of(name: str) -> int:
+    """Cluster node id owning a generator from ``Cluster.processes()``."""
+    if name == "master":
+        return MASTER_ID
+    if name.startswith("collector"):
+        return COLLECTOR_ID
+    if name.startswith("slave"):
+        return int(name[len("slave"): name.index(".")])
+    raise RuntimeError(f"generator {name!r} has no owning cluster node")
+
+
+def _node_payload(
+    node_id: int, cluster: Cluster, collect_pairs: bool
+) -> dict[str, t.Any]:
+    """This node's contribution to the RunResult, pickled to the parent."""
+    if node_id == MASTER_ID:
+        mm = cluster.master_metrics
+        workload = cluster.workload
+        return {
+            "master": master_snapshot(cluster),
+            "dod_trace": list(mm.dod_changes),
+            "faults": list(mm.failures),
+            "tuples_generated": (
+                workload.tuples_generated
+                if hasattr(workload, "tuples_generated")
+                else mm.tuples_ingested
+            ),
+        }
+    if node_id == COLLECTOR_ID:
+        return {
+            "delays": cluster.collector.delays,
+            "timeline": cluster.collector.timeline_rows(),
+        }
+    metrics = cluster.slave_metrics[node_id - 2]
+    return {
+        "snapshot": metrics.snapshot(),
+        "delays": metrics.delays,
+        "pairs": list(metrics.pairs) if collect_pairs else [],
+    }
+
+
+def _node_main(
+    node_id: int,
+    cfg: SystemConfig,
+    sockets: _Sockets,
+    pipes: dict[int, tuple[t.Any, t.Any]],
+    workload: t.Any,
+    collect_pairs: bool,
+) -> None:
+    """Child entry point (runs post-fork, inherits all fds)."""
+    conn = pipes[node_id][1]
+    try:
+        # Keep only this node's socket ends.  Critical: a leaked foreign
+        # fd would keep a dead peer's channel open and suppress the EOF
+        # its peers rely on for failure detection.
+        peers: dict[int, socket.socket] = {}
+        for (a, b), (sock_a, sock_b) in sockets.items():
+            if a == node_id:
+                peers[b] = sock_a
+                sock_b.close()
+            elif b == node_id:
+                peers[a] = sock_b
+                sock_a.close()
+            else:
+                sock_a.close()
+                sock_b.close()
+        for other, (parent_conn, child_conn) in pipes.items():
+            parent_conn.close()
+            if other != node_id:
+                child_conn.close()
+
+        runtime = ThreadRuntime(time_scale=cfg.time_scale)
+        transport = ProcTransport(
+            node_id, peers, cfg.tuple_bytes, time_scale=cfg.time_scale
+        )
+        cluster = build_cluster(
+            cfg,
+            runtime,
+            transport,
+            workload=workload,
+            collect_pairs=collect_pairs,
+        )
+        mine = [
+            (name, gen)
+            for name, gen in cluster.processes()
+            if _owner_of(name) == node_id
+        ]
+
+        conn.send(("ready", node_id))
+        origin = conn.recv()
+        runtime.rebase(origin)
+        transport.rebase(origin)
+
+        for name, gen in mine:
+            runtime.spawn(gen, name=name)
+        # No local timeout: the parent owns the deadline and SIGKILLs
+        # stragglers, which peers then observe as EOF.
+        runtime.join_all()
+        conn.send(("result", node_id, _node_payload(node_id, cluster, collect_pairs)))
+    except BaseException as error:  # noqa: BLE001 - shipped to the parent
+        detail = traceback.format_exc()
+        try:
+            conn.send(("error", node_id, error, detail))
+        except Exception:
+            try:
+                conn.send(("error", node_id, None, detail))
+            except Exception:
+                pass
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+
+class ProcessBackend:
+    """One OS process per cluster node (``backend="process"``).
+
+    The only backend where slaves execute their numpy join work on
+    separate cores — the GIL bounds the thread backend to one core.
+    """
+
+    name = "process"
+
+    def run(
+        self,
+        cfg: SystemConfig,
+        collect_pairs: bool = False,
+        workload: t.Any = None,
+    ) -> RunResult:
+        reject_unsupported(cfg, self.name, crash_ok=True)
+        try:
+            ctx = mp.get_context("fork")
+        except ValueError as error:  # pragma: no cover - non-POSIX hosts
+            raise ConfigError(
+                "the process backend requires the 'fork' start method "
+                "(POSIX only)"
+            ) from error
+
+        node_ids = [MASTER_ID, COLLECTOR_ID] + [
+            slave_node_id(i) for i in range(cfg.num_slaves)
+        ]
+        # Full mesh: every unordered node pair shares one socketpair.
+        # All fds exist before the first fork so every child can close
+        # exactly the foreign ones.
+        sockets: _Sockets = {}
+        for i, a in enumerate(node_ids):
+            for b in node_ids[i + 1:]:
+                sockets[(a, b)] = socket.socketpair()
+        pipes = {nid: ctx.Pipe() for nid in node_ids}
+
+        procs: dict[int, t.Any] = {}
+        timers: list[threading.Timer] = []
+        try:
+            for nid in node_ids:
+                proc = ctx.Process(
+                    target=_node_main,
+                    args=(nid, cfg, sockets, pipes, workload, collect_pairs),
+                    name=f"swjoin-node{nid}",
+                    daemon=True,
+                )
+                procs[nid] = proc
+                proc.start()
+        finally:
+            # The parent is pure control plane: it must hold no data
+            # sockets (a parent-held fd would suppress peer EOF), and no
+            # child ends of the pipes (EOF on a pipe = its child died).
+            for sock_a, sock_b in sockets.values():
+                sock_a.close()
+                sock_b.close()
+            for _, child_conn in pipes.values():
+                child_conn.close()
+
+        conns = {nid: parent_conn for nid, (parent_conn, _) in pipes.items()}
+        killed: set[int] = set()
+        injected: list[dict[str, t.Any]] = []
+        try:
+            origin = self._start_barrier(conns, procs)
+            deadline = origin + cfg.run_seconds * cfg.time_scale * 4.0 + 60.0
+            timers = self._arm_crashes(cfg, origin, procs, killed, injected)
+            payloads = self._collect(conns, procs, killed, deadline)
+        finally:
+            for timer in timers:
+                timer.cancel()
+            for proc in procs.values():
+                if proc.is_alive():
+                    proc.kill()
+                proc.join(timeout=10.0)
+            for conn in conns.values():
+                conn.close()
+
+        return self._assemble(cfg, payloads, injected, collect_pairs)
+
+    # -- run phases ----------------------------------------------------------
+    def _start_barrier(
+        self, conns: dict[int, t.Any], procs: dict[int, t.Any]
+    ) -> float:
+        """Wait for every child's "ready", then broadcast the shared
+        clock origin (slightly in the future, so nobody starts late)."""
+        for nid, conn in conns.items():
+            if not conn.poll(timeout=SETUP_TIMEOUT):
+                raise DeadlockError(
+                    f"node {nid} never became ready (setup wedged)"
+                )
+            msg = conn.recv()
+            if msg[0] == "error":
+                self._raise_node_error(msg)
+            if msg[0] != "ready":
+                raise RuntimeError(
+                    f"node {nid} sent {msg[0]!r} before the start barrier"
+                )
+        origin = time.monotonic() + STARTUP_GRACE
+        for conn in conns.values():
+            conn.send(origin)
+        return origin
+
+    def _arm_crashes(
+        self,
+        cfg: SystemConfig,
+        origin: float,
+        procs: dict[int, t.Any],
+        killed: set[int],
+        injected: list[dict[str, t.Any]],
+    ) -> list[threading.Timer]:
+        """One timer per planned crash: SIGKILL the victim at the
+        scaled wall time.  EOF on its sockets is the failure signal."""
+        timers = []
+        for crash in cfg.faults.crashes:
+            nid = slave_node_id(crash.slave)
+            victim = procs[nid]
+
+            def fire(nid: int = nid, victim: t.Any = victim,
+                     at: float = crash.at) -> None:
+                if not victim.is_alive():
+                    return  # finished before the crash time: nothing fired
+                killed.add(nid)
+                injected.append(
+                    {"action": "crash", "node": nid, "t": at, "info": at}
+                )
+                victim.kill()
+
+            delay = (origin - time.monotonic()) + crash.at * cfg.time_scale
+            timer = threading.Timer(max(0.0, delay), fire)
+            timer.daemon = True
+            timers.append(timer)
+            timer.start()
+        return timers
+
+    def _collect(
+        self,
+        conns: dict[int, t.Any],
+        procs: dict[int, t.Any],
+        killed: set[int],
+        deadline: float,
+    ) -> dict[int, dict[str, t.Any]]:
+        """Gather result payloads until every node reported or died."""
+        payloads: dict[int, dict[str, t.Any]] = {}
+        pending = dict(conns)
+        while pending:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                for proc in procs.values():
+                    if proc.is_alive():
+                        proc.kill()
+                raise DeadlockError(
+                    f"node processes never finished: {sorted(pending)}"
+                )
+            ready = mp_connection.wait(
+                list(pending.values()), timeout=min(remaining, 1.0)
+            )
+            for conn in ready:
+                nid = next(n for n, c in pending.items() if c is conn)
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    # Child gone without a payload: expected if and only
+                    # if the fault plane killed it.
+                    del pending[nid]
+                    if nid not in killed:
+                        raise RuntimeError(
+                            f"node {nid} process died without reporting "
+                            "a result or an error"
+                        ) from None
+                    continue
+                if msg[0] == "error":
+                    self._raise_node_error(msg)
+                del pending[nid]
+                payloads[nid] = msg[2]
+        return payloads
+
+    @staticmethod
+    def _raise_node_error(msg: tuple) -> t.NoReturn:
+        _, nid, error, detail = msg
+        if isinstance(error, BaseException):
+            raise RuntimeError(
+                f"node {nid} process failed:\n{detail}"
+            ) from error
+        raise RuntimeError(f"node {nid} process failed:\n{detail}")
+
+    def _assemble(
+        self,
+        cfg: SystemConfig,
+        payloads: dict[int, dict[str, t.Any]],
+        injected: list[dict[str, t.Any]],
+        collect_pairs: bool,
+    ) -> RunResult:
+        master = payloads[MASTER_ID]
+        collector = payloads[COLLECTOR_ID]
+        gate = MeasurementWindow(cfg.warmup_seconds, cfg.run_seconds)
+
+        merged = DelayStats()
+        snapshots: list[dict[str, t.Any]] = []
+        pair_chunks: list[np.ndarray] = []
+        for i in range(cfg.num_slaves):
+            nid = slave_node_id(i)
+            payload = payloads.get(nid)
+            if payload is None:
+                # Killed mid-run: its window state (and metrics) died
+                # with it — a degraded run, same as the DES fault plane.
+                snapshots.append(SlaveMetrics(nid, gate).snapshot())
+                continue
+            merged.merge(payload["delays"])
+            snapshots.append(payload["snapshot"])
+            pair_chunks.extend(payload["pairs"])
+
+        pairs: np.ndarray | None = None
+        if collect_pairs:
+            pairs = (
+                np.concatenate(pair_chunks)
+                if pair_chunks
+                else np.empty((0, 2), dtype=np.int64)
+            )
+
+        return RunResult(
+            cfg=cfg,
+            duration=cfg.run_seconds - cfg.warmup_seconds,
+            delays=merged,
+            collector_delays=collector["delays"],
+            slaves=snapshots,
+            master=master["master"],
+            dod_trace=master["dod_trace"],
+            delay_timeline=collector["timeline"],
+            tuples_generated=master["tuples_generated"],
+            pairs=pairs,
+            faults=master["faults"],
+            injected_faults=injected,
+        )

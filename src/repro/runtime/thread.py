@@ -46,14 +46,31 @@ class ThreadHandle:
 
 
 class ThreadRuntime:
-    """Runtime backend executing node generators on real threads."""
+    """Runtime backend executing node generators on real threads.
 
-    def __init__(self, time_scale: float = 1.0) -> None:
+    *origin* is the ``time.monotonic()`` value corresponding to modeled
+    t=0 (defaults to "now").  The process backend passes a shared origin
+    so every node process agrees on the modeled clock —
+    ``CLOCK_MONOTONIC`` is system-wide on Linux.
+    """
+
+    def __init__(
+        self, time_scale: float = 1.0, origin: float | None = None
+    ) -> None:
         if time_scale <= 0:
             raise ValueError("time_scale must be positive")
         self.time_scale = time_scale
-        self._origin = time.monotonic()
+        self._origin = time.monotonic() if origin is None else origin
         self.handles: list[ThreadHandle] = []
+
+    def rebase(self, origin: float) -> None:
+        """Move modeled t=0 to the given ``time.monotonic()`` value.
+
+        Only valid before any generator is spawned (the process backend
+        rebases after its start barrier, once every node is built)."""
+        if self.handles:
+            raise RuntimeError("cannot rebase a runtime with live threads")
+        self._origin = origin
 
     # -- Runtime protocol ---------------------------------------------------
     def now(self) -> float:
@@ -119,3 +136,85 @@ class ThreadRuntime:
         from repro.runtime.sync import ThreadQueue
 
         return ThreadQueue(name=name)
+
+
+def reject_unsupported(
+    cfg: t.Any, backend: str, crash_ok: bool = False
+) -> None:
+    """Fail fast on config features a wall-clock backend cannot honor.
+
+    Observability hooks are not thread-safe and the fault plane's
+    message/slowdown injection hangs off the DES transport; the process
+    backend additionally supports ``crash:`` specs (*crash_ok*) by
+    killing the victim's OS process.
+    """
+    from repro.errors import ConfigError
+
+    if cfg.obs.enabled:
+        raise ConfigError(
+            f"the {backend} backend does not support tracing/sampling "
+            "(observability hooks are not thread-safe); use backend='sim'"
+        )
+    if not cfg.faults.enabled:
+        return
+    if not crash_ok:
+        raise ConfigError(
+            f"the {backend} backend does not support fault injection; "
+            "use backend='sim' or backend='process' (crash faults only)"
+        )
+    unsupported = [
+        f.spec() for f in (*cfg.faults.messages, *cfg.faults.slowdowns)
+    ]
+    if unsupported:
+        raise ConfigError(
+            f"the {backend} backend supports only crash: fault specs "
+            f"(the victim's OS process is killed); unsupported: "
+            f"{', '.join(unsupported)} — use backend='sim'"
+        )
+
+
+class ThreadBackend:
+    """Wall-clock backend: one OS thread per node generator
+    (``backend="thread"``).
+
+    Runs the very same generators as the DES kernel, with
+    :class:`~repro.net.thread_transport.ThreadTransport` rendezvous
+    channels.  Time runs compressed by ``cfg.time_scale``.
+    """
+
+    name = "thread"
+
+    def run(
+        self,
+        cfg: t.Any,
+        collect_pairs: bool = False,
+        workload: t.Any = None,
+    ) -> t.Any:
+        # Local imports: repro.runtime.thread must stay importable
+        # without the core layer (proc_transport pulls in Thunk).
+        from repro.core.cluster import build_cluster
+        from repro.core.system import collect_result
+        from repro.errors import DeadlockError
+        from repro.net.thread_transport import ThreadTransport
+
+        reject_unsupported(cfg, self.name)
+        runtime = ThreadRuntime(time_scale=cfg.time_scale)
+        transport = ThreadTransport(cfg.tuple_bytes, time_scale=cfg.time_scale)
+        cluster = build_cluster(
+            cfg,
+            runtime,
+            transport,
+            workload=workload,
+            collect_pairs=collect_pairs,
+        )
+        for name, gen in cluster.processes():
+            runtime.spawn(gen, name=name)
+        # The modeled horizon plus slack for real compute overruns: the
+        # generators' numpy work takes however long it takes, regardless
+        # of the compressed clock.
+        budget = cfg.run_seconds * cfg.time_scale * 4.0 + 60.0
+        runtime.join_all(timeout=budget)
+        stuck = [h.thread.name for h in runtime.handles if h.is_alive]
+        if stuck:
+            raise DeadlockError(f"node threads never finished: {stuck}")
+        return collect_result(cfg, cluster, collect_pairs)

@@ -1,5 +1,6 @@
-"""Cross-backend equivalence: the thread backend joins the exact same
-pairs as the simulated backend (and the oracle) for a shared trace.
+"""Cross-backend conformance: every runtime backend — DES kernel,
+threads, OS processes — joins the exact same pairs as the oracle for a
+shared trace.
 
 Timing-dependent metrics (delays, comm times) differ across backends by
 construction; the *results* must not.
@@ -10,12 +11,16 @@ import pytest
 
 from repro import JoinSystem, SystemConfig
 from repro.core.cluster import build_cluster
+from repro.errors import ConfigError
 from repro.net.thread_transport import ThreadTransport
 from repro.reference import naive_window_join
 from repro.runtime.thread import ThreadRuntime
 from repro.simul.rng import RngRegistry
 from repro.workload.generator import TwoStreamWorkload
 from repro.workload.traces import TraceReplayer
+
+#: Independent workloads for the three-way conformance sweep.
+CONFORMANCE_SEEDS = (5, 11, 23)
 
 
 @pytest.fixture(scope="module")
@@ -89,3 +94,122 @@ class TestCrossBackend:
         runtime.join_all(timeout=120.0)
         local = sum(m.delays.count for m in cluster.slave_metrics)
         assert cluster.collector.delays.count == local
+
+
+class TestThreeWayConformance:
+    """sim, thread and process runs of the same trace must produce
+    identical joined-output multisets — equal to each other and to the
+    ``naive_window_join`` oracle — across several seeds."""
+
+    @pytest.mark.parametrize("seed", CONFORMANCE_SEEDS)
+    def test_all_backends_match_each_other_and_oracle(self, seed):
+        cfg = (
+            SystemConfig.paper_defaults()
+            .scaled(0.01)
+            .with_(
+                num_slaves=2,
+                npart=8,
+                rate=150.0,
+                run_seconds=10.0,
+                warmup_seconds=2.0,
+                window_seconds=3.0,
+                reorg_epoch=4.0,
+                time_scale=0.02,
+            )
+        )
+        wl = TwoStreamWorkload.poisson_bmodel(
+            RngRegistry(seed), cfg.rate, cfg.b_skew, 10_000
+        )
+        trace = wl.generate(0.0, cfg.run_seconds - 3 * cfg.dist_epoch)
+        oracle = naive_window_join(trace, cfg.window_seconds)
+        assert len(oracle), "degenerate workload: oracle joined nothing"
+
+        produced = {}
+        for backend in ("sim", "thread", "process"):
+            result = JoinSystem(
+                cfg.with_(backend=backend),
+                collect_pairs=True,
+                workload=TraceReplayer(trace),
+            ).run()
+            produced[backend] = sorted_pairs([result.pairs])
+
+        for backend, pairs in produced.items():
+            assert np.array_equal(pairs, oracle), (
+                f"{backend} backend diverged from the oracle "
+                f"({len(pairs)} vs {len(oracle)} pairs, seed {seed})"
+            )
+        assert np.array_equal(produced["sim"], produced["process"])
+        assert np.array_equal(produced["sim"], produced["thread"])
+
+
+class TestBackendSelection:
+    def test_unknown_backend_lists_available(self):
+        cfg = SystemConfig.paper_defaults().with_(backend="quantum")
+        with pytest.raises(ConfigError, match="sim.*thread"):
+            JoinSystem(cfg).run()
+
+    def test_wall_backends_reject_observability(self):
+        from repro.config import ObservabilityConfig
+
+        for backend in ("thread", "process"):
+            cfg = SystemConfig.paper_defaults().with_(
+                backend=backend, obs=ObservabilityConfig(trace_memory=True)
+            )
+            with pytest.raises(ConfigError, match="tracing"):
+                JoinSystem(cfg).run()
+
+    def test_thread_backend_rejects_fault_plans(self):
+        from repro.faults.plan import CrashFault, FaultPlan
+
+        cfg = SystemConfig.paper_defaults().with_(
+            backend="thread", faults=FaultPlan(crashes=(CrashFault(0, 5.0),))
+        )
+        with pytest.raises(ConfigError, match="fault"):
+            JoinSystem(cfg).run()
+
+    def test_process_backend_rejects_non_crash_faults(self):
+        from repro.faults.plan import FaultPlan, parse_fault
+
+        cfg = SystemConfig.paper_defaults().with_(
+            backend="process",
+            faults=FaultPlan(messages=(parse_fault("drop:2->0@3"),)),
+        )
+        with pytest.raises(ConfigError, match="crash"):
+            JoinSystem(cfg).run()
+
+
+class TestProcessFaults:
+    def test_crash_fault_kills_process_and_master_recovers(self):
+        # The victim's OS process is SIGKILLed at t=5; its peers see
+        # socket EOF -> NodeDown, and the PR 3 detection/recovery path
+        # runs unchanged: the master fences the dead slave and the run
+        # completes degraded instead of wedging.
+        from repro.core.cluster import slave_node_id
+        from repro.faults.plan import FaultPlan, parse_fault
+
+        cfg = (
+            SystemConfig.paper_defaults()
+            .scaled(0.01)
+            .with_(
+                num_slaves=3,
+                npart=12,
+                rate=150.0,
+                run_seconds=12.0,
+                warmup_seconds=2.0,
+                window_seconds=3.0,
+                reorg_epoch=4.0,
+                backend="process",
+                time_scale=0.05,
+                faults=FaultPlan(crashes=(parse_fault("crash:1@5s"),)),
+            )
+        )
+        result = JoinSystem(cfg).run()
+        victim = slave_node_id(1)
+        assert result.degraded
+        assert result.injected_faults == [
+            {"action": "crash", "node": victim, "t": 5.0, "info": 5.0}
+        ]
+        assert [f["slave"] for f in result.faults] == [victim]
+        assert victim in result.master["dead_slaves"]
+        # Every partition was reassigned off the dead slave.
+        assert victim not in set(result.master["partition_owners"].values())
