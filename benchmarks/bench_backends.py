@@ -1,4 +1,4 @@
-"""Backend benchmark: throughput and CPU utilization, sim vs thread vs
+"""Backend benchmark: equal-work throughput and CPU, sim vs thread vs
 process.
 
 All three backends replay the *same* pregenerated trace (so workload
@@ -9,17 +9,48 @@ distinguishes the backends.  The DES backend executes it single
 threaded by construction, the thread backend is GIL-bound, and the
 process backend spreads the per-slave probe work across cores.
 
+Two measurement rules keep the comparison apples-to-apples:
+
+* **The trace ends three distribution epochs before ``run_seconds``**,
+  so the master's last pre-halt ingestion pass covers it on every
+  backend — sim and the wall backends all ingest the *entire* trace
+  and the throughput denominator is the same ``len(trace)`` for all
+  three runs.
+* **``outputs`` counts ungated joined pairs** (``collect_pairs``
+  mode), not the gate-windowed ``RunResult.outputs`` delay statistic.
+  The modeled measurement gate closes at ``run_seconds`` of *modeled*
+  time; at a small ``--time-scale`` the wall backends' real compute
+  overruns the compressed clock, so gated metrics undercount by
+  design there (see DESIGN.md, "Determinism contract") and must never
+  be compared across backends.  The pair multiset is backend-invariant
+  and the benchmark *verifies* that: it refuses to publish a speedup
+  (exit 1) unless sim, thread and process produced the identical
+  joined-output multiset from the identical ingested trace.
+
 The default geometry (wide windows, few partitions) makes per-slave
-probe compute dominate the master's serial shipping path, so the
-process backend's multicore advantage is visible over its fork/wire
-overhead.  Reported per backend:
+probe compute dominate the master's serial shipping path.  Reported
+per backend:
 
 * **wall_seconds** — end-to-end run time;
 * **cpu_seconds** — process CPU (self + reaped children);
 * **cpu_utilization** — cpu/wall: effective busy cores;
-* **throughput_tuples_per_s** — trace tuples ingested per wall second.
+* **throughput_tuples_per_s** — trace tuples joined per wall second.
 
-Writes a JSON report (CI publishes it as ``BENCH_backends.json``)::
+Interpreting the summary: ``cpu_utilization > 1`` for the process
+backend demonstrates multicore parallelism, which is only *possible*
+when ``cores_available > 1`` (the JSON records the host's allowed CPU
+count, and ``multicore_capable`` makes the precondition explicit).  On
+a single-core host the process backend can still beat the thread
+backend on wall time for the same verified work, because the
+GIL-sharing threads pay contention overhead that the per-node
+processes do not — visible as the thread run's higher ``cpu_seconds``
+(``thread_cpu_overhead_seconds``) — but no parallel speedup is
+measurable there.  Each backend runs ``--reps`` times and the fastest
+wall-clock run is published (noisy shared hosts routinely vary run
+time by 2x; the minimum is the least-interference estimate).
+
+Writes a JSON report (CI publishes it as a build artifact; the file is
+gitignored — results are machine-specific)::
 
     python benchmarks/bench_backends.py --out BENCH_backends.json
 """
@@ -28,9 +59,12 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import resource
 import time
 import typing as t
+
+import numpy as np
 
 from repro.config import CostModelConfig, SystemConfig
 from repro.core.system import JoinSystem
@@ -75,22 +109,33 @@ def cpu_seconds() -> float:
     return mine.ru_utime + mine.ru_stime + kids.ru_utime + kids.ru_stime
 
 
-def measure(cfg: SystemConfig, backend: str, trace: t.Any) -> dict[str, t.Any]:
+def canonical_pairs(pairs: np.ndarray | None) -> np.ndarray:
+    if pairs is None or not len(pairs):
+        return np.empty((0, 2), dtype=np.int64)
+    return pairs[np.lexsort((pairs[:, 1], pairs[:, 0]))]
+
+
+def measure(
+    cfg: SystemConfig, backend: str, trace: t.Any
+) -> tuple[dict[str, t.Any], np.ndarray]:
     wall0, cpu0 = time.perf_counter(), cpu_seconds()
     result = JoinSystem(
-        cfg.with_(backend=backend), workload=TraceReplayer(trace)
+        cfg.with_(backend=backend),
+        collect_pairs=True,
+        workload=TraceReplayer(trace),
     ).run()
     wall = time.perf_counter() - wall0
     cpu = cpu_seconds() - cpu0
+    pairs = canonical_pairs(result.pairs)
     return {
         "backend": backend,
         "wall_seconds": round(wall, 3),
         "cpu_seconds": round(cpu, 3),
         "cpu_utilization": round(cpu / wall, 3),
-        "throughput_tuples_per_s": round(result.tuples_generated / wall, 1),
+        "throughput_tuples_per_s": round(len(trace.ts) / wall, 1),
         "tuples": result.tuples_generated,
-        "outputs": result.outputs,
-    }
+        "outputs": int(len(pairs)),
+    }, pairs
 
 
 def main(argv: t.Sequence[str] | None = None) -> int:
@@ -99,6 +144,7 @@ def main(argv: t.Sequence[str] | None = None) -> int:
     parser.add_argument("--slaves", type=int, default=4)
     parser.add_argument("--time-scale", type=float, default=0.005)
     parser.add_argument("--seed", type=int, default=20130724)
+    parser.add_argument("--reps", type=int, default=3)
     parser.add_argument("--out", default="BENCH_backends.json")
     args = parser.parse_args(argv)
 
@@ -106,11 +152,31 @@ def main(argv: t.Sequence[str] | None = None) -> int:
     workload = TwoStreamWorkload.poisson_bmodel(
         RngRegistry(cfg.seed), cfg.rate, cfg.b_skew, cfg.key_domain
     )
-    trace = workload.generate(0.0, cfg.run_seconds)
+    # Stop the trace three distribution epochs early: the master's last
+    # ingestion pass happens before the final (halt) epoch, so a trace
+    # running right up to run_seconds would lose a backend-dependent
+    # tail on the DES backend.
+    trace = workload.generate(0.0, cfg.run_seconds - 3.0 * cfg.dist_epoch)
 
     started = time.perf_counter()
-    runs = [measure(cfg, backend, trace) for backend in BACKENDS]
+    runs, reference_pairs, equal_pairs, all_tuples = [], None, True, set()
+    for backend in BACKENDS:
+        best: dict[str, t.Any] | None = None
+        for _ in range(max(1, args.reps)):
+            run, pairs = measure(cfg, backend, trace)
+            if reference_pairs is None:
+                reference_pairs = pairs
+            equal_pairs &= bool(np.array_equal(pairs, reference_pairs))
+            all_tuples.add(run["tuples"])
+            if best is None or run["wall_seconds"] < best["wall_seconds"]:
+                best = run
+        assert best is not None
+        runs.append(best)
     by_backend = {run["backend"]: run for run in runs}
+
+    equal_work = equal_pairs and len(all_tuples) == 1
+    cores = len(os.sched_getaffinity(0))
+
     speedup = (
         by_backend["thread"]["wall_seconds"]
         / by_backend["process"]["wall_seconds"]
@@ -118,6 +184,8 @@ def main(argv: t.Sequence[str] | None = None) -> int:
     report = {
         "benchmark": "backends",
         "trace_tuples": int(len(trace.ts)),
+        "cores_available": cores,
+        "reps": max(1, args.reps),
         "config": {
             "rate": cfg.rate,
             "slaves": cfg.num_slaves,
@@ -129,12 +197,29 @@ def main(argv: t.Sequence[str] | None = None) -> int:
         },
         "runs": runs,
         "summary": {
+            "equal_work_verified": equal_work,
             "process_over_thread_speedup": round(speedup, 2),
             "process_beats_thread": speedup > 1.0,
+            "multicore_capable": cores > 1,
             "process_cpu_utilization": by_backend["process"][
                 "cpu_utilization"
             ],
             "thread_cpu_utilization": by_backend["thread"]["cpu_utilization"],
+            # CPU the thread backend burned beyond the process backend
+            # for the same verified work: the price of GIL contention.
+            "thread_cpu_overhead_seconds": round(
+                by_backend["thread"]["cpu_seconds"]
+                - by_backend["process"]["cpu_seconds"],
+                3,
+            ),
+            "note": (
+                ""
+                if cores > 1
+                else "single-core host: cpu_utilization is capped at "
+                "1.0 and no parallel speedup is measurable; "
+                "process-vs-thread differences reflect GIL contention "
+                "and IPC overheads only"
+            ),
         },
         "wall_seconds": round(time.perf_counter() - started, 2),
     }
@@ -146,10 +231,24 @@ def main(argv: t.Sequence[str] | None = None) -> int:
             f"{run['backend']:>8}: wall={run['wall_seconds']:.2f}s "
             f"cpu={run['cpu_seconds']:.2f}s "
             f"util={run['cpu_utilization']:.2f} "
+            f"outputs={run['outputs']:,} "
             f"throughput={run['throughput_tuples_per_s']:,.0f} t/s"
         )
     print(json.dumps(report["summary"], indent=2))
     print(f"wrote {args.out}")
+    if not equal_work:
+        detail = {
+            b: {
+                "outputs": by_backend[b]["outputs"],
+                "tuples": by_backend[b]["tuples"],
+            }
+            for b in BACKENDS
+        }
+        print(
+            "ERROR: backends did not perform identical join work; the "
+            f"speedup above is not publishable: {detail}"
+        )
+        return 1
     return 0
 
 

@@ -1,0 +1,37 @@
+"""Smoke test for the backend benchmark's equal-work verification.
+
+The benchmark only publishes a speedup after proving that sim, thread
+and process performed identical join work (same ingested trace, same
+joined-pair multiset).  This runs the real benchmark entry point at a
+tiny rate: any cross-backend divergence — a reintroduced gated-metric
+comparison, a backend losing trace tail tuples, wire-codec corruption
+— fails here before it can reach a published artifact.
+"""
+
+import json
+
+from benchmarks.bench_backends import main
+
+
+def test_benchmark_verifies_equal_work_across_backends(tmp_path):
+    out = tmp_path / "bench.json"
+    assert main(["--rate", "60", "--reps", "1", "--out", str(out)]) == 0
+
+    report = json.loads(out.read_text())
+    assert report["summary"]["equal_work_verified"] is True
+    assert [run["backend"] for run in report["runs"]] == [
+        "sim",
+        "thread",
+        "process",
+    ]
+    # Identical work: one outputs value, one ingested-tuple value, and
+    # every backend ingested the complete trace.
+    assert len({run["outputs"] for run in report["runs"]}) == 1
+    assert len({run["tuples"] for run in report["runs"]}) == 1
+    assert report["runs"][0]["tuples"] == report["trace_tuples"]
+    assert report["runs"][0]["outputs"] > 0
+    # The artifact must self-describe the host it was produced on.
+    assert report["cores_available"] >= 1
+    assert report["summary"]["multicore_capable"] == (
+        report["cores_available"] > 1
+    )
