@@ -6,12 +6,18 @@ fault-free and with one slave crashed mid-run, then reports:
 * **recovery latency** — master detection to partition reassignment,
   per failure (also available in ``RunResult.recovery_latencies``);
 * **degraded-output fraction** — ``1 - outputs_fault / outputs_ref``,
-  the share of the oracle output lost with the dead slave's window
-  state (adopted partitions restart empty; see DESIGN.md §8).
+  the share of the output lost with the dead slave's window state
+  (``--replication off``: adopted partitions restart empty; with
+  replication on, the run must be lossless and the benchmark asserts
+  ``degraded == False``; see DESIGN.md §8);
+* **replication byte overhead** — the master's ``replication_bytes``
+  meter (teed shipments + checkpoints), on the crash-free reference
+  and the faulted run.
 
 Writes a JSON report (CI publishes it as ``BENCH_faults.json``)::
 
     python benchmarks/bench_faults.py --out BENCH_faults.json
+    python benchmarks/bench_faults.py --replication checkpoint+log
 """
 
 from __future__ import annotations
@@ -31,7 +37,11 @@ CRASH_TIMES = (1.0, 5.0, 8.05)
 VICTIM = 1  # slave index
 
 
-def chaos_cfg(seed: int, faults: FaultPlan | None = None) -> SystemConfig:
+def chaos_cfg(
+    seed: int,
+    faults: FaultPlan | None = None,
+    replication: str = "off",
+) -> SystemConfig:
     overrides: dict[str, t.Any] = dict(
         npart=12,
         rate=400.0,
@@ -41,20 +51,32 @@ def chaos_cfg(seed: int, faults: FaultPlan | None = None) -> SystemConfig:
         window_seconds=3.0,
         reorg_epoch=4.0,
         seed=seed,
+        replication=replication,
     )
     if faults is not None:
         overrides["faults"] = faults
     return SystemConfig.paper_defaults().scaled(0.01).with_(**overrides)
 
 
-def measure(seed: int, crash_at: float) -> dict[str, t.Any]:
-    reference = JoinSystem(chaos_cfg(seed)).run()
+def measure(
+    seed: int, crash_at: float, replication: str
+) -> dict[str, t.Any]:
+    reference = JoinSystem(chaos_cfg(seed, replication=replication)).run()
     faulted = JoinSystem(
         chaos_cfg(
-            seed, faults=FaultPlan.parse([f"crash:{VICTIM}@{crash_at}s"])
+            seed,
+            faults=FaultPlan.parse([f"crash:{VICTIM}@{crash_at}s"]),
+            replication=replication,
         )
     ).run()
-    assert faulted.degraded, "the injected crash must be detected"
+    assert faulted.faults, "the injected crash must be detected"
+    if replication == "off":
+        assert faulted.degraded, "crash without replicas must degrade"
+    else:
+        assert not faulted.degraded, (
+            f"replication={replication} must recover losslessly "
+            f"(seed {seed}, crash at {crash_at})"
+        )
     degraded_fraction = (
         1.0 - faulted.outputs / reference.outputs
         if reference.outputs
@@ -63,11 +85,17 @@ def measure(seed: int, crash_at: float) -> dict[str, t.Any]:
     return {
         "seed": seed,
         "crash_at": crash_at,
+        "replication": replication,
         "outputs_ref": reference.outputs,
         "outputs_fault": faulted.outputs,
         "degraded_output_fraction": degraded_fraction,
         "recovery_latencies": faulted.recovery_latencies,
         "detected_at": [f["detected_at"] for f in faulted.faults],
+        "restored_pids": [
+            list(f.get("restored_pids", ())) for f in faulted.faults
+        ],
+        "replication_bytes_ref": reference.master["replication_bytes"],
+        "replication_bytes_fault": faulted.master["replication_bytes"],
     }
 
 
@@ -75,20 +103,38 @@ def main(argv: t.Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--seed-base", type=int, default=1)
     parser.add_argument("--seeds", type=int, default=5)
+    parser.add_argument(
+        "--replication",
+        choices=("off", "log", "checkpoint+log", "all"),
+        default="off",
+        help="replication mode(s) to benchmark (all = sweep the three)",
+    )
     parser.add_argument("--out", default="BENCH_faults.json")
     args = parser.parse_args(argv)
+    modes = (
+        ("off", "log", "checkpoint+log")
+        if args.replication == "all"
+        else (args.replication,)
+    )
 
     started = time.perf_counter()
     runs = [
-        measure(args.seed_base + i, crash_at)
+        measure(args.seed_base + i, crash_at, mode)
+        for mode in modes
         for i in range(args.seeds)
         for crash_at in CRASH_TIMES
     ]
     latencies = [lat for run in runs for lat in run["recovery_latencies"]]
     fractions = [run["degraded_output_fraction"] for run in runs]
+    overhead = [
+        run["replication_bytes_ref"]
+        for run in runs
+        if run["replication"] != "off"
+    ]
     report = {
         "benchmark": "faults",
         "seed_base": args.seed_base,
+        "replication_modes": list(modes),
         "runs": runs,
         "summary": {
             "n_runs": len(runs),
@@ -99,6 +145,9 @@ def main(argv: t.Sequence[str] | None = None) -> int:
             "recovery_latency_max_s": max(latencies) if latencies else None,
             "degraded_output_fraction_mean": sum(fractions) / len(fractions),
             "degraded_output_fraction_max": max(fractions),
+            "replication_bytes_mean": (
+                sum(overhead) / len(overhead) if overhead else None
+            ),
         },
         "wall_seconds": round(time.perf_counter() - started, 2),
     }

@@ -141,7 +141,7 @@ class CtrSlave(LightSlaveMixin):
                         pairs = result.pairs
                         if sid == 1:
                             pairs = pairs[:, ::-1]
-                        self.metrics.pairs.append(pairs)
+                        self.metrics.record_pairs(self.group.pid, pairs)
                     home = part.select(self._home_mask(part.ts))
                     if len(home):
                         mini.windows[sid].install_committed(home)

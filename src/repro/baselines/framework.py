@@ -235,7 +235,7 @@ def run_baseline(
         merged.merge(m.delays)
     pairs = None
     if collect_pairs:
-        chunks = [c for m in slave_metrics for c in m.pairs]
+        chunks = [c for m in slave_metrics for c in m.pair_chunks()]
         pairs = (
             np.concatenate(chunks) if chunks else np.empty((0, 2), dtype=np.int64)
         )

@@ -59,6 +59,10 @@ def _add_run_parser(sub: t.Any) -> None:
     p.add_argument("--plot-gauge", metavar="GAUGE",
                    help="chart one sampled gauge after the run "
                         "(e.g. occupancy, window_bytes, queue_depth)")
+    p.add_argument("--replication", choices=("off", "log", "checkpoint+log"),
+                   default="off",
+                   help="replicate partition-group state to backup slaves "
+                        "so crash recovery is lossless (default: off)")
     p.add_argument("--fault", metavar="SPEC", action="append",
                    help="inject a fault; repeatable.  SPECs: "
                         "crash:<slave>@<t>s, drop:<src>-><dst>@<k>, "
@@ -104,6 +108,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         fine_tuning=not args.no_fine_tuning,
         adaptive_declustering=args.adaptive,
         load_balancing=not args.no_load_balancing,
+        replication=args.replication,
         obs=_obs_config(args),
     )
     if args.fault or args.detect_timeout is not None:

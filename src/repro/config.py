@@ -231,6 +231,13 @@ class SystemConfig:
     th_sup: float = 0.5
     #: Enable supplier->consumer partition-group migration.
     load_balancing: bool = True
+    #: State replication for lossless crash recovery (``repro.replication``):
+    #: ``"off"`` (crashes lose window state, runs finish degraded),
+    #: ``"log"`` (backups hold a full shipment log from each partition's
+    #: bootstrap), or ``"checkpoint+log"`` (owners also piggyback a
+    #: compact state checkpoint every reorganization epoch so backups
+    #: can truncate their logs).
+    replication: str = "off"
 
     # -- degree of declustering (Section V-A) ------------------------------
     #: Adapt the number of active slaves at run time.
@@ -370,6 +377,10 @@ class SystemConfig:
             raise ConfigError("reorg_epoch must be >= dist_epoch")
         if not 0 <= self.th_con < self.th_sup <= 1:
             raise ConfigError("need 0 <= th_con < th_sup <= 1")
+        if self.replication not in ("off", "log", "checkpoint+log"):
+            raise ConfigError(
+                "replication must be one of 'off', 'log', 'checkpoint+log'"
+            )
         if not 0 < self.beta < 1:
             raise ConfigError("beta must lie in (0, 1)")
         if not self.backend or not isinstance(self.backend, str):

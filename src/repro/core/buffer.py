@@ -64,27 +64,31 @@ class MasterBuffer:
             self._minibuffers[int(pid)].append(sub)
             self._bytes_per_pid[int(pid)] += sub.payload_bytes(self.tuple_bytes)
 
-    def drain_for(self, slave: int, now: float) -> tuple[TupleBatch, float]:
+    def drain_for(
+        self, slave: int, now: float
+    ) -> tuple[TupleBatch, float, dict[int, TupleBatch]]:
         """Remove and return all buffered tuples of *slave*'s partitions.
 
-        Returns ``(batch, epoch_start)`` where ``epoch_start`` is the
-        time of the previous drain for this slave (the shipment's
-        coverage interval starts there).
+        Returns ``(batch, epoch_start, parts)`` where ``epoch_start``
+        is the time of the previous drain for this slave (the
+        shipment's coverage interval starts there) and ``parts`` holds
+        the same tuples keyed per partition — the replication tee logs
+        each pid's slice at its backup without re-partitioning.
         """
-        parts: list[TupleBatch] = []
+        parts: dict[int, TupleBatch] = {}
         for pid in self.pids_of(slave):
             queue = self._minibuffers[pid]
             if queue:
-                parts.extend(queue)
+                parts[pid] = TupleBatch.concat(list(queue))
                 queue.clear()
                 self._bytes_per_pid[pid] = 0
         epoch_start = self.last_drain.get(slave, 0.0)
         self.last_drain[slave] = now
-        merged = TupleBatch.concat(parts)
+        merged = TupleBatch.concat(list(parts.values()))
         if len(merged) > 1:
             order = np.argsort(merged.ts, kind="stable")
             merged = merged.take(order)
-        return merged, epoch_start
+        return merged, epoch_start, parts
 
     # -- accounting ------------------------------------------------------------
     @property

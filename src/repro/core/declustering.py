@@ -172,3 +172,51 @@ class DeclusteringController:
         for i, pid in enumerate(sorted(lost_pids)):
             adopt.setdefault(survivors[i % len(survivors)], []).append(int(pid))
         return {s: tuple(pids) for s, pids in adopt.items()}
+
+
+# -- replication placement (module-level: rng-free and deterministic) -----
+def plan_backups(
+    owners: t.Mapping[int, int], live: t.Collection[int]
+) -> dict[int, int]:
+    """Backup slave for every partition: the next live slave after the
+    owner in the sorted ring.
+
+    Deterministic in ``(owners, live)`` so master and tests agree
+    without any negotiated state.  Empty when fewer than two live
+    slaves exist (nowhere independent to put a replica).
+    """
+    ring = sorted(live)
+    if len(ring) < 2:
+        return {}
+    backups: dict[int, int] = {}
+    for pid, owner in owners.items():
+        if owner not in live:
+            continue
+        backups[int(pid)] = ring[(ring.index(owner) + 1) % len(ring)]
+    return backups
+
+
+def plan_restores(
+    lost_pids: t.Sequence[int],
+    backup_of: t.Mapping[int, int],
+    live: t.Collection[int],
+) -> tuple[dict[int, tuple[int, ...]], tuple[int, ...]]:
+    """Route each lost partition to its live backup slave.
+
+    Returns ``(restore_map, leftovers)``: ``restore_map`` maps each
+    restoring slave to the pids it rebuilds from its backup store;
+    ``leftovers`` are pids whose backup is dead or unassigned — they
+    fall back to the empty-adoption path (:meth:`plan_recovery`).
+    """
+    restore: dict[int, list[int]] = {}
+    leftovers: list[int] = []
+    for pid in sorted(lost_pids):
+        backup = backup_of.get(int(pid))
+        if backup is not None and backup in live:
+            restore.setdefault(backup, []).append(int(pid))
+        else:
+            leftovers.append(int(pid))
+    return (
+        {s: tuple(pids) for s, pids in restore.items()},
+        tuple(leftovers),
+    )

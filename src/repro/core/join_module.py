@@ -129,8 +129,63 @@ class JoinModule:
         state = group.extract_state()
         buffered = TupleBatch.concat(list(self._minibuffers.pop(pid, deque())))
         self._pending_bytes -= buffered.payload_bytes(self.geometry.tuple_bytes)
+        # The popped mini-buffer may have been the one pinning the expiry
+        # watermark; re-derive it from the surviving queues.
+        self._rearm_watermark()
         self.metrics.groups_moved_out += 1
         return state, buffered
+
+    def _rearm_watermark(self) -> None:
+        """Recompute ``_oldest_pending_ts`` from the surviving queues
+        (``inf`` when all are empty).  Queue heads are the oldest entry
+        of each queue (the master drains in timestamp order), so the
+        head minimum is the true oldest pending timestamp."""
+        oldest = float("inf")
+        for queue in self._minibuffers.values():
+            if queue:
+                oldest = min(oldest, float(queue[0].ts.min()))
+        self._oldest_pending_ts = oldest
+
+    def snapshot_partition(self, pid: int) -> tuple[PartitionGroupState, TupleBatch]:
+        """Non-destructive copy of *pid*'s window state + unprocessed
+        buffered tuples (the owner side of a replication checkpoint)."""
+        group = self.groups.get(pid)
+        if group is None:
+            raise ProtocolError(f"node {self.node_id} does not own partition {pid}")
+        state = group.snapshot_state()
+        buffered = TupleBatch.concat(list(self._minibuffers.get(pid, deque())))
+        return state, buffered
+
+    def restore_partition(
+        self,
+        pid: int,
+        state: PartitionGroupState | None,
+        buffered: TupleBatch | None,
+        log: t.Sequence[TupleBatch] = (),
+    ) -> None:
+        """Rebuild *pid* from a replication checkpoint plus log replay.
+
+        ``state``/``buffered`` are the checkpointed window state and
+        unprocessed mini-buffer (``None`` = the implicit empty genesis
+        checkpoint); ``log`` carries the teed per-epoch shipments since
+        the checkpoint, replayed through the normal buffering path so
+        the regular work units regenerate the lost join output.
+        """
+        self.add_partition(pid)
+        if state is not None:
+            self.groups[pid].install_state(state)
+        replay = list(log)
+        if buffered is not None and len(buffered):
+            replay.insert(0, buffered)
+        tb = self.geometry.tuple_bytes
+        for batch in replay:
+            if not len(batch):
+                continue
+            self._minibuffers[pid].append(batch)
+            self._pending_bytes += batch.payload_bytes(tb)
+            self._oldest_pending_ts = min(
+                self._oldest_pending_ts, float(batch.ts.min())
+            )
 
     def install_partition(
         self, pid: int, state: PartitionGroupState, buffered: TupleBatch
@@ -163,10 +218,11 @@ class JoinModule:
                 self._minibuffers[pid].append(sub)
             self._pending_bytes += batch.payload_bytes(self.geometry.tuple_bytes)
             # A shipment right after a partition move can carry tuples
-            # that predate this slave's epoch window; the expiry cutoff
-            # must respect the true oldest timestamp.
+            # that predate this slave's epoch window — and need not be
+            # timestamp-sorted — so the expiry cutoff must respect the
+            # true oldest timestamp, not the first.
             self._oldest_pending_ts = min(
-                self._oldest_pending_ts, float(batch.ts[0])
+                self._oldest_pending_ts, float(batch.ts.min())
             )
         self._oldest_pending_ts = min(self._oldest_pending_ts, shipment.epoch_start)
 
@@ -238,10 +294,13 @@ class JoinModule:
                     for _ in range(min(len(queue), max_batches_per_pid))
                 ]
                 out[pid] = TupleBatch.concat(parts)
-            # Batches left behind re-arm the expiry watermark.
+            # Batches left behind re-arm the expiry watermark.  The
+            # head batch is the queue's oldest, but its own tuples may
+            # not be timestamp-sorted (post-move shipments), so take
+            # the true minimum.
             if queue:
                 self._oldest_pending_ts = min(
-                    self._oldest_pending_ts, float(queue[0].ts[0])
+                    self._oldest_pending_ts, float(queue[0].ts.min())
                 )
         return out
 
@@ -290,7 +349,7 @@ class JoinModule:
                     pos += take
                     if window.head_space() == 0:
                         # Head block full: it joins now (Section IV-D).
-                        yield self._flush_unit(mini, sid)
+                        yield self._flush_unit(group.pid, mini, sid)
 
     def _final_flush_units(self, group: PartitionGroup) -> t.Iterator[WorkUnit]:
         """Flush partial head blocks once the partition's buffer drained.
@@ -301,9 +360,9 @@ class JoinModule:
         for bucket in group.directory.buckets():
             for sid in range(self.geometry.n_streams):
                 if bucket.payload.windows[sid].n_fresh:
-                    yield self._flush_unit(bucket.payload, sid)
+                    yield self._flush_unit(group.pid, bucket.payload, sid)
 
-    def _flush_unit(self, mini: MiniGroup, sid: int) -> WorkUnit:
+    def _flush_unit(self, pid: int, mini: MiniGroup, sid: int) -> WorkUnit:
         window = mini.windows[sid]
         # Block-NLJ scans the committed blocks of every other stream's
         # window in this mini-group.
@@ -317,22 +376,15 @@ class JoinModule:
 
         def run(emit_time: float) -> None:
             result = mini.flush_stream(sid, collect_pairs=self.collect_pairs)
-            newer = (
-                result.newer_ts
-                if hasattr(result, "newer_ts")
-                else result.newest_ts
-            )
-            self.metrics.record_outputs(emit_time, newer)
-            if self.collect_pairs:
-                rows = (
-                    result.pairs if hasattr(result, "pairs") else result.members
-                )
-                if rows is not None and len(rows):
-                    if hasattr(result, "pairs") and sid == 1:
+            self.metrics.record_outputs(emit_time, result.newer_ts)
+            if self.collect_pairs and result.pairs is not None:
+                rows = result.pairs
+                if len(rows):
+                    if self.geometry.n_streams == 2 and sid == 1:
                         # Normalize the pairwise orientation to
                         # (stream-0 seq, stream-1 seq).
                         rows = rows[:, ::-1]
-                    self.metrics.pairs.append(rows)
+                    self.metrics.record_pairs(pid, rows)
 
         return WorkUnit("probe", cost, run)
 

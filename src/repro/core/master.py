@@ -36,24 +36,58 @@ from __future__ import annotations
 
 import typing as t
 
+import numpy as np
 
 from repro.config import SystemConfig
 from repro.core.buffer import MasterBuffer
-from repro.core.declustering import DeclusteringController, ReorgPlan
+from repro.core.declustering import (
+    DeclusteringController,
+    ReorgPlan,
+    plan_backups,
+    plan_restores,
+)
 from repro.core.metrics import MasterMetrics
 from repro.core.protocol import (
     Activate,
+    Checkpoint,
     Halt,
     MoveAck,
     ReorgOrder,
+    Replicate,
+    Restore,
     Shipment,
     SlaveSync,
 )
 from repro.core.subgroups import build_schedules, groups_in_order
+from repro.data.tuples import TupleBatch
 from repro.faults.markers import peer_silent
 from repro.mp.comm import Communicator
-from repro.obs.events import DodEvent, EpochEvent, FaultEvent, RecoveryEvent, ReorgEvent
+from repro.obs.events import (
+    CheckpointEvent,
+    DodEvent,
+    EpochEvent,
+    FaultEvent,
+    RecoveryEvent,
+    ReorgEvent,
+    RestoreEvent,
+)
 from repro.obs.tracer import NULL_TRACER, Tracer
+
+
+class _PendingReplication:
+    """Replication maintenance queued for one backup slave, delivered
+    with the next :class:`Replicate` the master sends it."""
+
+    __slots__ = ("entries", "drops", "checkpoints")
+
+    def __init__(self) -> None:
+        self.entries: list[tuple[int, int, TupleBatch]] = []
+        self.drops: set[int] = set()
+        self.checkpoints: dict[int, Checkpoint] = {}
+
+    def purge(self, pid: int) -> None:
+        self.entries = [e for e in self.entries if e[0] != pid]
+        self.checkpoints.pop(pid, None)
 
 
 class MasterNode:
@@ -102,6 +136,29 @@ class MasterNode:
             if cfg.faults.enabled
             else None
         )
+        # -- replication (see DESIGN.md "Lossless recovery") -----------
+        self.replication = cfg.replication != "off"
+        self._checkpoint_every = cfg.replication == "checkpoint+log"
+        #: Current backup slave per partition (empty when replication is
+        #: off or fewer than two slaves are live).
+        self._backup_of: dict[int, int] = {}
+        #: Partitions whose backup holds a checkpoint base (bootstrap
+        #: state); the rest get one requested at the next boundary.
+        self._covered: set[int] = set()
+        #: Maintenance queued per backup slave, flushed with the next
+        #: ``Replicate`` sent to it.
+        self._pending: dict[int, _PendingReplication] = {}
+        #: Pair chunks retired to the master by checkpoints and state
+        #: moves — they survive any later crash of the producing slave.
+        self._pair_store: list[np.ndarray] = []
+        if self.replication:
+            self._backup_of = plan_backups(
+                self.buffer.mapping, set(self.active)
+            )
+            # The seed assignment doubles as the genesis checkpoint:
+            # every partition starts empty, so the (implicit) empty
+            # checkpoint at epoch 0 already covers it.
+            self._covered = set(self._backup_of)
 
     # ------------------------------------------------------------------
     @property
@@ -180,6 +237,9 @@ class MasterNode:
         now = rt.now()
         self.dead.add(s)
         self.comm.drain(s)
+        # Replication maintenance queued for a dead backup is moot; the
+        # next placement refresh reassigns its partitions' backups.
+        self._pending.pop(s, None)
         yield self.comm.send(s, Halt(k))
         report = self.latest_reports.get(s)
         record: dict[str, t.Any] = {
@@ -216,12 +276,30 @@ class MasterNode:
                 )
             )
 
-    def _plan_adoption(self, live: t.Sequence[int]) -> dict[int, tuple[int, ...]]:
+    def _plan_adoption(
+        self,
+        live: t.Sequence[int],
+        records: t.Sequence[dict[str, t.Any]],
+    ) -> tuple[dict[int, tuple[int, ...]], dict[int, tuple[int, ...]]]:
         """Reassign every partition-group currently owned by a dead
-        slave, remapping the master buffer so pending tuples follow."""
+        slave, remapping the master buffer so pending tuples follow.
+
+        With replication on, each lost partition is routed to its live
+        backup (``restore_map``: a checkpoint + log-replay rebuild);
+        only partitions without a usable replica fall back to empty
+        adoption.  Each failure record in *records* is annotated with
+        the split (``restored_pids`` / ``lost_pids``) so the run's
+        degraded verdict reflects actual data loss, not mere crashes.
+        """
         lost = [
             pid for pid, owner in self.buffer.mapping.items() if owner in self.dead
         ]
+        restore_map: dict[int, tuple[int, ...]] = {}
+        leftovers: t.Sequence[int] = lost
+        if self.replication:
+            restore_map, leftovers = plan_restores(
+                lost, self._backup_of, set(live)
+            )
         occupancy = {
             s: (
                 self.latest_reports[s].avg_occupancy
@@ -230,17 +308,30 @@ class MasterNode:
             )
             for s in live
         }
-        adopt = self.controller.plan_recovery(lost, occupancy)
-        for s, pids in adopt.items():
-            for pid in pids:
-                self.buffer.remap(pid, s)
-        return adopt
+        adopt = self.controller.plan_recovery(list(leftovers), occupancy)
+        restored = {pid for pids in restore_map.values() for pid in pids}
+        dropped = {int(pid) for pid in leftovers}
+        for record in records:
+            owned = set(record["pids"])
+            record["restored_pids"] = tuple(sorted(owned & restored))
+            record["lost_pids"] = tuple(sorted(owned & dropped))
+        for plan in (adopt, restore_map):
+            for s, pids in plan.items():
+                for pid in pids:
+                    self.buffer.remap(pid, s)
+        if self.replication:
+            # Adopted and restored partitions both need a fresh base
+            # image at their new owner before the log can stay short.
+            for pids in (*adopt.values(), *restore_map.values()):
+                self._covered.difference_update(pids)
+        return adopt, restore_map
 
     def _finish_recovery(
         self,
         k: int,
         adopt: t.Mapping[int, tuple[int, ...]],
         records: t.Sequence[dict[str, t.Any]],
+        restore: t.Mapping[int, tuple[int, ...]] | None = None,
     ) -> None:
         """Stamp recovery latency on the *covered* failure records.
 
@@ -268,6 +359,152 @@ class MasterNode:
                     latency=now - oldest,
                 )
             )
+            for s, pids in sorted((restore or {}).items()):
+                self.tracer.emit(
+                    RestoreEvent(
+                        t=now,
+                        node=self.comm.node_id,
+                        epoch=k,
+                        restorer=s,
+                        pids=pids,
+                        latency=now - oldest,
+                    )
+                )
+
+    # -- replication (state backup plane) ----------------------------------
+    @property
+    def pair_rows(self) -> list[np.ndarray]:
+        """Pair chunks retired to the master by checkpoints and moves."""
+        return list(self._pair_store)
+
+    def _pending_for(self, s: int) -> _PendingReplication:
+        pending = self._pending.get(s)
+        if pending is None:
+            pending = self._pending[s] = _PendingReplication()
+        return pending
+
+    def _tee_parts(self, k: int, parts: t.Mapping[int, TupleBatch]) -> None:
+        """Tee one shipment's per-partition parts to the backups' logs."""
+        for pid in sorted(parts):
+            backup = self._backup_of.get(pid)
+            if backup is None or backup in self.dead:
+                continue
+            batch = parts[pid]
+            self._pending_for(backup).entries.append((pid, k, batch))
+            self.metrics.replication_bytes += len(batch) * self.cfg.tuple_bytes
+
+    def _send_replicate(self, k: int, s: int) -> t.Generator:
+        """Flush replication maintenance queued for backup *s*.
+
+        Sent before every Shipment and every ReorgOrder when
+        replication is on, so the backup's store is current before any
+        restore it might be ordered to perform this round.
+        """
+        pending = self._pending.pop(s, None)
+        if pending is None:
+            msg = Replicate(k)
+        else:
+            msg = Replicate(
+                k,
+                entries=tuple(pending.entries),
+                drops=tuple(sorted(pending.drops)),
+                checkpoints=tuple(
+                    pending.checkpoints[pid]
+                    for pid in sorted(pending.checkpoints)
+                ),
+            )
+        yield self.comm.send(s, msg)
+
+    def _refresh_backups(
+        self,
+        owners: t.Mapping[int, int],
+        live: t.Collection[int],
+        restoring: t.Collection[int] = (),
+    ) -> None:
+        """Recompute backup placement after an ownership change.
+
+        A partition whose backup moved gets its replica dropped at the
+        old backup (when still live) and its coverage reset, so
+        :meth:`_checkpoint_requests` bootstraps the new backup with a
+        fresh base image at this same boundary.  Partitions in
+        *restoring* are exempt from the drop/purge: their old backup is
+        the restorer itself, which consumes (and thereby removes) the
+        replica when it executes this round's Restore — a drop would
+        race ahead of it and destroy the very state being recovered.
+        """
+        new = plan_backups(owners, live)
+        restoring = set(restoring)
+        for pid, old in self._backup_of.items():
+            if new.get(pid) == old:
+                continue
+            if pid in restoring:
+                self._covered.discard(pid)
+                continue
+            if old in self._pending:
+                self._pending[old].purge(pid)
+            if old in live:
+                self._pending_for(old).drops.add(pid)
+            self._covered.discard(pid)
+        for s in list(self._pending):
+            if s not in live:
+                del self._pending[s]
+        self._backup_of = new
+
+    def _checkpoint_requests(
+        self, owners: t.Mapping[int, int], reorg: bool
+    ) -> dict[int, tuple[int, ...]]:
+        """Which owner must checkpoint which partitions this round.
+
+        Stateless — derived from placement and coverage every round, so
+        a request that dies with its owner is simply re-issued to the
+        partition's next owner at the next boundary.
+        """
+        if not self.replication:
+            return {}
+        wanted: dict[int, list[int]] = {}
+        for pid in sorted(self._backup_of):
+            owner = owners.get(pid)
+            if owner is None or owner in self.dead:
+                continue
+            if (self._checkpoint_every and reorg) or pid not in self._covered:
+                wanted.setdefault(owner, []).append(pid)
+        return {s: tuple(pids) for s, pids in wanted.items()}
+
+    def _accept_checkpoint(self, s: int, k: int, cp: Checkpoint) -> None:
+        """Bank a checkpoint: retire its pairs, queue it to the backup."""
+        if cp.pairs is not None and len(cp.pairs):
+            self._pair_store.append(cp.pairs)
+        backup = self._backup_of.get(cp.pid)
+        if backup is None or backup in self.dead:
+            return
+        self._pending_for(backup).checkpoints[cp.pid] = cp
+        self._covered.add(cp.pid)
+        nbytes = cp.wire_bytes(self.cfg.tuple_bytes)
+        self.metrics.replication_bytes += nbytes
+        if self.tracer.enabled:
+            self.tracer.emit(
+                CheckpointEvent(
+                    t=self.rt.now(),
+                    node=self.comm.node_id,
+                    epoch=k,
+                    pid=cp.pid,
+                    owner=s,
+                    backup=backup,
+                    nbytes=nbytes,
+                )
+            )
+
+    def _collect_checkpoints(self, s: int, k: int, n: int) -> t.Generator:
+        """Receive *n* checkpoints from slave *s*; False if it died."""
+        for _ in range(n):
+            cp = yield from self.comm.recv_expect(
+                s, Checkpoint, timeout=self._detect_timeout
+            )
+            if peer_silent(cp):
+                yield from self._on_slave_silent(s, k, "checkpoint")
+                return False
+            self._accept_checkpoint(s, k, cp)
+        return True
 
     # -- workload ingestion ------------------------------------------------
     def _generate_upto(self, now: float) -> None:
@@ -293,11 +530,15 @@ class MasterNode:
                 sync = yield from self._sync_or_detect(s, k)
                 if sync is None:
                     continue
+                if self.replication:
+                    yield from self._send_replicate(k, s)
                 yield from self._ship_to(k, s)
 
     def _ship_to(self, k: int, slave: int) -> t.Generator:
         now = self.rt.now()
-        batch, epoch_start = self.buffer.drain_for(slave, now)
+        batch, epoch_start, parts = self.buffer.drain_for(slave, now)
+        if self.replication:
+            self._tee_parts(k, parts)
         yield self.comm.send(slave, Shipment(k, epoch_start, now, batch))
 
     # -- reorganization epoch --------------------------------------------------------
@@ -315,12 +556,13 @@ class MasterNode:
         live = [s for s in actives if s not in self.dead]
         recovering = list(self._unrecovered)
         adopt: dict[int, tuple[int, ...]] = {}
+        restore_map: dict[int, tuple[int, ...]] = {}
         occupancy = {s: self.latest_reports[s].avg_occupancy for s in live}
         if recovering:
             # A recovery epoch performs exactly one control action:
             # adoption of the dead slaves' partition-groups.  Load
             # balancing and DoD adaptation resume at the next epoch.
-            adopt = self._plan_adoption(live)
+            adopt, restore_map = self._plan_adoption(live, recovering)
             plan = ReorgPlan((), (), (), self.controller.classify(occupancy))
         else:
             ownership = {s: self.buffer.pids_of(s) for s in live}
@@ -354,12 +596,34 @@ class MasterNode:
         for s in plan.activate:
             yield comm.send(s, Activate(k, clock=rt.now(), schedule=schedules[s]))
 
+        cp_requests: dict[int, tuple[int, ...]] = {}
+        if self.replication:
+            # Placement follows the ownership the slaves will hold
+            # *after* this round's moves, adoptions, and restores.
+            owners_after = dict(self.buffer.mapping)
+            for m in plan.moves:
+                owners_after[m.pid] = m.dst
+                # A moved partition needs a fresh base at its new
+                # owner even if its backup slave happens to survive
+                # the placement change (the pair accounting resets at
+                # the extract).
+                self._covered.discard(m.pid)
+            self._refresh_backups(
+                owners_after,
+                set(new_active),
+                restoring=[p for pids in restore_map.values() for p in pids],
+            )
+            cp_requests = self._checkpoint_requests(owners_after, reorg=True)
+
         order_targets = sorted(set(live) | set(plan.activate))
         acks_expected: dict[int, int] = {}
         for s in order_targets:
             outgoing = tuple(m for m in plan.moves if m.src == s)
             incoming = tuple(m for m in plan.moves if m.dst == s)
             adopted = adopt.get(s, ())
+            restored = restore_map.get(s, ())
+            if self.replication:
+                yield from self._send_replicate(k, s)
             yield comm.send(
                 s,
                 ReorgOrder(
@@ -370,14 +634,19 @@ class MasterNode:
                     clock=rt.now(),
                     schedule=schedules.get(s),
                     adopt=adopted,
+                    checkpoint_pids=cp_requests.get(s, ()),
                 ),
             )
-            if outgoing or incoming or adopted:
-                acks_expected[s] = len(outgoing) + len(incoming) + len(adopted)
+            if self.replication:
+                yield comm.send(s, Restore(k, restored))
+            if outgoing or incoming or adopted or restored:
+                acks_expected[s] = (
+                    len(outgoing) + len(incoming) + len(adopted) + len(restored)
+                )
 
         # The mapping changes take effect now: tuples buffered for a
         # moved partition will be shipped to the new owner below
-        # (adoptions were remapped by ``_plan_adoption``).
+        # (adoptions and restores were remapped by ``_plan_adoption``).
         for m in plan.moves:
             self.buffer.remap(m.pid, m.dst)
         self.metrics.moves_ordered += len(plan.moves)
@@ -386,6 +655,12 @@ class MasterNode:
         deactivated = set(plan.deactivate)
         for s in order_targets:
             if s not in participants and s not in deactivated:
+                if cp_requests.get(s):
+                    alive = yield from self._collect_checkpoints(
+                        s, k, len(cp_requests[s])
+                    )
+                    if not alive:
+                        continue
                 yield from self._ship_to(k, s)
         for s in sorted(acks_expected):
             for _ in range(acks_expected[s]):
@@ -395,12 +670,20 @@ class MasterNode:
                 if peer_silent(ack):
                     yield from self._on_slave_silent(s, k, "ack")
                     break
+                if ack.pairs is not None and len(ack.pairs):
+                    self._pair_store.append(ack.pairs)
         for s in sorted(participants):
             if s not in deactivated and s not in self.dead:
+                if cp_requests.get(s):
+                    alive = yield from self._collect_checkpoints(
+                        s, k, len(cp_requests[s])
+                    )
+                    if not alive:
+                        continue
                 yield from self._ship_to(k, s)
 
         if recovering:
-            self._finish_recovery(k, adopt, recovering)
+            self._finish_recovery(k, adopt, recovering, restore_map)
         if len(new_active) != len(actives):
             self.metrics.dod_changes.append((rt.now(), len(new_active)))
             if self.tracer.enabled:
@@ -443,7 +726,17 @@ class MasterNode:
             self._generate_upto(rt.now())
             return
         recovering = list(self._unrecovered)
-        adopt = self._plan_adoption(live)
+        adopt, restore_map = self._plan_adoption(live, recovering)
+        cp_requests: dict[int, tuple[int, ...]] = {}
+        if self.replication:
+            self._refresh_backups(
+                dict(self.buffer.mapping),
+                set(live),
+                restoring=[p for pids in restore_map.values() for p in pids],
+            )
+            cp_requests = self._checkpoint_requests(
+                self.buffer.mapping, reorg=False
+            )
         new_schedules = build_schedules(live, cfg.num_subgroups, cfg.dist_epoch)
         groups = groups_in_order(self.active, cfg.num_subgroups)
         slot_len = cfg.dist_epoch / len(groups)
@@ -457,6 +750,9 @@ class MasterNode:
                 if sync is None:
                     continue
                 adopted = adopt.get(s, ())
+                restored = restore_map.get(s, ())
+                if self.replication:
+                    yield from self._send_replicate(k, s)
                 yield comm.send(
                     s,
                     ReorgOrder(
@@ -464,10 +760,13 @@ class MasterNode:
                         clock=rt.now(),
                         schedule=new_schedules.get(s),
                         adopt=adopted,
+                        checkpoint_pids=cp_requests.get(s, ()),
                     ),
                 )
+                if self.replication:
+                    yield comm.send(s, Restore(k, restored))
                 alive = True
-                for _ in adopted:
+                for _ in range(len(adopted) + len(restored)):
                     ack = yield from comm.recv_expect(
                         s, MoveAck, timeout=self._detect_timeout
                     )
@@ -475,6 +774,12 @@ class MasterNode:
                         yield from self._on_slave_silent(s, k, "ack")
                         alive = False
                         break
+                    if ack.pairs is not None and len(ack.pairs):
+                        self._pair_store.append(ack.pairs)
+                if alive and cp_requests.get(s):
+                    alive = yield from self._collect_checkpoints(
+                        s, k, len(cp_requests[s])
+                    )
                 if alive:
                     yield from self._ship_to(k, s)
         if len(live) != len(self.active):
@@ -497,7 +802,7 @@ class MasterNode:
             set(self.all_slaves) - set(live) - self.dead
         )
         self.schedules = new_schedules
-        self._finish_recovery(k, adopt, recovering)
+        self._finish_recovery(k, adopt, recovering, restore_map)
 
     # -- shutdown ----------------------------------------------------------------
     def _halt_round(self, k: int) -> t.Generator:

@@ -155,8 +155,10 @@ class SlaveMetrics:
         self.groups_moved_in = 0
         self.groups_moved_out = 0
         self.state_bytes_moved = 0
-        #: (probe_seq_or_s1, window_seq_or_s2) pairs, test mode only.
-        self.pairs: list[np.ndarray] = []
+        #: (probe_seq_or_s1, window_seq_or_s2) pairs, test mode only,
+        #: keyed by owning partition so replication can flush a pid's
+        #: output upstream when its state leaves this slave.
+        self.pairs: dict[int, list[np.ndarray]] = {}
         self.active_time = 0.0
 
     # -- recording -----------------------------------------------------------
@@ -193,6 +195,26 @@ class SlaveMetrics:
         """Drain the outputs accumulated since the last collector report."""
         stats, self.unreported = self.unreported, DelayStats()
         return stats
+
+    def record_pairs(self, pid: int, rows: np.ndarray) -> None:
+        """File collected join pairs under their partition."""
+        self.pairs.setdefault(pid, []).append(rows)
+
+    def pair_chunks(self) -> list[np.ndarray]:
+        """All collected pair chunks, in deterministic (pid) order."""
+        return [c for pid in sorted(self.pairs) for c in self.pairs[pid]]
+
+    def pop_pairs(self, pid: int) -> np.ndarray | None:
+        """Drain partition *pid*'s collected pairs (``None`` if none).
+
+        Called when the pid's state leaves this slave — checkpoint or
+        move — so the output travels with the state and survives a
+        later crash of this node.
+        """
+        chunks = self.pairs.pop(pid, None)
+        if not chunks:
+            return None
+        return np.concatenate(chunks)
 
     def record_comm(self, t0: float, t1: float, nbytes: int, sent: bool) -> None:
         span = self.gate.overlap(t0, t1)
@@ -264,6 +286,10 @@ class MasterMetrics:
         #: epoch, detected_at, where, pids, window_bytes_lost, plus
         #: recovered_at / recovery_latency once recovery completes.
         self.failures: list[dict[str, t.Any]] = []
+        #: Payload bytes shipped for state replication (tee + forwarded
+        #: checkpoints).  Ungated: the fault benchmarks report total
+        #: overhead, not just the steady-state share.
+        self.replication_bytes = 0
 
     def record_comm(self, t0: float, t1: float, nbytes: int, sent: bool) -> None:
         span = self.gate.overlap(t0, t1)

@@ -69,16 +69,16 @@ class MiniGroup:
         return any(w.n_fresh for w in self.windows)
 
     # -- join-protocol operations -------------------------------------------
-    def flush_stream(
-        self, sid: int, collect_pairs: bool = False
-    ) -> ProbeResult | CompositeResult:
+    def flush_stream(self, sid: int, collect_pairs: bool = False) -> ProbeResult:
         """Flush stream *sid*'s fresh head block: join it against the
         other streams' committed windows and commit it.
 
         Two streams use the fast pairwise kernel; more use the n-way
-        composite prober.  In both cases only committed tuples of the
-        other streams participate (the duplicate-elimination rule: a
-        result is emitted by the last of its members to flush).
+        composite prober (its :class:`CompositeResult` is normalized to
+        a :class:`ProbeResult` so callers see a single return type).
+        In both cases only committed tuples of the other streams
+        participate (the duplicate-elimination rule: a result is
+        emitted by the last of its members to flush).
         """
         window = self.windows[sid]
         if self.geometry.n_streams == 2:
@@ -94,7 +94,7 @@ class MiniGroup:
                 continue
             s_key, s_ts, s_seq = other.sorted_view(need_seq=collect_pairs)
             others.append((k, s_key, s_ts, s_seq))
-        result = probe_composites(
+        result: CompositeResult = probe_composites(
             sid,
             ts,
             key,
@@ -104,7 +104,7 @@ class MiniGroup:
             collect_members=collect_pairs,
         )
         window.commit_fresh()
-        return result
+        return ProbeResult(result.n_composites, result.newest_ts, result.members)
 
     def flush_all(self, collect_pairs: bool = False) -> list:
         """Flush every stream's fresh head block, in stream order."""
@@ -311,6 +311,21 @@ class PartitionGroup:
         # Reset to a pristine directory.
         self.directory = self._new_directory()
         return PartitionGroupState(self.pid, global_depth, tuple(groups))
+
+    def snapshot_state(self) -> PartitionGroupState:
+        """Copy this group's window state without draining it — the
+        owner side of a replication checkpoint."""
+        groups = []
+        for bucket in self.directory.buckets():
+            streams = tuple(
+                w.snapshot_all() for w in bucket.payload.windows
+            )
+            groups.append(
+                GroupState(bucket.pattern, bucket.local_depth, streams)
+            )
+        return PartitionGroupState(
+            self.pid, self.directory.global_depth, tuple(groups)
+        )
 
     def install_state(self, state: PartitionGroupState) -> None:
         """Rebuild the fine-tuned directory from a shipped state blob."""

@@ -16,6 +16,8 @@ from __future__ import annotations
 import typing as t
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.partition_group import PartitionGroupState
 from repro.core.subgroups import SlotSchedule
 from repro.data.tuples import TupleBatch
@@ -99,11 +101,14 @@ class ReorgOrder(Message):
     schedule: SlotSchedule | None = None
     #: Partition-groups to adopt from a dead slave (rebuilt empty).
     adopt: tuple[int, ...] = ()
+    #: Partitions this slave must checkpoint after applying the order
+    #: (replication mode: owner-side snapshot shipped to the master).
+    checkpoint_pids: tuple[int, ...] = ()
 
     def wire_bytes(self, tuple_bytes: int) -> int:
         return CONTROL_BYTES + 24 * (
             len(self.outgoing) + len(self.incoming)
-        ) + 8 * len(self.adopt)
+        ) + 8 * (len(self.adopt) + len(self.checkpoint_pids))
 
 
 @dataclass(frozen=True)
@@ -121,10 +126,21 @@ class StateTransfer(Message):
 
 @dataclass(frozen=True)
 class MoveAck(Message):
-    """Slave -> master: one side of a state move completed."""
+    """Slave -> master: one side of a state move completed.
+
+    In replication mode the supplier's ack carries the moved
+    partition's collected join pairs (``pairs``), so already-produced
+    output survives a later crash of either slave (the master keeps it
+    durably).  ``None`` outside test/replication mode.
+    """
 
     pid: int
-    role: str  # "supplier" | "consumer"
+    role: str  # "supplier" | "consumer" | "adopt" | "restore"
+    pairs: np.ndarray | None = None
+
+    def wire_bytes(self, tuple_bytes: int) -> int:
+        n = 0 if self.pairs is None else len(self.pairs)
+        return CONTROL_BYTES + 16 * n
 
 
 @dataclass(frozen=True)
@@ -175,5 +191,76 @@ class SlaveSync(Message):
         return REPORT_BYTES
 
 
-MasterToSlave = t.Union[Shipment, ReorgOrder, Activate, Halt]
-SlaveToMaster = t.Union[SlaveSync, MoveAck]
+@dataclass(frozen=True)
+class Checkpoint(Message):
+    """A compact replica of one partition-group, as of ``epoch``.
+
+    Travels twice: owner slave -> master (piggybacked on a reorg order
+    via :attr:`ReorgOrder.checkpoint_pids`) and master -> backup slave
+    (inside a :class:`Replicate`).  ``state``/``buffered`` mirror a
+    :class:`StateTransfer` but are *copies* — the owner keeps working.
+    ``pairs`` drains the owner's collected join output for the pid so
+    it is held durably at the master (test/replication mode only).
+    """
+
+    pid: int
+    epoch: int
+    state: PartitionGroupState
+    buffered: TupleBatch
+    pairs: np.ndarray | None = None
+
+    def wire_bytes(self, tuple_bytes: int) -> int:
+        n = self.state.n_tuples + len(self.buffered)
+        npairs = 0 if self.pairs is None else len(self.pairs)
+        return CONTROL_BYTES + n * tuple_bytes + 16 * npairs
+
+
+@dataclass(frozen=True)
+class Replicate(Message):
+    """Master -> backup slave: pending replication maintenance.
+
+    Sent right before every Shipment/ReorgOrder in replication mode so
+    the backup store stays current without extra schedule slots:
+
+    * ``drops`` — partitions this slave no longer backs up;
+    * ``checkpoints`` — fresh base images (truncate the pid's log);
+    * ``entries`` — ``(pid, shipment_epoch, batch)`` log records teed
+      from the owners' epoch shipments.
+
+    Applied in that order (drop, re-base, append).
+    """
+
+    epoch: int
+    entries: tuple[tuple[int, int, TupleBatch], ...] = ()
+    drops: tuple[int, ...] = ()
+    checkpoints: tuple[Checkpoint, ...] = ()
+
+    def wire_bytes(self, tuple_bytes: int) -> int:
+        total = CONTROL_BYTES + 8 * len(self.drops)
+        for _pid, _epoch, batch in self.entries:
+            total += 16 + len(batch) * tuple_bytes
+        for cp in self.checkpoints:
+            total += cp.wire_bytes(tuple_bytes)
+        return total
+
+
+@dataclass(frozen=True)
+class Restore(Message):
+    """Master -> backup slave: rebuild ``pids`` from the backup store.
+
+    Always follows the epoch's :class:`ReorgOrder` in replication mode
+    (often with no pids) so the schedule stays fixed.  The same round's
+    :class:`Replicate` already flushed any pending maintenance, so the
+    message only needs to name the partitions.  Each restore is
+    acknowledged with a ``role="restore"`` :class:`MoveAck`.
+    """
+
+    epoch: int
+    pids: tuple[int, ...] = ()
+
+    def wire_bytes(self, tuple_bytes: int) -> int:
+        return CONTROL_BYTES + 8 * len(self.pids)
+
+
+MasterToSlave = t.Union[Shipment, ReorgOrder, Activate, Halt, Replicate, Restore]
+SlaveToMaster = t.Union[SlaveSync, MoveAck, Checkpoint]

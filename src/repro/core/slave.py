@@ -39,11 +39,14 @@ from repro.core.join_module import JoinModule
 from repro.core.metrics import SlaveMetrics
 from repro.core.protocol import (
     Activate,
+    Checkpoint,
     Halt,
     LoadReport,
     MoveAck,
     ReorgOrder,
+    Replicate,
     ResultReport,
+    Restore,
     Shipment,
     SlaveSync,
     StateTransfer,
@@ -52,6 +55,7 @@ from repro.core.subgroups import SlotSchedule
 from repro.mp.comm import Communicator
 from repro.obs.events import DrainEvent, StateMoveEvent
 from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.replication import BackupStore
 
 if t.TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.injector import FaultInjector
@@ -100,6 +104,12 @@ class SlaveNode:
         self.cost_model = module.cost_model
         self.lock = runtime.make_lock(f"slave{node_id}.state")
         self.work_queue = runtime.make_queue(f"slave{node_id}.work")
+        #: Replicated checkpoint + log images this slave backs up for
+        #: its ring neighbour (``None`` with replication off).
+        self.replication = cfg.replication != "off"
+        self.backup_store: BackupStore | None = (
+            BackupStore() if self.replication else None
+        )
         self._halted = False
         self._occ_sum = 0.0
         self._occ_n = 0
@@ -170,6 +180,10 @@ class SlaveNode:
                 self.epoch = msg.epoch
                 self.schedule = msg.schedule
                 self.active = True
+                if self.backup_store is not None:
+                    # Anything backed up before a deactivation is stale
+                    # by now; the master re-bootstraps what it needs.
+                    self.backup_store.clear()
                 halted = yield from self._reorg_exchange(self.epoch, send_sync=False)
                 if halted:
                     yield from self._shutdown()
@@ -198,6 +212,9 @@ class SlaveNode:
     def _plain_exchange(self, k: int) -> t.Generator:
         comm = self.comm
         yield comm.send(self.master_id, SlaveSync(k, self._make_report(k)))
+        halted = yield from self._apply_replication(k)
+        if halted:
+            return True
         # A ReorgOrder at a plain epoch is a recovery round: the master
         # is reassigning a dead slave's partition-groups.
         msg = yield from comm.recv_expect(
@@ -208,6 +225,23 @@ class SlaveNode:
         if isinstance(msg, ReorgOrder):
             return (yield from self._handle_order(msg))
         yield from self._accept_shipment(msg)
+        return False
+
+    def _apply_replication(self, k: int) -> t.Generator:
+        """Receive and apply the round's replication maintenance.
+
+        With replication on, the master precedes every Shipment and
+        every ReorgOrder with one :class:`Replicate` (possibly empty).
+        The halt round skips it, so Halt is accepted here too; returns
+        True in that case.
+        """
+        if not self.replication:
+            return False
+        msg = yield from self.comm.recv_expect(self.master_id, Replicate, Halt)
+        if isinstance(msg, Halt):
+            return True
+        assert self.backup_store is not None
+        self.backup_store.apply(msg)
         return False
 
     def _accept_shipment(self, shipment: Shipment) -> t.Generator:
@@ -222,6 +256,9 @@ class SlaveNode:
         if send_sync:
             yield comm.send(self.master_id, SlaveSync(k, self._make_report(k)))
         self._reset_occupancy_window()
+        halted = yield from self._apply_replication(k)
+        if halted:
+            return True
         msg = yield from comm.recv_expect(self.master_id, ReorgOrder, Halt)
         if isinstance(msg, Halt):
             return True
@@ -234,13 +271,26 @@ class SlaveNode:
         """
         rt, comm, metrics = self.rt, self.comm, self.metrics
         tuple_bytes = self.cfg.tuple_bytes
+        restore_pids: tuple[int, ...] = ()
+        if self.replication:
+            # The Restore rides right behind every ReorgOrder (possibly
+            # empty).  Take it before any peer-dependent step so the
+            # master's rendezvous send never waits on a state move.
+            restore = yield from comm.recv_expect(self.master_id, Restore)
+            restore_pids = restore.pids
         if order.schedule is not None:
             self.schedule = order.schedule
 
         # Supplier role: extract and ship partition-group states.
+        popped_pairs: dict[int, t.Any] = {}
         for mv in order.outgoing:
             yield self.lock.acquire()
             state, buffered = self.module.extract_partition(mv.pid)
+            if self.replication:
+                # Retire the pairs this partition produced here; the
+                # master banks them so a later crash of the new owner
+                # cannot lose them (replay regenerates only the rest).
+                popped_pairs[mv.pid] = metrics.pop_pairs(mv.pid)
             self.lock.release()
             nbytes = (state.n_tuples + len(buffered)) * tuple_bytes
             t0 = rt.now()
@@ -286,19 +336,62 @@ class SlaveNode:
         # live adopter must not trip the master's ack timeout.
         for pid in order.adopt:
             yield comm.send(self.master_id, MoveAck(pid, "adopt"))
+        for pid in restore_pids:
+            yield comm.send(self.master_id, MoveAck(pid, "restore"))
         for pid in order.adopt:
             yield self.lock.acquire()
             self.module.add_partition(pid)
             self.lock.release()
 
+        # Restore role: rebuild a dead slave's groups from this node's
+        # backup store (checkpoint base + shipment-log replay).
+        for pid in restore_pids:
+            assert self.backup_store is not None
+            state, buffered, log = self.backup_store.take(pid)
+            nbytes = (
+                (0 if state is None else state.n_tuples)
+                + (0 if buffered is None else len(buffered))
+                + sum(len(b) for b in log)
+            ) * tuple_bytes
+            t0 = rt.now()
+            yield rt.cpu(self._cpu_cost(self.cost_model.state_move_cost(nbytes)))
+            metrics.charge_cpu("state_move", t0, rt.now())
+            yield self.lock.acquire()
+            self.module.restore_partition(pid, state, buffered, log)
+            self.lock.release()
+            # Replayed shipments are pending work; wake the join loop.
+            yield self.work_queue.put(WAKE_TOKEN)
+
         for mv in order.outgoing:
-            yield comm.send(self.master_id, MoveAck(mv.pid, "supplier"))
+            yield comm.send(
+                self.master_id,
+                MoveAck(mv.pid, "supplier", pairs=popped_pairs.get(mv.pid)),
+            )
         for mv in order.incoming:
             yield comm.send(self.master_id, MoveAck(mv.pid, "consumer"))
 
         if order.deactivate:
+            if self.backup_store is not None:
+                self.backup_store.clear()
             self.active = False
             return False
+
+        # Checkpoint role: snapshot the requested partitions for their
+        # backups.  Atomic with the pair retirement under the lock, so
+        # the base image and the banked pairs describe the same point.
+        for pid in order.checkpoint_pids:
+            yield self.lock.acquire()
+            state, buffered = self.module.snapshot_partition(pid)
+            pairs = metrics.pop_pairs(pid)
+            self.lock.release()
+            nbytes = (state.n_tuples + len(buffered)) * tuple_bytes
+            t0 = rt.now()
+            yield rt.cpu(self._cpu_cost(self.cost_model.state_move_cost(nbytes)))
+            metrics.charge_cpu("state_move", t0, rt.now())
+            yield comm.send(
+                self.master_id,
+                Checkpoint(pid, order.epoch, state, buffered, pairs),
+            )
 
         msg = yield from comm.recv_expect(self.master_id, Shipment, Halt)
         if isinstance(msg, Halt):

@@ -98,9 +98,15 @@ class RunResult:
     # -- headline metrics -------------------------------------------------
     @property
     def degraded(self) -> bool:
-        """True when the run survived one or more slave failures (its
-        output misses the dead slaves' lost window state)."""
-        return bool(self.faults)
+        """True when a failure actually lost data: a fault was never
+        recovered, or partitions were re-owned with *empty* state (no
+        usable replica).  With ``--replication`` every lost partition is
+        rebuilt from its backup's checkpoint + log, so a crash alone no
+        longer degrades the output."""
+        return any(
+            f.get("recovered_at") is None or f.get("lost_pids")
+            for f in self.faults
+        )
 
     @property
     def recovery_latencies(self) -> list[float]:
@@ -386,6 +392,7 @@ def master_snapshot(cluster: "Cluster") -> dict[str, t.Any]:
         "failures": master_metrics.failures,
         "dead_slaves": sorted(cluster.master.dead),
         "partition_owners": dict(sorted(cluster.buffer.mapping.items())),
+        "replication_bytes": master_metrics.replication_bytes,
     }
 
 
@@ -400,7 +407,19 @@ def collect_result(
 
     pairs: np.ndarray | None = None
     if collect_pairs:
-        chunks = [c for m in cluster.slave_metrics for c in m.pairs]
+        replicated = cfg.replication != "off"
+        # With replication on, a dead slave's residual chunks are
+        # *dropped*: its pre-checkpoint pairs are already banked at the
+        # master and the rest re-emerge from the backup's log replay —
+        # keeping them would double-count.  (The process backend cannot
+        # read a killed slave's memory at all, so this also makes the
+        # sim/thread result match it exactly.)
+        chunks = list(cluster.master.pair_rows) if replicated else []
+        dead = cluster.master.dead if replicated else set()
+        for i, m in enumerate(cluster.slave_metrics):
+            if slave_node_id(i) in dead:
+                continue
+            chunks.extend(m.pair_chunks())
         pairs = (
             np.concatenate(chunks)
             if chunks

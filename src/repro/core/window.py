@@ -213,6 +213,19 @@ class StreamWindow:
         self._index_dirty = True
         return committed, fresh
 
+    def snapshot_all(self) -> tuple[TupleBatch, TupleBatch]:
+        """Non-destructive copy of ``(committed, fresh)`` for the
+        replication checkpointer; the window keeps its state."""
+        committed = self.committed.snapshot(self.stream_id)
+        ts, key, seq = self.fresh_view()
+        fresh = TupleBatch(
+            ts.copy(),
+            key.copy(),
+            seq.copy(),
+            np.full(self._fresh_n, self.stream_id, dtype=np.uint8),
+        )
+        return committed, fresh
+
     def install_committed(self, batch: TupleBatch) -> None:
         """Install moved committed tuples (consumer side of a state move)."""
         self.committed.append(batch.ts, batch.key, batch.seq)

@@ -12,9 +12,9 @@ import queue
 import time
 import typing as t
 
-from repro.faults.markers import RecvTimeout
+from repro.faults.markers import NodeDown, RecvTimeout
 from repro.net.sim_transport import CommStats
-from repro.runtime.thread import Thunk
+from repro.runtime.thread import KilledNode, Thunk
 
 
 class _Channel:
@@ -34,6 +34,10 @@ class ThreadTransport:
         self._origin = time.monotonic()
         self._channels: dict[tuple[int, int], _Channel] = {}
         self._lock = __import__("threading").Lock()
+        #: Nodes reaped by :meth:`kill_node` (reads are racy by design:
+        #: a crash lands "at some point" on a wall-clock backend).
+        self.dead: set[int] = set()
+        self.messages_lost = 0
 
     def _now(self) -> float:
         return (time.monotonic() - self._origin) / self.time_scale
@@ -53,6 +57,51 @@ class ThreadTransport:
         wire = getattr(message, "wire_bytes", None)
         return 64 if wire is None else int(wire(self.tuple_bytes))
 
+    # -- fault plane ---------------------------------------------------------
+    def kill_node(self, node_id: int) -> None:
+        """Reap a fail-stop crashed node.
+
+        Mirrors the simulated transport: live peers blocked receiving
+        *from* the victim resume with :class:`NodeDown`; live peers
+        blocked sending *to* it get their rendezvous ack so they move
+        on (message discarded).  The victim's own blocked threads are
+        woken with the same tokens and raise
+        :class:`~repro.runtime.thread.KilledNode` when they observe
+        their node in the dead set.
+        """
+        with self._lock:
+            self.dead.add(node_id)
+            channels = dict(self._channels)
+        for (src, dst), chan in channels.items():
+            if src == node_id:
+                # Discard a stale message the victim posted but nobody
+                # took, then wake the live receiver with NodeDown and
+                # release the victim's sender thread (if blocked on the
+                # ack) so it can unwind.
+                try:
+                    chan.data.get_nowait()
+                except queue.Empty:
+                    pass
+                try:
+                    chan.data.put_nowait(NodeDown(node_id))
+                except queue.Full:
+                    pass
+                try:
+                    chan.ack.put_nowait(True)
+                except queue.Full:
+                    pass
+            elif dst == node_id:
+                # Release a live sender waiting on the victim's ack and
+                # wake the victim's receiver thread so it unwinds.
+                try:
+                    chan.ack.put_nowait(True)
+                except queue.Full:
+                    pass
+                try:
+                    chan.data.put_nowait(NodeDown(node_id))
+                except queue.Full:
+                    pass
+
 
 class ThreadEndpoint:
     """One node's handle on the thread transport."""
@@ -70,9 +119,17 @@ class ThreadEndpoint:
         chan = self.transport._channel(self.node_id, dst)
 
         def fn() -> None:
+            dead = self.transport.dead
+            if self.node_id in dead:
+                raise KilledNode(self.node_id)
+            if dst in dead:
+                self.transport.messages_lost += 1
+                return  # fail-stop peer: the message is simply lost
             t0 = self.transport._now()
             chan.data.put(message)
             chan.ack.get()  # rendezvous: wait until taken
+            if self.node_id in dead:
+                raise KilledNode(self.node_id)
             t1 = self.transport._now()
             if self.stats is not None:
                 nbytes = self.transport._message_bytes(message)
@@ -84,6 +141,11 @@ class ThreadEndpoint:
         chan = self.transport._channel(src, self.node_id)
 
         def fn() -> t.Any:
+            dead = self.transport.dead
+            if self.node_id in dead:
+                raise KilledNode(self.node_id)
+            if src in dead:
+                return NodeDown(src)
             t0 = self.transport._now()
             if timeout is None:
                 message = chan.data.get()
@@ -98,6 +160,10 @@ class ThreadEndpoint:
                     if self.stats is not None:
                         self.stats.record_idle(t0, t1)
                     return RecvTimeout(timeout)
+            if self.node_id in dead:
+                raise KilledNode(self.node_id)
+            if isinstance(message, NodeDown):
+                return message  # pushed by kill_node: no sender to ack
             chan.ack.put(True)
             t1 = self.transport._now()
             if self.stats is not None:
@@ -109,6 +175,6 @@ class ThreadEndpoint:
         return Thunk(fn)
 
     def drain(self, src: int) -> None:
-        """Fencing is a no-op on the thread backend: a live thread's
-        blocked ``send`` is released at interpreter shutdown, and the
-        chaos suite only runs against the simulated transport."""
+        """Fencing is a no-op here: :meth:`ThreadTransport.kill_node`
+        already released every peer blocked against the dead node, and
+        the dead-set short-circuits in send/recv fence the rest."""

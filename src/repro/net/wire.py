@@ -44,12 +44,15 @@ from repro.core.metrics import DelayStats
 from repro.core.partition_group import GroupState, PartitionGroupState
 from repro.core.protocol import (
     Activate,
+    Checkpoint,
     Halt,
     LoadReport,
     MoveAck,
     MoveDirective,
     ReorgOrder,
+    Replicate,
     ResultReport,
+    Restore,
     Shipment,
     SlaveSync,
     StateTransfer,
@@ -67,7 +70,10 @@ from repro.errors import WireError
 __all__ = ["WIRE_VERSION", "MAGIC", "encode_message", "decode_message"]
 
 #: Bump on any incompatible change to the byte layout below.
-WIRE_VERSION = 1
+#: v2: ReorgOrder grew ``checkpoint_pids``, MoveAck grew optional
+#: ``pairs``, and the replication messages (Replicate / Checkpoint /
+#: Restore) joined the tag table.
+WIRE_VERSION = 2
 MAGIC = b"SJ"
 
 _U8 = struct.Struct("!B")
@@ -278,6 +284,38 @@ def _get_state(r: _Reader) -> PartitionGroupState:
     return PartitionGroupState(pid, global_depth, tuple(groups))
 
 
+def _put_pairs(w: _Writer, pairs: np.ndarray | None) -> None:
+    """Optional ``(n, 2)`` int64 pair matrix (flattened on the wire)."""
+    if pairs is None:
+        w.u8(0)
+        return
+    w.u8(1)
+    w.array(np.asarray(pairs, dtype=np.int64).reshape(-1))
+
+
+def _get_pairs(r: _Reader) -> np.ndarray | None:
+    if not r.u8():
+        return None
+    flat = r.array().astype(np.int64, copy=False)
+    if len(flat) % 2:
+        raise WireError("pair matrix with odd element count")
+    return flat.reshape(-1, 2)
+
+
+def _put_checkpoint(w: _Writer, cp: Checkpoint) -> None:
+    w.i64(cp.pid)
+    w.i64(cp.epoch)
+    _put_state(w, cp.state)
+    _put_batch(w, cp.buffered)
+    _put_pairs(w, cp.pairs)
+
+
+def _get_checkpoint(r: _Reader) -> Checkpoint:
+    return Checkpoint(
+        r.i64(), r.i64(), _get_state(r), _get_batch(r), _get_pairs(r)
+    )
+
+
 def _put_report(w: _Writer, report: LoadReport) -> None:
     w.i64(report.epoch)
     w.f64(report.avg_occupancy)
@@ -321,6 +359,9 @@ def _enc_reorg_order(w: _Writer, m: ReorgOrder) -> None:
     w.u32(len(m.adopt))
     for pid in m.adopt:
         w.i64(pid)
+    w.u32(len(m.checkpoint_pids))
+    for pid in m.checkpoint_pids:
+        w.i64(pid)
 
 
 def _dec_reorg_order(r: _Reader) -> ReorgOrder:
@@ -331,6 +372,7 @@ def _dec_reorg_order(r: _Reader) -> ReorgOrder:
     clock = r.f64()
     schedule = _get_schedule(r)
     adopt = tuple(r.i64() for _ in range(r.u32()))
+    checkpoint_pids = tuple(r.i64() for _ in range(r.u32()))
     return ReorgOrder(
         epoch,
         outgoing=outgoing,
@@ -339,6 +381,7 @@ def _dec_reorg_order(r: _Reader) -> ReorgOrder:
         clock=clock,
         schedule=schedule,
         adopt=adopt,
+        checkpoint_pids=checkpoint_pids,
     )
 
 
@@ -355,10 +398,11 @@ def _dec_state_transfer(r: _Reader) -> StateTransfer:
 def _enc_move_ack(w: _Writer, m: MoveAck) -> None:
     w.i64(m.pid)
     w.str_(m.role)
+    _put_pairs(w, m.pairs)
 
 
 def _dec_move_ack(r: _Reader) -> MoveAck:
-    return MoveAck(r.i64(), r.str_())
+    return MoveAck(r.i64(), r.str_(), _get_pairs(r))
 
 
 def _enc_activate(w: _Writer, m: Activate) -> None:
@@ -397,6 +441,54 @@ def _dec_slave_sync(r: _Reader) -> SlaveSync:
     return SlaveSync(r.i64(), _get_report(r))
 
 
+def _enc_replicate(w: _Writer, m: Replicate) -> None:
+    w.i64(m.epoch)
+    w.u32(len(m.entries))
+    for pid, epoch, batch in m.entries:
+        w.i64(pid)
+        w.i64(epoch)
+        _put_batch(w, batch)
+    w.u32(len(m.drops))
+    for pid in m.drops:
+        w.i64(pid)
+    w.u32(len(m.checkpoints))
+    for cp in m.checkpoints:
+        _put_checkpoint(w, cp)
+
+
+def _dec_replicate(r: _Reader) -> Replicate:
+    epoch = r.i64()
+    entries = tuple(
+        (r.i64(), r.i64(), _get_batch(r)) for _ in range(r.u32())
+    )
+    drops = tuple(r.i64() for _ in range(r.u32()))
+    checkpoints = tuple(_get_checkpoint(r) for _ in range(r.u32()))
+    return Replicate(
+        epoch, entries=entries, drops=drops, checkpoints=checkpoints
+    )
+
+
+def _enc_checkpoint(w: _Writer, m: Checkpoint) -> None:
+    _put_checkpoint(w, m)
+
+
+def _dec_checkpoint(r: _Reader) -> Checkpoint:
+    return _get_checkpoint(r)
+
+
+def _enc_restore(w: _Writer, m: Restore) -> None:
+    w.i64(m.epoch)
+    w.u32(len(m.pids))
+    for pid in m.pids:
+        w.i64(pid)
+
+
+def _dec_restore(r: _Reader) -> Restore:
+    epoch = r.i64()
+    pids = tuple(r.i64() for _ in range(r.u32()))
+    return Restore(epoch, pids)
+
+
 #: tag -> (type, encoder, decoder).  Tags are part of the wire format:
 #: never renumber, only append (and bump WIRE_VERSION on change).
 _TAGS: dict[int, tuple[type, t.Any, t.Any]] = {
@@ -409,6 +501,9 @@ _TAGS: dict[int, tuple[type, t.Any, t.Any]] = {
     7: (ResultReport, _enc_result_report, _dec_result_report),
     8: (Halt, _enc_halt, _dec_halt),
     9: (SlaveSync, _enc_slave_sync, _dec_slave_sync),
+    10: (Replicate, _enc_replicate, _dec_replicate),
+    11: (Checkpoint, _enc_checkpoint, _dec_checkpoint),
+    12: (Restore, _enc_restore, _dec_restore),
 }
 _TAG_OF = {tp: tag for tag, (tp, _e, _d) in _TAGS.items()}
 

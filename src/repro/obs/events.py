@@ -24,6 +24,8 @@ kind            meaning
 ``sample``      one periodic gauge sample of a node (time-series layer)
 ``fault``       a fault fired (injection) or was detected/fenced (master)
 ``recovery``    the master reassigned a dead slave's partitions
+``checkpoint``  an owner's replication checkpoint reached the master
+``restore``     a backup slave rebuilt partitions (checkpoint + replay)
 ==============  ============================================================
 """
 
@@ -47,6 +49,8 @@ __all__ = [
     "SampleEvent",
     "FaultEvent",
     "RecoveryEvent",
+    "CheckpointEvent",
+    "RestoreEvent",
     "EVENT_KINDS",
 ]
 
@@ -241,6 +245,40 @@ class RecoveryEvent(TraceEvent):
     latency: float
 
 
+@dataclasses.dataclass(frozen=True)
+class CheckpointEvent(TraceEvent):
+    """One replication checkpoint received by the master.
+
+    ``node`` is the master; ``owner`` the checkpointing slave;
+    ``backup`` where the copy is (or will be) stored; ``nbytes`` the
+    checkpoint's wire size.
+    """
+
+    kind: t.ClassVar[str] = "checkpoint"
+
+    epoch: int
+    pid: int
+    owner: int
+    backup: int
+    nbytes: int
+
+
+@dataclasses.dataclass(frozen=True)
+class RestoreEvent(TraceEvent):
+    """A backup slave rebuilt lost partitions from checkpoint + log.
+
+    ``node`` is the master (which ordered the restore); ``latency`` is
+    measured from failure detection to the restore acknowledgement.
+    """
+
+    kind: t.ClassVar[str] = "restore"
+
+    epoch: int
+    restorer: int
+    pids: tuple[int, ...]
+    latency: float
+
+
 EVENT_KINDS: tuple[str, ...] = tuple(
     cls.kind
     for cls in (
@@ -257,5 +295,7 @@ EVENT_KINDS: tuple[str, ...] = tuple(
         SampleEvent,
         FaultEvent,
         RecoveryEvent,
+        CheckpointEvent,
+        RestoreEvent,
     )
 )

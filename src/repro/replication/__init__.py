@@ -1,0 +1,18 @@
+"""State replication for lossless crash recovery.
+
+Every partition-group gets a deterministic **backup slave** (the next
+live slave after its owner in the sorted ring — see
+:func:`repro.core.declustering.plan_backups`).  The master tees each
+owner's epoch shipment to the backup as a cheap log-replica (buffered
+:class:`~repro.data.tuples.TupleBatch` records, no join work), and the
+owner periodically piggybacks a compact
+:class:`~repro.core.partition_group.PartitionGroupState` checkpoint so
+the backup can truncate its log.  On crash detection the master routes
+each lost partition to its backup, which rebuilds it as *checkpoint +
+log replay* through the ordinary install/work-unit machinery — the run
+finishes with the exact output of a crash-free run.
+"""
+
+from repro.replication.store import BackupStore
+
+__all__ = ["BackupStore"]

@@ -90,6 +90,7 @@ def _node_payload(
             "master": master_snapshot(cluster),
             "dod_trace": list(mm.dod_changes),
             "faults": list(mm.failures),
+            "pairs": cluster.master.pair_rows if collect_pairs else [],
             "tuples_generated": (
                 workload.tuples_generated
                 if hasattr(workload, "tuples_generated")
@@ -105,7 +106,7 @@ def _node_payload(
     return {
         "snapshot": metrics.snapshot(),
         "delays": metrics.delays,
-        "pairs": list(metrics.pairs) if collect_pairs else [],
+        "pairs": metrics.pair_chunks() if collect_pairs else [],
     }
 
 
@@ -380,18 +381,27 @@ class ProcessBackend:
 
         merged = DelayStats()
         snapshots: list[dict[str, t.Any]] = []
-        pair_chunks: list[np.ndarray] = []
+        replicated = cfg.replication != "off"
+        # Mirrors collect_result: the master's banked pairs come first,
+        # and a slave the master fenced contributes none — its output
+        # either was banked or re-emerges from the backup's replay.
+        pair_chunks: list[np.ndarray] = (
+            list(master["pairs"]) if replicated and collect_pairs else []
+        )
+        fenced = set(master["master"].get("dead_slaves", ()))
         for i in range(cfg.num_slaves):
             nid = slave_node_id(i)
             payload = payloads.get(nid)
             if payload is None:
                 # Killed mid-run: its window state (and metrics) died
-                # with it — a degraded run, same as the DES fault plane.
+                # with it — without replication, a degraded run, same
+                # as the DES fault plane.
                 snapshots.append(SlaveMetrics(nid, gate).snapshot())
                 continue
             merged.merge(payload["delays"])
             snapshots.append(payload["snapshot"])
-            pair_chunks.extend(payload["pairs"])
+            if not (replicated and nid in fenced):
+                pair_chunks.extend(payload["pairs"])
 
         pairs: np.ndarray | None = None
         if collect_pairs:

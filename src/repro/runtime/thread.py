@@ -16,6 +16,14 @@ import time
 import typing as t
 
 
+class KilledNode(BaseException):
+    """Raised inside a node generator when its node was crash-injected.
+
+    A ``BaseException`` so it can't be swallowed by a broad ``except
+    Exception`` in node code: fail-stop means the generator unwinds
+    immediately.  The drive loop treats it as clean termination."""
+
+
 class Thunk:
     """An awaitable for the thread backend: a blocking callable."""
 
@@ -119,6 +127,8 @@ class ThreadRuntime:
                 value = op.run()
         except StopIteration:
             pass
+        except KilledNode:
+            pass  # fail-stop injection: the node is simply gone
         except BaseException as error:  # noqa: BLE001 - reported on join
             handle.error = error
 
@@ -144,9 +154,10 @@ def reject_unsupported(
     """Fail fast on config features a wall-clock backend cannot honor.
 
     Observability hooks are not thread-safe and the fault plane's
-    message/slowdown injection hangs off the DES transport; the process
-    backend additionally supports ``crash:`` specs (*crash_ok*) by
-    killing the victim's OS process.
+    message/slowdown injection hangs off the DES transport; the
+    wall-clock backends support only ``crash:`` specs (*crash_ok*) —
+    the thread backend reaps the victim's threads, the process backend
+    SIGKILLs the victim's OS process.
     """
     from repro.errors import ConfigError
 
@@ -173,6 +184,24 @@ def reject_unsupported(
         )
 
 
+class _JoinLoopVictim:
+    """Kill handle for a crash-injected slave's join-loop thread.
+
+    The transport's ``kill_node`` wakes the victim's *comm* thread (it
+    is blocked in a channel op), but the join loop blocks on the
+    slave-local work queue, which the fault plane cannot reach — so the
+    kill pushes the loop's own halt token instead.
+    """
+
+    def __init__(self, slave: t.Any) -> None:
+        self.slave = slave
+
+    def kill(self, reason: str) -> None:
+        from repro.core.slave import HALT_TOKEN
+
+        self.slave.work_queue.put(HALT_TOKEN).run()
+
+
 class ThreadBackend:
     """Wall-clock backend: one OS thread per node generator
     (``backend="thread"``).
@@ -193,22 +222,48 @@ class ThreadBackend:
         # Local imports: repro.runtime.thread must stay importable
         # without the core layer (proc_transport pulls in Thunk).
         from repro.core.cluster import build_cluster
-        from repro.core.system import collect_result
+        from repro.core.system import collect_result, slave_node_id
         from repro.errors import DeadlockError
         from repro.net.thread_transport import ThreadTransport
 
-        reject_unsupported(cfg, self.name)
+        reject_unsupported(cfg, self.name, crash_ok=True)
         runtime = ThreadRuntime(time_scale=cfg.time_scale)
         transport = ThreadTransport(cfg.tuple_bytes, time_scale=cfg.time_scale)
+        injector = None
+        if cfg.faults.enabled:
+            from repro.faults.injector import FaultInjector
+
+            injector = FaultInjector(
+                cfg.faults,
+                [slave_node_id(i) for i in range(cfg.num_slaves)],
+                cfg.dist_epoch,
+            )
         cluster = build_cluster(
             cfg,
             runtime,
             transport,
             workload=workload,
             collect_pairs=collect_pairs,
+            faults=injector,
         )
         for name, gen in cluster.processes():
             runtime.spawn(gen, name=name)
+        if injector is not None:
+            victims_by_node = {
+                slave.node_id: [_JoinLoopVictim(slave)]
+                for slave in cluster.slaves
+            }
+            for nid, crash in injector.crash_targets():
+                runtime.spawn(
+                    injector.crash_process(
+                        nid,
+                        crash,
+                        runtime,
+                        transport,
+                        victims_by_node.get(nid, ()),
+                    ),
+                    name=f"fault.crash{nid}",
+                )
         # The modeled horizon plus slack for real compute overruns: the
         # generators' numpy work takes however long it takes, regardless
         # of the compressed clock.

@@ -46,15 +46,15 @@ class TestIngestDrain:
     def test_drain_returns_only_owned_partitions(self, buffer):
         keys = np.arange(400, dtype=np.int64)
         buffer.ingest(batch_with_keys(keys))
-        drained, _ = buffer.drain_for(10, now=2.0)
+        drained, _, _ = buffer.drain_for(10, now=2.0)
         pids = partition_of(drained.key, 8)
         assert set(np.unique(pids)) <= {0, 2, 4, 6}
 
     def test_drains_are_disjoint_and_complete(self, buffer):
         keys = np.arange(500, dtype=np.int64)
         buffer.ingest(batch_with_keys(keys))
-        a, _ = buffer.drain_for(10, now=2.0)
-        b, _ = buffer.drain_for(11, now=2.0)
+        a, _, _ = buffer.drain_for(10, now=2.0)
+        b, _, _ = buffer.drain_for(11, now=2.0)
         assert len(a) + len(b) == 500
         assert not set(a.key.tolist()) & set(b.key.tolist())
         assert buffer.total_bytes == 0
@@ -62,13 +62,13 @@ class TestIngestDrain:
     def test_drain_is_time_sorted(self, buffer):
         buffer.ingest(batch_with_keys(np.arange(100), t0=0.0))
         buffer.ingest(batch_with_keys(np.arange(100, 200), t0=1.0))
-        drained, _ = buffer.drain_for(10, now=3.0)
+        drained, _, _ = buffer.drain_for(10, now=3.0)
         assert np.all(np.diff(drained.ts) >= 0)
 
     def test_epoch_start_tracks_previous_drain(self, buffer):
-        _, start0 = buffer.drain_for(10, now=2.0)
+        _, start0, _ = buffer.drain_for(10, now=2.0)
         assert start0 == 0.0
-        _, start1 = buffer.drain_for(10, now=4.0)
+        _, start1, _ = buffer.drain_for(10, now=4.0)
         assert start1 == 2.0
 
     def test_remapped_partition_flows_to_new_owner(self, buffer):
@@ -77,7 +77,7 @@ class TestIngestDrain:
         pid0_count = int(np.count_nonzero(pids == 0))
         buffer.ingest(batch_with_keys(keys))
         buffer.remap(0, 11)
-        drained, _ = buffer.drain_for(11, now=2.0)
+        drained, _, _ = buffer.drain_for(11, now=2.0)
         drained_pids = partition_of(drained.key, 8)
         assert int(np.count_nonzero(drained_pids == 0)) == pid0_count
 

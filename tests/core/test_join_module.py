@@ -99,7 +99,7 @@ class TestProcessing:
         trace = TupleBatch.concat(full)
         expected = naive_window_join(trace, geometry.window_seconds)
         got = (
-            np.concatenate(metrics.pairs)
+            np.concatenate(metrics.pair_chunks())
             if metrics.pairs
             else np.empty((0, 2), dtype=np.int64)
         )
@@ -132,8 +132,31 @@ class TestProcessing:
         late = TupleBatch.build(ts=[9.0], key=[7], seq=[100], stream=1)
         module.enqueue(Shipment(5, 9.5, 11.5, late))
         process_all(module)
-        got = np.concatenate(metrics.pairs)
+        got = np.concatenate(metrics.pair_chunks())
         assert got.tolist() == [[0, 100]]
+
+    def test_unsorted_shipment_watermark_uses_true_minimum(self, geometry):
+        """Regression: the pending watermark once read ``ts[0]`` instead
+        of ``ts.min()``.  A shipment whose *first* tuple is newer than a
+        later one (moved-state replays are concatenations, not sorted
+        merges) then over-advanced expiry and silently dropped pairs."""
+        module, metrics = make_module(geometry, collect_pairs=True)
+        from repro.data.tuples import TupleBatch
+
+        partner = TupleBatch.build(ts=[0.2], key=[7], seq=[0], stream=0)
+        module.enqueue(Shipment(0, 0.0, 2.0, partner))
+        process_all(module)
+        # Unsorted batch: first ts is 9.0, true oldest is 0.5.  With a
+        # 10 s window the cutoff from ts.min() keeps the ts=0.2 partner
+        # alive; a first-element watermark would have expired it.
+        jumbled = TupleBatch.build(
+            ts=[9.0, 0.5], key=[7, 7], seq=[100, 101], stream=[1, 1]
+        )
+        assert float(jumbled.ts[0]) > float(jumbled.ts.min())
+        module.enqueue(Shipment(5, 9.5, 11.5, jumbled))
+        process_all(module)
+        got = np.concatenate(metrics.pair_chunks())
+        assert sorted(got.tolist()) == [[0, 100], [0, 101]]
 
     def test_fine_tuning_splits_under_load(self, geometry):
         module, metrics = make_module(geometry, npart=1)
@@ -210,7 +233,7 @@ class TestStateMovement:
         batch = workload_batch(0.0, 4.0, rate=300.0, seed=5)
         src.enqueue(Shipment(0, 0.0, 4.0, batch))
         process_all(src)
-        n_before = sum(len(p) for p in src_metrics.pairs)
+        n_before = sum(len(p) for p in src_metrics.pair_chunks())
 
         state, buffered = src.extract_partition(0)
         dst, dst_metrics = make_module(geometry, npart=1, collect_pairs=True)
@@ -220,7 +243,7 @@ class TestStateMovement:
         more = workload_batch(4.0, 8.0, rate=300.0, seed=6)
         dst.enqueue(Shipment(2, 4.0, 8.0, more))
         process_all(dst)
-        assert sum(len(p) for p in dst_metrics.pairs) > 0
+        assert sum(len(p) for p in dst_metrics.pair_chunks()) > 0
         assert n_before >= 0
 
     def test_double_add_rejected(self, geometry):

@@ -75,7 +75,7 @@ class TestCrossBackend:
             runtime.spawn(gen, name=name)
         runtime.join_all(timeout=120.0)
         thread_pairs = sorted_pairs(
-            [c for m in cluster.slave_metrics for c in m.pairs]
+            [c for m in cluster.slave_metrics for c in m.pair_chunks()]
         )
 
         oracle = naive_window_join(trace, cfg.window_seconds)
@@ -158,13 +158,14 @@ class TestBackendSelection:
             with pytest.raises(ConfigError, match="tracing"):
                 JoinSystem(cfg).run()
 
-    def test_thread_backend_rejects_fault_plans(self):
-        from repro.faults.plan import CrashFault, FaultPlan
+    def test_thread_backend_rejects_non_crash_faults(self):
+        from repro.faults.plan import FaultPlan, parse_fault
 
         cfg = SystemConfig.paper_defaults().with_(
-            backend="thread", faults=FaultPlan(crashes=(CrashFault(0, 5.0),))
+            backend="thread",
+            faults=FaultPlan(messages=(parse_fault("drop:2->0@3"),)),
         )
-        with pytest.raises(ConfigError, match="fault"):
+        with pytest.raises(ConfigError, match="crash"):
             JoinSystem(cfg).run()
 
     def test_process_backend_rejects_non_crash_faults(self):
@@ -176,6 +177,50 @@ class TestBackendSelection:
         )
         with pytest.raises(ConfigError, match="crash"):
             JoinSystem(cfg).run()
+
+
+class TestLosslessRecoveryConformance:
+    """Crash + checkpoint+log replication on every backend: each one
+    must restore the victim's partitions from the backup slave and
+    produce the crash-free oracle's exact pair multiset, undegraded."""
+
+    @pytest.mark.parametrize("backend", ["sim", "thread", "process"])
+    def test_crash_with_replication_matches_oracle(self, backend):
+        from repro.core.cluster import slave_node_id
+        from repro.faults.plan import FaultPlan
+
+        cfg = (
+            SystemConfig.paper_defaults()
+            .scaled(0.01)
+            .with_(
+                num_slaves=3,
+                npart=12,
+                rate=400.0,
+                run_seconds=16.0,
+                warmup_seconds=6.0,
+                window_seconds=3.0,
+                reorg_epoch=4.0,
+                backend=backend,
+                time_scale=0.05,
+                replication="checkpoint+log",
+                faults=FaultPlan.parse(["crash:1@5s"]),
+            )
+        )
+        wl = TwoStreamWorkload.poisson_bmodel(
+            RngRegistry(1), cfg.rate, cfg.b_skew, cfg.key_domain
+        )
+        trace = wl.generate(0.0, cfg.run_seconds - 3 * cfg.dist_epoch)
+        oracle = naive_window_join(trace, cfg.window_seconds)
+        assert len(oracle), "degenerate workload: oracle joined nothing"
+
+        result = JoinSystem(
+            cfg, collect_pairs=True, workload=TraceReplayer(trace)
+        ).run()
+        victim = slave_node_id(1)
+        assert [f["slave"] for f in result.faults] == [victim]
+        assert result.faults[0]["lost_pids"] == ()
+        assert not result.degraded
+        assert np.array_equal(sorted_pairs([result.pairs]), oracle)
 
 
 class TestProcessFaults:

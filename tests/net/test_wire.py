@@ -17,12 +17,15 @@ from repro.core.metrics import DelayStats
 from repro.core.partition_group import GroupState, PartitionGroupState
 from repro.core.protocol import (
     Activate,
+    Checkpoint,
     Halt,
     LoadReport,
     MoveAck,
     MoveDirective,
     ReorgOrder,
+    Replicate,
     ResultReport,
+    Restore,
     Shipment,
     SlaveSync,
     StateTransfer,
@@ -137,6 +140,36 @@ def partition_states(draw):
 
 load_reports = st.builds(LoadReport, epochs, fractions, fractions, pids)
 
+
+@st.composite
+def pair_matrices(draw, max_rows=8):
+    n = draw(st.integers(min_value=0, max_value=max_rows))
+    flat = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=2**40),
+            min_size=2 * n,
+            max_size=2 * n,
+        )
+    )
+    return np.asarray(flat, dtype=np.int64).reshape(-1, 2)
+
+
+maybe_pairs = st.one_of(st.none(), pair_matrices())
+
+checkpoints = st.builds(
+    Checkpoint, pids, epochs, partition_states(), tuple_batches(), maybe_pairs
+)
+
+
+@st.composite
+def log_entries(draw, max_size=3):
+    n = draw(st.integers(min_value=0, max_value=max_size))
+    return tuple(
+        (draw(pids), draw(epochs), draw(tuple_batches(max_size=8)))
+        for _ in range(n)
+    )
+
+
 messages = st.one_of(
     st.builds(Shipment, epochs, times, times, tuple_batches()),
     load_reports,
@@ -149,15 +182,28 @@ messages = st.one_of(
         times,
         schedules,
         st.lists(pids, max_size=4).map(tuple),
+        st.lists(pids, max_size=4).map(tuple),
     ),
     st.builds(StateTransfer, pids, partition_states(), tuple_batches()),
     st.builds(
-        MoveAck, pids, st.sampled_from(["supplier", "consumer", "adopt"])
+        MoveAck,
+        pids,
+        st.sampled_from(["supplier", "consumer", "adopt", "restore"]),
+        maybe_pairs,
     ),
     st.builds(Activate, epochs, times, schedules),
     st.builds(ResultReport, epochs, delay_stats()),
     st.builds(Halt, epochs),
     st.builds(SlaveSync, epochs, load_reports),
+    checkpoints,
+    st.builds(
+        Replicate,
+        epochs,
+        log_entries(),
+        st.lists(pids, max_size=4).map(tuple),
+        st.lists(checkpoints, max_size=2).map(tuple),
+    ),
+    st.builds(Restore, epochs, st.lists(pids, max_size=6).map(tuple)),
 )
 
 
@@ -207,9 +253,45 @@ def states_equal(a: PartitionGroupState, b: PartitionGroupState) -> bool:
     return True
 
 
+def pairs_equal(a, b) -> bool:
+    if a is None or b is None:
+        return a is None and b is None
+    return np.array_equal(np.asarray(a), np.asarray(b))
+
+
+def checkpoints_equal(a: Checkpoint, b: Checkpoint) -> bool:
+    return (
+        (a.pid, a.epoch) == (b.pid, b.epoch)
+        and states_equal(a.state, b.state)
+        and batches_equal(a.buffered, b.buffered)
+        and pairs_equal(a.pairs, b.pairs)
+    )
+
+
 def messages_equal(a, b) -> bool:
     if type(a) is not type(b):
         return False
+    if isinstance(a, Checkpoint):
+        return checkpoints_equal(a, b)
+    if isinstance(a, Replicate):
+        return (
+            a.epoch == b.epoch
+            and a.drops == b.drops
+            and len(a.entries) == len(b.entries)
+            and all(
+                ea[:2] == eb[:2] and batches_equal(ea[2], eb[2])
+                for ea, eb in zip(a.entries, b.entries)
+            )
+            and len(a.checkpoints) == len(b.checkpoints)
+            and all(
+                checkpoints_equal(ca, cb)
+                for ca, cb in zip(a.checkpoints, b.checkpoints)
+            )
+        )
+    if isinstance(a, MoveAck):
+        return (a.pid, a.role) == (b.pid, b.role) and pairs_equal(
+            a.pairs, b.pairs
+        )
     if isinstance(a, Shipment):
         return (
             (a.epoch, a.epoch_start, a.epoch_end)
