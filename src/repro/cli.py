@@ -56,6 +56,13 @@ def _add_run_parser(sub: t.Any) -> None:
     p.add_argument("--sample-period", type=float, metavar="SECONDS",
                    help="sample per-node gauges every SECONDS of sim time "
                         "(default: the distribution epoch when tracing)")
+    p.add_argument("--metrics", action="store_true",
+                   help="register typed per-node metric instruments and "
+                        "print their cluster snapshot after the run")
+    p.add_argument("--admin-port", type=int, metavar="PORT",
+                   help="serve the admin/health HTTP endpoint on PORT "
+                        "for the duration of the run (0 = ephemeral; "
+                        "implies --metrics)")
     p.add_argument("--plot-gauge", metavar="GAUGE",
                    help="chart one sampled gauge after the run "
                         "(e.g. occupancy, window_bytes, queue_depth)")
@@ -84,6 +91,8 @@ def _obs_config(args: argparse.Namespace) -> ObservabilityConfig:
         trace_path=args.trace,
         trace_transport=args.trace_transport,
         sample_period=sample_period,
+        metrics=args.metrics,
+        admin_port=args.admin_port,
     )
 
 
@@ -124,6 +133,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"(simulated {cfg.run_seconds:g}s in {elapsed:.1f}s wall)")
     if args.trace:
         print(f"trace written to {args.trace} (inspect: swjoin report {args.trace})")
+    if args.metrics and result.node_metrics:
+        for node, snapshot in sorted(result.node_metrics.items()):
+            parts = []
+            for name, sample in sorted(snapshot.items()):
+                value = sample.get("value", sample.get("count"))
+                parts.append(f"{name}={value:g}")
+            print(f"metrics n{node}: {' '.join(parts)}")
     if args.plot_gauge:
         from repro.analysis.plots import plot_run_series
 

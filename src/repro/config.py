@@ -151,6 +151,15 @@ class ObservabilityConfig:
     sample_period: float | None = None
     #: Capacity of each ``(node, gauge)`` reservoir.
     reservoir_capacity: int = 512
+    #: Register typed per-node metric instruments
+    #: (:mod:`repro.obs.metrics`) and thread their snapshots into
+    #: :attr:`~repro.core.system.RunResult.node_metrics`.
+    metrics: bool = False
+    #: Serve the admin/health HTTP endpoint (:mod:`repro.obs.admin`) on
+    #: this port for the duration of the run (0 = ephemeral; None = no
+    #: server).  Implies :attr:`metrics` — ``/metrics`` needs a live
+    #: registry.
+    admin_port: int | None = None
 
     @property
     def tracing(self) -> bool:
@@ -158,8 +167,17 @@ class ObservabilityConfig:
         return bool(self.trace_path or self.trace_memory or self.console_summary)
 
     @property
+    def metrics_enabled(self) -> bool:
+        """True when per-node metric registries should be live."""
+        return self.metrics or self.admin_port is not None
+
+    @property
     def enabled(self) -> bool:
-        return self.tracing or self.sample_period is not None
+        return (
+            self.tracing
+            or self.sample_period is not None
+            or self.metrics_enabled
+        )
 
     def validated(self) -> "ObservabilityConfig":
         if self.sample_period is not None and self.sample_period <= 0:
@@ -168,6 +186,8 @@ class ObservabilityConfig:
             raise ConfigError("reservoir_capacity must be >= 2")
         if self.trace_transport and not self.tracing:
             raise ConfigError("trace_transport requires a trace exporter")
+        if self.admin_port is not None and not 0 <= self.admin_port <= 65535:
+            raise ConfigError("admin_port must lie in [0, 65535] (or None)")
         return self
 
 

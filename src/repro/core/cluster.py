@@ -23,6 +23,7 @@ from repro.core.slave import SlaveNode
 from repro.core.subgroups import build_schedules
 from repro.mp.comm import Communicator
 from repro.obs.events import SampleEvent
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
 from repro.obs.sampler import TimeSeriesSampler
 from repro.obs.tracer import Tracer, build_tracer
 from repro.simul.rng import RngRegistry
@@ -56,6 +57,13 @@ class Cluster(t.NamedTuple):
     sampler: TimeSeriesSampler | None
     #: Shared fault injector (None on fault-free runs).
     faults: "FaultInjector | None" = None
+    #: Per-node typed metric registries, keyed by node id (empty when
+    #: ``cfg.obs.metrics_enabled`` is off).
+    registries: dict[int, MetricsRegistry] = {}
+    #: When set, this cluster object lives in a process that *runs*
+    #: only this node (the process backend): the sampler reads only the
+    #: local node's state — foreign node objects exist but never run.
+    local_node: int | None = None
 
     def processes(self) -> list[tuple[str, t.Generator]]:
         """All node generators, named, ready to spawn on a runtime."""
@@ -70,6 +78,9 @@ class Cluster(t.NamedTuple):
             out.append(("sampler", self._sampler_loop()))
         return out
 
+    def _samples_node(self, node_id: int) -> bool:
+        return self.local_node is None or self.local_node == node_id
+
     # -- periodic gauge sampling ----------------------------------------------
     def _sample_all(self, now: float) -> None:
         """Record one gauge sample per node (and trace it when on)."""
@@ -77,6 +88,8 @@ class Cluster(t.NamedTuple):
         assert sampler is not None
         cfg = self.master.cfg
         for slave in self.slaves:
+            if not self._samples_node(slave.node_id):
+                continue
             module, metrics = slave.module, slave.metrics
             gauges = {
                 "occupancy": module.occupancy(cfg.slave_buffer_bytes),
@@ -92,10 +105,26 @@ class Cluster(t.NamedTuple):
                 tracer.emit(
                     SampleEvent(t=now, node=slave.node_id, gauges=gauges)
                 )
-        master_gauges = {"buffer_bytes": float(self.buffer.total_bytes)}
-        sampler.observe(now, MASTER_ID, "buffer_bytes", self.buffer.total_bytes)
-        if tracer.enabled:
-            tracer.emit(SampleEvent(t=now, node=MASTER_ID, gauges=master_gauges))
+        if self._samples_node(MASTER_ID):
+            master_gauges = {"buffer_bytes": float(self.buffer.total_bytes)}
+            sampler.observe(
+                now, MASTER_ID, "buffer_bytes", self.buffer.total_bytes
+            )
+            if tracer.enabled:
+                tracer.emit(
+                    SampleEvent(t=now, node=MASTER_ID, gauges=master_gauges)
+                )
+        if self._samples_node(COLLECTOR_ID):
+            # One gauge from the collector too, so a merged distributed
+            # trace provably contains every node pid.
+            collector_gauges = {"outputs": float(self.collector.delays.count)}
+            sampler.observe(
+                now, COLLECTOR_ID, "outputs", self.collector.delays.count
+            )
+            if tracer.enabled:
+                tracer.emit(
+                    SampleEvent(t=now, node=COLLECTOR_ID, gauges=collector_gauges)
+                )
 
     def _sampler_loop(self) -> t.Generator:
         """Sampling process: reads state, never mutates it, terminates.
@@ -149,6 +178,7 @@ def build_cluster(
     collect_pairs: bool = False,
     tracer: Tracer | None = None,
     faults: "FaultInjector | None" = None,
+    local_node: int | None = None,
 ) -> Cluster:
     """Wire a full cluster on the given runtime/transport backends.
 
@@ -158,7 +188,8 @@ def build_cluster(
     from ``cfg.obs`` (the system layer shares it with the transport).
     ``faults`` is the run's shared fault injector (slaves consult it
     for CPU slowdowns; the system layer wires the same object into the
-    transport and spawns its crash processes).
+    transport and spawns its crash processes).  ``local_node`` marks a
+    process-backend child: only that node's gauges are sampled here.
     """
     cfg = cfg.validated()
     gate = MeasurementWindow(cfg.warmup_seconds, cfg.run_seconds)
@@ -170,6 +201,18 @@ def build_cluster(
         if cfg.obs.sample_period is not None
         else None
     )
+    metrics_on = cfg.obs.metrics_enabled
+    registries: dict[int, MetricsRegistry] = {}
+
+    def registry_for(node_id: int) -> MetricsRegistry:
+        # A process-backend child registers only its own node: foreign
+        # node objects exist here but never run, and a registry full of
+        # zeros would pollute the merged cluster snapshot.
+        if not metrics_on or (local_node is not None and node_id != local_node):
+            return NULL_REGISTRY
+        registry = MetricsRegistry(node_id)
+        registries[node_id] = registry
+        return registry
     workload = workload or TwoStreamWorkload.poisson_bmodel(
         rng, cfg.rate, cfg.b_skew, cfg.key_domain, n_streams=cfg.n_streams
     )
@@ -182,7 +225,7 @@ def build_cluster(
     buffer = MasterBuffer(cfg.npart, cfg.tuple_bytes)
     buffer.assign_round_robin(active_ids)
 
-    master_metrics = MasterMetrics(gate)
+    master_metrics = MasterMetrics(gate, registry=registry_for(MASTER_ID))
     master = MasterNode(
         cfg,
         runtime,
@@ -199,7 +242,7 @@ def build_cluster(
     slaves: list[SlaveNode] = []
     slave_metrics: list[SlaveMetrics] = []
     for index, node_id in enumerate(slave_ids):
-        metrics = SlaveMetrics(node_id, gate)
+        metrics = SlaveMetrics(node_id, gate, registry=registry_for(node_id))
         module = JoinModule(
             node_id,
             geometry,
@@ -252,4 +295,6 @@ def build_cluster(
         tracer,
         sampler,
         faults,
+        registries,
+        local_node,
     )

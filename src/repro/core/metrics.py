@@ -21,6 +21,7 @@ import typing as t
 
 import numpy as np
 
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
 from repro.obs.sampler import Reservoir
 
 #: Log-spaced delay histogram edges, seconds (1 ms .. ~17 min).
@@ -124,11 +125,47 @@ class DelayStats:
 
 
 class SlaveMetrics:
-    """Per-slave counters, gated on the measurement window."""
+    """Per-slave counters, gated on the measurement window.
 
-    def __init__(self, node_id: int, gate: MeasurementWindow) -> None:
+    *registry* is the node's typed instrument registry
+    (:data:`~repro.obs.metrics.NULL_REGISTRY` when observability is
+    off): the ``m_*`` instruments mirror the headline counters for the
+    admin endpoint's ``/metrics`` and
+    :attr:`~repro.core.system.RunResult.node_metrics`, updated behind
+    ``registry.enabled`` (rule OBS002) so disabled runs pay only the
+    branch.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        gate: MeasurementWindow,
+        registry: MetricsRegistry = NULL_REGISTRY,
+    ) -> None:
         self.node_id = node_id
         self.gate = gate
+        self.registry = registry
+        self.m_outputs = registry.counter(
+            "outputs", "joined output tuples emitted (gated)"
+        )
+        self.m_delay = registry.histogram(
+            "production_delay_seconds", "production delay of emitted outputs"
+        )
+        self.m_messages = registry.counter(
+            "messages", "transport messages sent or received (gated)"
+        )
+        self.m_bytes_sent = registry.counter(
+            "bytes_sent", "modeled payload bytes sent (gated)"
+        )
+        self.m_bytes_received = registry.counter(
+            "bytes_received", "modeled payload bytes received (gated)"
+        )
+        self.m_window_bytes = registry.gauge(
+            "window_bytes", "window state held by this slave"
+        )
+        self.m_occupancy = registry.gauge(
+            "occupancy", "stream-tuple buffer occupancy [0, 1]"
+        )
         self.delays = DelayStats()
         #: Outputs not yet reported to the collector (same gating as
         #: ``delays`` so collector totals match local totals exactly).
@@ -190,6 +227,9 @@ class SlaveMetrics:
         delays = emit_time - newer_ts
         self.delays.record(delays)
         self.unreported.record(delays)
+        if self.registry.enabled:
+            self.m_outputs.inc(len(newer_ts))
+            self.m_delay.observe_many(delays.tolist())
 
     def pop_unreported(self) -> DelayStats:
         """Drain the outputs accumulated since the last collector report."""
@@ -226,6 +266,12 @@ class SlaveMetrics:
                 self.bytes_sent += nbytes
             else:
                 self.bytes_received += nbytes
+            if self.registry.enabled:
+                self.m_messages.inc()
+                if sent:
+                    self.m_bytes_sent.inc(nbytes)
+                else:
+                    self.m_bytes_received.inc(nbytes)
 
     def record_idle(self, t0: float, t1: float) -> None:
         span = self.gate.overlap(t0, t1)
@@ -235,12 +281,16 @@ class SlaveMetrics:
     def sample_window(self, now: float, window_bytes: int) -> None:
         if self.gate.active(now):
             self.max_window_bytes = max(self.max_window_bytes, window_bytes)
+        if self.registry.enabled:
+            self.m_window_bytes.set(float(window_bytes))
 
     def sample_occupancy(self, now: float, occupancy: float) -> None:
         # Occupancy drives the load balancer at all times; samples are
         # kept unconditionally (no gate), but in a bounded decimating
         # reservoir so arbitrarily long runs stay O(1) in memory.
         self.occupancy_samples.add(now, occupancy)
+        if self.registry.enabled:
+            self.m_occupancy.set(occupancy)
 
     def snapshot(self) -> dict[str, t.Any]:
         return {
@@ -268,8 +318,29 @@ class SlaveMetrics:
 class MasterMetrics:
     """Master-side counters."""
 
-    def __init__(self, gate: MeasurementWindow) -> None:
+    def __init__(
+        self,
+        gate: MeasurementWindow,
+        registry: MetricsRegistry = NULL_REGISTRY,
+    ) -> None:
         self.gate = gate
+        self.registry = registry
+        self.m_epochs = registry.counter(
+            "epochs", "distribution/reorganization epochs completed"
+        )
+        self.m_reorgs = registry.counter("reorgs", "reorganization rounds run")
+        self.m_tuples_ingested = registry.counter(
+            "tuples_ingested", "stream tuples ingested by the master"
+        )
+        self.m_replication_bytes = registry.counter(
+            "replication_bytes", "payload bytes shipped for state replication"
+        )
+        self.m_buffer_bytes = registry.gauge(
+            "buffer_bytes", "master partition-buffer backlog"
+        )
+        self.m_dead_slaves = registry.gauge(
+            "dead_slaves", "slaves currently fenced as failed"
+        )
         self.comm_time = 0.0
         self.idle_time = 0.0
         self.bytes_sent = 0
@@ -310,3 +381,5 @@ class MasterMetrics:
     def sample_buffer(self, now: float, nbytes: int) -> None:
         if self.gate.active(now):
             self.max_buffer_bytes = max(self.max_buffer_bytes, nbytes)
+        if self.registry.enabled:
+            self.m_buffer_bytes.set(float(nbytes))

@@ -54,6 +54,7 @@ __all__ = [
     "get_backend",
     "collect_result",
     "master_snapshot",
+    "start_admin_server",
     "MASTER_ID",
     "COLLECTOR_ID",
     "slave_node_id",
@@ -86,6 +87,9 @@ class RunResult:
     #: Sampled gauge series ``{"n<node>.<gauge>": [(t, v), ...]}``
     #: (only with ``obs.sample_period``).
     series: dict[str, list[tuple[float, float]]] | None = None
+    #: Typed metric-registry snapshots per node id (only with
+    #: ``obs.metrics`` or an admin endpoint; see ``repro.obs.metrics``).
+    node_metrics: dict[int, dict[str, t.Any]] | None = None
     #: Slave failures the master detected (fault plane): one record per
     #: dead slave with detection epoch/time, lost pids and — once a
     #: recovery round ran — recovery time and latency.
@@ -276,6 +280,15 @@ class JoinSystem:
 
     def run(self) -> RunResult:
         backend = get_backend(self.cfg.backend)
+        if self.cfg.obs.enabled and not getattr(
+            backend, "supports_observability", False
+        ):
+            raise ConfigError(
+                f"backend {self.cfg.backend!r} does not support the "
+                "observability plane (tracing/sampling/metrics); it must "
+                "declare supports_observability=True and ship traces to "
+                "the caller"
+            )
         return backend.run(
             self.cfg, self.collect_pairs, self._workload_override
         )
@@ -285,6 +298,7 @@ class SimBackend:
     """The deterministic DES backend (``backend="sim"``)."""
 
     name = "sim"
+    supports_observability = True
 
     def run(
         self,
@@ -344,7 +358,12 @@ class SimBackend:
                     ),
                     name=f"fault.crash{nid}",
                 )
-        sim.run(None)
+        admin = start_admin_server(cfg, cluster, runtime.now, self.name)
+        try:
+            sim.run(None)
+        finally:
+            if admin is not None:
+                admin.close()
         stuck = [p.name for p in processes if p.is_alive]
         if stuck:
             pending = transport.pending_summary()
@@ -354,6 +373,38 @@ class SimBackend:
             raise DeadlockError(f"processes never finished: {stuck}{detail}")
 
         return collect_result(cfg, cluster, collect_pairs)
+
+
+def start_admin_server(
+    cfg: SystemConfig,
+    cluster: "Cluster",
+    now_fn: t.Callable[[], float],
+    backend: str,
+) -> t.Any:
+    """Start the opt-in admin/health endpoint for a running cluster.
+
+    Returns the :class:`~repro.obs.admin.AdminServer` (caller must
+    ``close()`` it) or ``None`` when ``cfg.obs.admin_port`` is unset.
+    Shared by every backend: the server is hosted by whichever OS
+    process runs the master node.
+    """
+    if cfg.obs.admin_port is None:
+        return None
+    from repro.obs.admin import AdminServer, cluster_status
+    from repro.obs.metrics import render_prometheus
+
+    def status() -> dict[str, t.Any]:
+        return cluster_status(cfg, cluster, now_fn, backend)
+
+    def metrics() -> str:
+        return render_prometheus(
+            {
+                node: registry.snapshot()
+                for node, registry in cluster.registries.items()
+            }
+        )
+
+    return AdminServer(status, metrics, port=cfg.obs.admin_port, announce=True)
 
 
 def _thread_backend() -> Backend:
@@ -432,6 +483,14 @@ def collect_result(
     series = (
         cluster.sampler.series_dict() if cluster.sampler is not None else None
     )
+    node_metrics = (
+        {
+            node: registry.snapshot()
+            for node, registry in sorted(cluster.registries.items())
+        }
+        if cluster.registries
+        else None
+    )
     cluster.tracer.close()
 
     workload = cluster.workload
@@ -450,6 +509,7 @@ def collect_result(
         pairs=pairs,
         trace=trace,
         series=series,
+        node_metrics=node_metrics,
         faults=list(master_metrics.failures),
         injected_faults=(
             cluster.faults.injected_records() if cluster.faults else []

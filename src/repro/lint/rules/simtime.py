@@ -52,6 +52,9 @@ WALL_CLOCK_ALLOWED_SUFFIXES: tuple[str, ...] = (
     "repro/runtime/process.py",
     "repro/net/thread_transport.py",
     "repro/net/proc_transport.py",
+    # The admin HTTP server reports real uptime: it is wall-clock
+    # infrastructure by definition, never part of the modeled cluster.
+    "repro/obs/admin.py",
     "repro/cli.py",
 )
 

@@ -51,6 +51,8 @@ import typing as t
 from repro.faults.markers import NodeDown, RecvTimeout
 from repro.net.sim_transport import CommStats
 from repro.net.wire import decode_message, encode_message
+from repro.obs.events import TransportEvent
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.runtime.thread import Thunk
 
 #: Frame header: big-endian payload length.
@@ -140,7 +142,10 @@ class FrameReader:
 class _Channel:
     """This node's half of one peer socket."""
 
-    __slots__ = ("peer", "sock", "reader", "send_lock", "draining")
+    __slots__ = (
+        "peer", "sock", "reader", "send_lock", "draining",
+        "send_seq", "recv_seq",
+    )
 
     def __init__(self, peer: int, sock: socket.socket) -> None:
         self.peer = peer
@@ -148,6 +153,12 @@ class _Channel:
         self.reader = FrameReader(sock)
         self.send_lock = threading.Lock()
         self.draining = False
+        # Per-directed-stream message counters for transport tracing:
+        # the socket is FIFO, so the n-th send pairs the n-th receive
+        # on the peer.  ``send_seq`` is guarded by ``send_lock``;
+        # exactly one thread reads a channel, so ``recv_seq`` is not.
+        self.send_seq = 0
+        self.recv_seq = 0
 
 
 class _ForeignEndpoint:
@@ -189,6 +200,8 @@ class ProcTransport:
         tuple_bytes: int,
         time_scale: float = 1.0,
         origin: float | None = None,
+        tracer: Tracer = NULL_TRACER,
+        now_fn: t.Callable[[], float] | None = None,
     ) -> None:
         if time_scale <= 0:
             raise ValueError("time_scale must be positive")
@@ -196,6 +209,8 @@ class ProcTransport:
         self.tuple_bytes = tuple_bytes
         self.time_scale = time_scale
         self._origin = time.monotonic() if origin is None else origin
+        self.tracer = tracer
+        self._now_fn = now_fn
         self._channels = {
             peer: _Channel(peer, sock) for peer, sock in peers.items()
         }
@@ -203,6 +218,8 @@ class ProcTransport:
 
     # -- clock ---------------------------------------------------------------
     def _now(self) -> float:
+        if self._now_fn is not None:
+            return self._now_fn()
         return (time.monotonic() - self._origin) / self.time_scale
 
     def rebase(self, origin: float) -> None:
@@ -290,6 +307,8 @@ class ProcEndpoint:
             t0 = transport._now()
             try:
                 with chan.send_lock:
+                    seq = chan.send_seq
+                    chan.send_seq += 1
                     write_frame(chan.sock, payload)
             except (BrokenPipeError, ConnectionResetError, OSError):
                 # Fail-stop peer: the write lands in a void, exactly
@@ -297,9 +316,23 @@ class ProcEndpoint:
                 # sender cannot observe the difference.
                 pass
             t1 = transport._now()
+            nbytes = transport._message_bytes(message)
             if self.stats is not None:
-                nbytes = transport._message_bytes(message)
                 self.stats.record_comm(t0, t1, nbytes, sent=True)
+            tracer = transport.tracer
+            if tracer.enabled:
+                tracer.emit(
+                    TransportEvent(
+                        t=t0,
+                        node=self.node_id,
+                        dst=dst,
+                        msg=type(message).__name__,
+                        nbytes=nbytes,
+                        duration=t1 - t0,
+                        phase="send",
+                        xfer_seq=seq,
+                    )
+                )
 
         return Thunk(fn)
 
@@ -328,10 +361,26 @@ class ProcEndpoint:
                     self.stats.record_idle(t0, t1)
                 return NodeDown(src)
             message = decode_message(frame)
+            seq = chan.recv_seq
+            chan.recv_seq += 1
+            nbytes = transport._message_bytes(message)
             if self.stats is not None:
-                nbytes = transport._message_bytes(message)
                 self.stats.record_idle(t0, t1)
                 self.stats.record_comm(t1, t1, nbytes, sent=False)
+            tracer = transport.tracer
+            if tracer.enabled:
+                tracer.emit(
+                    TransportEvent(
+                        t=t1,
+                        node=self.node_id,
+                        dst=src,
+                        msg=type(message).__name__,
+                        nbytes=nbytes,
+                        duration=t1 - t0,
+                        phase="recv",
+                        xfer_seq=seq,
+                    )
+                )
             return message
 
         return Thunk(fn)

@@ -9,37 +9,56 @@ receiver has taken the message.  Statistics record real elapsed times.
 from __future__ import annotations
 
 import queue
+import threading
 import time
 import typing as t
 
 from repro.faults.markers import NodeDown, RecvTimeout
 from repro.net.sim_transport import CommStats
+from repro.obs.events import TransportEvent
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.runtime.thread import KilledNode, Thunk
 
 
 class _Channel:
-    __slots__ = ("data", "ack")
+    __slots__ = ("data", "ack", "send_lock", "send_seq", "recv_lock", "recv_seq")
 
     def __init__(self) -> None:
         self.data: queue.Queue = queue.Queue(maxsize=1)
         self.ack: queue.Queue = queue.Queue(maxsize=1)
+        # Per-directed-channel message counters for transport tracing:
+        # the channel is FIFO, so the n-th send pairs the n-th receive.
+        self.send_lock = threading.Lock()
+        self.send_seq = 0
+        self.recv_lock = threading.Lock()
+        self.recv_seq = 0
 
 
 class ThreadTransport:
     """All channels of one in-process "live" cluster."""
 
-    def __init__(self, tuple_bytes: int, time_scale: float = 1.0) -> None:
+    def __init__(
+        self,
+        tuple_bytes: int,
+        time_scale: float = 1.0,
+        tracer: Tracer = NULL_TRACER,
+        now_fn: t.Callable[[], float] | None = None,
+    ) -> None:
         self.tuple_bytes = tuple_bytes
         self.time_scale = time_scale
         self._origin = time.monotonic()
+        self.tracer = tracer
+        self._now_fn = now_fn
         self._channels: dict[tuple[int, int], _Channel] = {}
-        self._lock = __import__("threading").Lock()
+        self._lock = threading.Lock()
         #: Nodes reaped by :meth:`kill_node` (reads are racy by design:
         #: a crash lands "at some point" on a wall-clock backend).
         self.dead: set[int] = set()
         self.messages_lost = 0
 
     def _now(self) -> float:
+        if self._now_fn is not None:
+            return self._now_fn()
         return (time.monotonic() - self._origin) / self.time_scale
 
     def _channel(self, src: int, dst: int) -> _Channel:
@@ -126,14 +145,34 @@ class ThreadEndpoint:
                 self.transport.messages_lost += 1
                 return  # fail-stop peer: the message is simply lost
             t0 = self.transport._now()
-            chan.data.put(message)
-            chan.ack.get()  # rendezvous: wait until taken
+            # The lock serializes same-channel senders so xfer_seq
+            # numbers land in queue order (the channel is rendezvous:
+            # holding it across the ack admits no extra blocking).
+            with chan.send_lock:
+                seq = chan.send_seq
+                chan.send_seq += 1
+                chan.data.put(message)
+                chan.ack.get()  # rendezvous: wait until taken
             if self.node_id in dead:
                 raise KilledNode(self.node_id)
             t1 = self.transport._now()
+            nbytes = self.transport._message_bytes(message)
             if self.stats is not None:
-                nbytes = self.transport._message_bytes(message)
                 self.stats.record_comm(t0, t1, nbytes, sent=True)
+            tracer = self.transport.tracer
+            if tracer.enabled:
+                tracer.emit(
+                    TransportEvent(
+                        t=t0,
+                        node=self.node_id,
+                        dst=dst,
+                        msg=type(message).__name__,
+                        nbytes=nbytes,
+                        duration=t1 - t0,
+                        phase="send",
+                        xfer_seq=seq,
+                    )
+                )
 
         return Thunk(fn)
 
@@ -164,12 +203,29 @@ class ThreadEndpoint:
                 raise KilledNode(self.node_id)
             if isinstance(message, NodeDown):
                 return message  # pushed by kill_node: no sender to ack
-            chan.ack.put(True)
+            with chan.recv_lock:
+                seq = chan.recv_seq
+                chan.recv_seq += 1
+                chan.ack.put(True)
             t1 = self.transport._now()
+            nbytes = self.transport._message_bytes(message)
             if self.stats is not None:
-                nbytes = self.transport._message_bytes(message)
                 self.stats.record_idle(t0, t1)
                 self.stats.record_comm(t1, t1, nbytes, sent=False)
+            tracer = self.transport.tracer
+            if tracer.enabled:
+                tracer.emit(
+                    TransportEvent(
+                        t=t1,
+                        node=self.node_id,
+                        dst=src,
+                        msg=type(message).__name__,
+                        nbytes=nbytes,
+                        duration=t1 - t0,
+                        phase="recv",
+                        xfer_seq=seq,
+                    )
+                )
             return message
 
         return Thunk(fn)

@@ -9,9 +9,13 @@ The subsystem has three layers, all near-zero cost when disabled:
 * :mod:`repro.obs.sampler` — bounded decimating reservoirs and the
   periodic per-node gauge sampler.
 
+:mod:`repro.obs.metrics` adds typed per-node counter/gauge/histogram
+registries and :mod:`repro.obs.admin` the opt-in HTTP admin endpoint
+(``/health``, ``/status``, Prometheus ``/metrics``).
+
 :mod:`repro.obs.report` (imported lazily by the CLI — it pulls in the
-analysis layer) renders epoch timelines and hot-partition tables from
-a JSONL trace.
+analysis layer) renders epoch timelines, hot-partition tables and
+cross-node views from a JSONL trace.
 """
 
 from repro.obs.events import (
@@ -33,6 +37,16 @@ from repro.obs.exporters import (
     Exporter,
     JsonlExporter,
     MemoryExporter,
+    merge_records,
+    replay_records,
+)
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    render_prometheus,
 )
 from repro.obs.sampler import Reservoir, TimeSeriesSampler
 from repro.obs.tracer import NULL_TRACER, Tracer, build_tracer
@@ -54,6 +68,14 @@ __all__ = [
     "JsonlExporter",
     "MemoryExporter",
     "ConsoleSummaryExporter",
+    "merge_records",
+    "replay_records",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "render_prometheus",
     "Reservoir",
     "TimeSeriesSampler",
     "Tracer",

@@ -189,7 +189,18 @@ class StateMoveEvent(TraceEvent):
 
 @dataclasses.dataclass(frozen=True)
 class TransportEvent(TraceEvent):
-    """One completed rendezvous transfer (``node`` is the sender)."""
+    """One transport operation.
+
+    The simulated transport emits a single span per rendezvous with
+    ``phase="xfer"`` (``node`` is the sender, ``duration`` the modeled
+    transfer time).  The distributed wall-clock transports emit *paired*
+    events instead — ``phase="send"`` on the sender (``node`` = sender,
+    ``dst`` = receiver) and ``phase="recv"`` on the receiver (``node`` =
+    receiver, ``dst`` = sender) — matched by ``xfer_seq``, a per
+    directed-channel message counter (channels are FIFO, so the n-th
+    send pairs with the n-th receive).  ``swjoin report`` derives
+    send→recv latency from the pairs.
+    """
 
     kind: t.ClassVar[str] = "transport"
 
@@ -197,6 +208,8 @@ class TransportEvent(TraceEvent):
     msg: str
     nbytes: int
     duration: float
+    phase: str = "xfer"
+    xfer_seq: int = -1
 
 
 @dataclasses.dataclass(frozen=True)

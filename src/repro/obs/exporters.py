@@ -17,6 +17,7 @@ Three sinks cover the common workflows:
 from __future__ import annotations
 
 import json
+import threading
 import typing as t
 from collections import Counter
 
@@ -25,10 +26,14 @@ __all__ = [
     "JsonlExporter",
     "MemoryExporter",
     "ConsoleSummaryExporter",
+    "merge_records",
+    "replay_records",
 ]
 
 #: Trace schema version stamped into every JSONL meta header.
-TRACE_VERSION = 1
+#: v2: records carry a per-node ``seq``; transport events gained
+#: ``phase``/``xfer_seq`` for cross-process send/recv pairing.
+TRACE_VERSION = 2
 
 
 class Exporter:
@@ -62,26 +67,29 @@ class JsonlExporter(Exporter):
     def __init__(self, path: str, meta: dict[str, t.Any] | None = None) -> None:
         self.path = path
         self.n_records = 0
+        # Guards the file handle: one tracer already serializes its own
+        # exports, but nothing stops two tracers (or a tracer plus a
+        # merge replay) sharing a sink — a line must never interleave.
+        self._lock = threading.Lock()
         self._fh: t.TextIO | None = open(path, "w", encoding="utf-8")
         header = {"kind": "meta", "version": TRACE_VERSION}
         if meta:
             header["config"] = meta
-        self._write(header)
-
-    def _write(self, record: dict[str, t.Any]) -> None:
-        assert self._fh is not None
-        self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._fh.write(json.dumps(header, separators=(",", ":")) + "\n")
 
     def export(self, record: dict[str, t.Any]) -> None:
-        if self._fh is None:  # pragma: no cover - defensive
-            raise ValueError(f"trace file {self.path} already closed")
-        self._write(record)
-        self.n_records += 1
+        line = json.dumps(record, separators=(",", ":")) + "\n"
+        with self._lock:
+            if self._fh is None:  # pragma: no cover - defensive
+                raise ValueError(f"trace file {self.path} already closed")
+            self._fh.write(line)
+            self.n_records += 1
 
     def close(self) -> None:
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
 
 
 class ConsoleSummaryExporter(Exporter):
@@ -104,3 +112,40 @@ class ConsoleSummaryExporter(Exporter):
         import sys
 
         print(self.summary(), file=self._stream or sys.stdout)
+
+
+def merge_records(
+    per_node: t.Mapping[int, t.Sequence[dict[str, t.Any]]],
+) -> list[dict[str, t.Any]]:
+    """Merge per-node trace buffers into one stable cluster trace.
+
+    Records are ordered by ``(t, node, seq)``: node-local ``seq``
+    numbers break wall-clock timestamp ties, so the merged order is a
+    pure function of the records themselves — shipping order over the
+    result pipes never leaks into the output.  ``sorted`` is stable,
+    and the key is unique per record (each node stamps a strictly
+    increasing ``seq``), so equal inputs always merge identically.
+    """
+    flat = [
+        record for node in sorted(per_node) for record in per_node[node]
+    ]
+    flat.sort(
+        key=lambda r: (r["t"], r["node"], r.get("seq", -1))
+    )
+    return flat
+
+
+def replay_records(
+    records: t.Iterable[dict[str, t.Any]], exporters: t.Sequence[Exporter]
+) -> None:
+    """Feed already-merged records through *exporters*, then close them.
+
+    Used by the process backend's parent: children trace into pipe
+    buffers, the parent merges and replays into the JSONL/console sinks
+    the config asked for.
+    """
+    for record in records:
+        for exporter in exporters:
+            exporter.export(record)
+    for exporter in exporters:
+        exporter.close()

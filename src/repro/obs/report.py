@@ -8,7 +8,12 @@ and renders:
   splits/merges, DoD changes);
 * the **top-k hot partitions** — the partition-groups with the most
   tuning and migration activity;
-* per-node **occupancy summaries** from the periodic gauge samples.
+* per-node **occupancy summaries** from the periodic gauge samples;
+* cross-node views for distributed traces: per-node **event lanes**,
+  **send→recv latency** derived from paired transport events (matched
+  by ``(src, dst, xfer_seq)``; the sim backend's single ``xfer`` spans
+  report their modeled duration instead), and the **recovery
+  timeline** (fault → detect → recovery/restore).
 """
 
 from __future__ import annotations
@@ -20,7 +25,15 @@ from collections import Counter, defaultdict
 
 from repro.analysis.tables import format_table
 
-__all__ = ["load_trace", "render_report", "epoch_timeline", "hot_partitions"]
+__all__ = [
+    "load_trace",
+    "render_report",
+    "epoch_timeline",
+    "hot_partitions",
+    "node_lanes",
+    "transport_latency",
+    "recovery_timeline",
+]
 
 
 def load_trace(
@@ -182,6 +195,114 @@ def _occupancy_rows(records: list[dict[str, t.Any]]) -> list[dict[str, t.Any]]:
     return rows
 
 
+def node_lanes(records: list[dict[str, t.Any]]) -> list[dict[str, t.Any]]:
+    """One row per node: its share of the merged cluster trace."""
+    by_node: dict[int, list[dict[str, t.Any]]] = defaultdict(list)
+    for record in records:
+        by_node[int(record["node"])].append(record)
+    rows = []
+    for node in sorted(by_node):
+        lane = by_node[node]
+        kinds = Counter(r["kind"] for r in lane)
+        dominant = ", ".join(
+            f"{kind}={n}"
+            for kind, n in sorted(kinds.items(), key=lambda kv: (-kv[1], kv[0]))[:3]
+        )
+        rows.append(
+            {
+                "node": node,
+                "events": len(lane),
+                "first_t": min(r["t"] for r in lane),
+                "last_t": max(r["t"] for r in lane),
+                "top kinds": dominant,
+            }
+        )
+    return rows
+
+
+def transport_latency(
+    records: list[dict[str, t.Any]],
+) -> list[dict[str, t.Any]]:
+    """Per directed node pair: message count and send→recv latency.
+
+    Wall-clock backends emit paired ``send``/``recv`` transport events;
+    the n-th send on a directed channel matches the n-th receive
+    (``xfer_seq``), so latency is the receive timestamp minus the send
+    timestamp.  Unmatched events (peer died mid-flight) are dropped.
+    The sim backend's single ``xfer`` span per rendezvous contributes
+    its modeled ``duration`` directly.
+    """
+    sends: dict[tuple[int, int, int], float] = {}
+    latencies: dict[tuple[int, int], list[float]] = defaultdict(list)
+    for record in records:
+        if record["kind"] != "transport":
+            continue
+        phase = record.get("phase", "xfer")
+        src_dst = (int(record["node"]), int(record["dst"]))
+        if phase == "xfer":
+            latencies[src_dst].append(float(record["duration"]))
+        elif phase == "send":
+            sends[(*src_dst, int(record["xfer_seq"]))] = float(record["t"])
+    for record in records:
+        if record["kind"] != "transport" or record.get("phase") != "recv":
+            continue
+        # A recv names its sender in ``dst``: flip to the send's key.
+        src, dst = int(record["dst"]), int(record["node"])
+        sent_at = sends.pop((src, dst, int(record["xfer_seq"])), None)
+        if sent_at is not None:
+            latencies[(src, dst)].append(float(record["t"]) - sent_at)
+    rows = []
+    for (src, dst) in sorted(latencies):
+        values = latencies[(src, dst)]
+        rows.append(
+            {
+                "src": src,
+                "dst": dst,
+                "msgs": len(values),
+                "lat_mean_ms": 1e3 * sum(values) / len(values),
+                "lat_max_ms": 1e3 * max(values),
+            }
+        )
+    return rows
+
+
+def recovery_timeline(
+    records: list[dict[str, t.Any]],
+) -> list[dict[str, t.Any]]:
+    """Fault-plane events in time order: injection to restoration."""
+    rows = []
+    for record in records:
+        kind = record["kind"]
+        if kind == "fault":
+            detail = f"{record['action']} target={record['target']}"
+            if record.get("info"):
+                detail += f" info={record['info']:g}"
+        elif kind == "recovery":
+            detail = (
+                f"dead={record['dead']} pids={len(record['pids'])} "
+                f"latency={record['latency']:.3f}s"
+            )
+        elif kind == "restore":
+            detail = (
+                f"restorer={record['restorer']} pids={len(record['pids'])} "
+                f"latency={record['latency']:.3f}s"
+            )
+        elif kind == "checkpoint":
+            continue  # high volume; summarized by the kinds header
+        else:
+            continue
+        rows.append(
+            {
+                "t": record["t"],
+                "node": record["node"],
+                "kind": kind,
+                "detail": detail,
+            }
+        )
+    rows.sort(key=lambda r: (r["t"], r["node"]))
+    return rows
+
+
 def render_report(
     meta: dict[str, t.Any] | None,
     records: list[dict[str, t.Any]],
@@ -247,6 +368,36 @@ def render_report(
                 occupancy,
                 ["node", "samples", "occ_min", "occ_mean", "occ_max"],
                 title="buffer occupancy (sampled)",
+            )
+        )
+
+    lanes = node_lanes(records)
+    if len(lanes) > 1:
+        sections.append(
+            format_table(
+                lanes,
+                ["node", "events", "first_t", "last_t", "top kinds"],
+                title="node lanes",
+            )
+        )
+
+    latency = transport_latency(records)
+    if latency:
+        sections.append(
+            format_table(
+                latency,
+                ["src", "dst", "msgs", "lat_mean_ms", "lat_max_ms"],
+                title="transport latency (send->recv)",
+            )
+        )
+
+    recovery = recovery_timeline(records)
+    if recovery:
+        sections.append(
+            format_table(
+                recovery,
+                ["t", "node", "kind", "detail"],
+                title="recovery timeline",
             )
         )
     return "\n\n".join(sections)

@@ -26,6 +26,18 @@ EOF then drives the same ``NodeDown`` detection/recovery machinery the
 DES fault plane exercises.  Message and slowdown faults hang off the
 simulated transport and are rejected up front.
 
+Distributed tracing: each child owns a node-local
+:class:`~repro.obs.tracer.Tracer` writing to a :class:`PipeExporter`,
+which batches records back to the parent as ``("trace", node_id,
+batch)`` pipe messages.  Timestamps are already on the shared modeled
+clock (every child rebased onto the broadcast origin), so the parent
+just merges all buffers with
+:func:`~repro.obs.exporters.merge_records` — a stable ``(t, node,
+seq)`` order — and replays them into the configured sinks.  Batches
+flush every :data:`TRACE_BATCH` records *during* the run, so a
+SIGKILLed victim loses at most the tail of its trace, never the whole
+thing.
+
 Determinism caveat: the joined-output *multiset* is backend-invariant,
 but wall-clock scheduling makes per-epoch timing, metric values and —
 under a detection timeout — the exact detection epoch load-dependent.
@@ -51,11 +63,20 @@ from repro.core.cluster import (
     Cluster,
     build_cluster,
     slave_node_id,
+    trace_meta,
 )
 from repro.core.metrics import DelayStats, MeasurementWindow, SlaveMetrics
-from repro.core.system import RunResult, master_snapshot
+from repro.core.system import RunResult, master_snapshot, start_admin_server
 from repro.errors import ConfigError, DeadlockError
 from repro.net.proc_transport import ProcTransport
+from repro.obs.exporters import (
+    ConsoleSummaryExporter,
+    Exporter,
+    JsonlExporter,
+    merge_records,
+    replay_records,
+)
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.runtime.thread import ThreadRuntime, reject_unsupported
 
 #: Wall seconds between "all nodes ready" and modeled t=0: covers pipe
@@ -63,9 +84,64 @@ from repro.runtime.thread import ThreadRuntime, reject_unsupported
 STARTUP_GRACE = 0.5
 #: Wall seconds the parent waits for each child's "ready".
 SETUP_TIMEOUT = 120.0
+#: Trace records per ``("trace", ...)`` pipe message.  Large enough
+#: that pickling doesn't dominate high-volume tracing (transport
+#: spans); the wall-time bound below covers low-volume tracers.
+TRACE_BATCH = 64
+#: Maximum wall seconds a buffered trace record may wait before it is
+#: flushed to the parent.  Bounds how much of its trace a SIGKILLed
+#: victim can lose, regardless of event rate.
+TRACE_FLUSH_WALL_S = 0.05
 
 _Pair = tuple[int, int]
 _Sockets = dict[_Pair, tuple[socket.socket, socket.socket]]
+
+
+class PipeExporter(Exporter):
+    """Trace sink that ships records to the parent over the child pipe.
+
+    Records accumulate in a local buffer and flush as ``("trace",
+    node_id, batch)`` messages every :data:`TRACE_BATCH` records, when
+    the oldest buffered record is :data:`TRACE_FLUSH_WALL_S` old, and
+    on :meth:`close`.  The tracer's emit lock already serializes
+    ``export`` calls; the exporter's own lock additionally guards the
+    buffer against a concurrent ``close`` and keeps pickled messages
+    from interleaving on the pipe.
+    """
+
+    def __init__(self, conn: t.Any, node_id: int) -> None:
+        self._conn = conn
+        self._node_id = node_id
+        self._buffer: list[dict[str, t.Any]] = []
+        self._lock = threading.Lock()
+        self._last_flush = time.monotonic()
+        self.n_records = 0
+        self.n_batches = 0
+
+    def export(self, record: dict[str, t.Any]) -> None:
+        with self._lock:
+            self._buffer.append(record)
+            self.n_records += 1
+            if (
+                len(self._buffer) >= TRACE_BATCH
+                or time.monotonic() - self._last_flush >= TRACE_FLUSH_WALL_S
+            ):
+                self._flush_locked()
+
+    def _flush_locked(self) -> None:
+        self._last_flush = time.monotonic()
+        if not self._buffer:
+            return
+        self._conn.send(("trace", self._node_id, self._buffer))
+        self._buffer = []
+        self.n_batches += 1
+
+    def close(self) -> None:
+        with self._lock:
+            try:
+                self._flush_locked()
+            except (BrokenPipeError, OSError):  # pragma: no cover
+                pass  # parent gone: nothing left to ship the tail to
 
 
 def _owner_of(name: str) -> int:
@@ -110,6 +186,21 @@ def _node_payload(
     }
 
 
+def _obs_payload(node_id: int, cluster: Cluster) -> dict[str, t.Any]:
+    """Observability extras every node ships: its local gauge series
+    (keys are ``n<node>.<gauge>``, disjoint across children) and its
+    metric-registry snapshot (``None`` when metrics are off)."""
+    registry = cluster.registries.get(node_id)
+    return {
+        "series": (
+            cluster.sampler.series_dict()
+            if cluster.sampler is not None
+            else None
+        ),
+        "metrics": registry.snapshot() if registry is not None else None,
+    }
+
+
 def _node_main(
     node_id: int,
     cfg: SystemConfig,
@@ -141,8 +232,21 @@ def _node_main(
                 child_conn.close()
 
         runtime = ThreadRuntime(time_scale=cfg.time_scale)
+        # Node-local tracer: records ship to the parent over the pipe
+        # and merge there — children never touch the JSONL/console
+        # sinks themselves.
+        tracer = (
+            Tracer([PipeExporter(conn, node_id)])
+            if cfg.obs.tracing
+            else NULL_TRACER
+        )
         transport = ProcTransport(
-            node_id, peers, cfg.tuple_bytes, time_scale=cfg.time_scale
+            node_id,
+            peers,
+            cfg.tuple_bytes,
+            time_scale=cfg.time_scale,
+            tracer=tracer if cfg.obs.trace_transport else NULL_TRACER,
+            now_fn=runtime.now,
         )
         cluster = build_cluster(
             cfg,
@@ -150,11 +254,15 @@ def _node_main(
             transport,
             workload=workload,
             collect_pairs=collect_pairs,
+            tracer=tracer,
+            local_node=node_id,
         )
+        # The sampler generator is node-local: every child runs one,
+        # and ``local_node`` restricts it to this node's gauges.
         mine = [
             (name, gen)
             for name, gen in cluster.processes()
-            if _owner_of(name) == node_id
+            if name == "sampler" or _owner_of(name) == node_id
         ]
 
         conn.send(("ready", node_id))
@@ -162,12 +270,27 @@ def _node_main(
         runtime.rebase(origin)
         transport.rebase(origin)
 
-        for name, gen in mine:
-            runtime.spawn(gen, name=name)
-        # No local timeout: the parent owns the deadline and SIGKILLs
-        # stragglers, which peers then observe as EOF.
-        runtime.join_all()
-        conn.send(("result", node_id, _node_payload(node_id, cluster, collect_pairs)))
+        # The admin endpoint lives wherever the master runs.
+        admin = (
+            start_admin_server(cfg, cluster, runtime.now, "process")
+            if node_id == MASTER_ID
+            else None
+        )
+        try:
+            for name, gen in mine:
+                runtime.spawn(gen, name=name)
+            # No local timeout: the parent owns the deadline and SIGKILLs
+            # stragglers, which peers then observe as EOF.
+            runtime.join_all()
+        finally:
+            if admin is not None:
+                admin.close()
+        # Flush the trace tail before the result: the parent treats the
+        # result message as this node's end-of-stream.
+        tracer.close()
+        payload = _node_payload(node_id, cluster, collect_pairs)
+        payload.update(_obs_payload(node_id, cluster))
+        conn.send(("result", node_id, payload))
     except BaseException as error:  # noqa: BLE001 - shipped to the parent
         detail = traceback.format_exc()
         try:
@@ -192,6 +315,7 @@ class ProcessBackend:
     """
 
     name = "process"
+    supports_observability = True
 
     def run(
         self,
@@ -245,11 +369,12 @@ class ProcessBackend:
         conns = {nid: parent_conn for nid, (parent_conn, _) in pipes.items()}
         killed: set[int] = set()
         injected: list[dict[str, t.Any]] = []
+        traces: dict[int, list[dict[str, t.Any]]] = {}
         try:
             origin = self._start_barrier(conns, procs)
             deadline = origin + cfg.run_seconds * cfg.time_scale * 4.0 + 60.0
             timers = self._arm_crashes(cfg, origin, procs, killed, injected)
-            payloads = self._collect(conns, procs, killed, deadline)
+            payloads = self._collect(conns, procs, killed, deadline, traces)
         finally:
             for timer in timers:
                 timer.cancel()
@@ -260,7 +385,7 @@ class ProcessBackend:
             for conn in conns.values():
                 conn.close()
 
-        return self._assemble(cfg, payloads, injected, collect_pairs)
+        return self._assemble(cfg, payloads, injected, collect_pairs, traces)
 
     # -- run phases ----------------------------------------------------------
     def _start_barrier(
@@ -323,8 +448,13 @@ class ProcessBackend:
         procs: dict[int, t.Any],
         killed: set[int],
         deadline: float,
+        traces: dict[int, list[dict[str, t.Any]]],
     ) -> dict[int, dict[str, t.Any]]:
-        """Gather result payloads until every node reported or died."""
+        """Gather result payloads until every node reported or died.
+
+        ``("trace", node_id, batch)`` messages stream in throughout the
+        run and accumulate into *traces*; a node killed by the fault
+        plane keeps every batch it flushed before dying."""
         payloads: dict[int, dict[str, t.Any]] = {}
         pending = dict(conns)
         while pending:
@@ -355,6 +485,9 @@ class ProcessBackend:
                     continue
                 if msg[0] == "error":
                     self._raise_node_error(msg)
+                if msg[0] == "trace":
+                    traces.setdefault(nid, []).extend(msg[2])
+                    continue
                 del pending[nid]
                 payloads[nid] = msg[2]
         return payloads
@@ -368,12 +501,31 @@ class ProcessBackend:
             ) from error
         raise RuntimeError(f"node {nid} process failed:\n{detail}")
 
+    @staticmethod
+    def _finish_trace(
+        cfg: SystemConfig, traces: dict[int, list[dict[str, t.Any]]]
+    ) -> list[dict[str, t.Any]] | None:
+        """Merge the per-node trace buffers and drive the configured
+        sinks; returns the merged records when ``trace_memory`` asked
+        for them on the RunResult."""
+        if not cfg.obs.tracing:
+            return None
+        merged = merge_records(traces)
+        sinks: list[Exporter] = []
+        if cfg.obs.trace_path:
+            sinks.append(JsonlExporter(cfg.obs.trace_path, meta=trace_meta(cfg)))
+        if cfg.obs.console_summary:
+            sinks.append(ConsoleSummaryExporter())
+        replay_records(merged, sinks)
+        return merged if cfg.obs.trace_memory else None
+
     def _assemble(
         self,
         cfg: SystemConfig,
         payloads: dict[int, dict[str, t.Any]],
         injected: list[dict[str, t.Any]],
         collect_pairs: bool,
+        traces: dict[int, list[dict[str, t.Any]]],
     ) -> RunResult:
         master = payloads[MASTER_ID]
         collector = payloads[COLLECTOR_ID]
@@ -411,6 +563,23 @@ class ProcessBackend:
                 else np.empty((0, 2), dtype=np.int64)
             )
 
+        # Per-node gauge series carry disjoint "n<node>.<gauge>" keys,
+        # so the cluster view is a plain dict union.
+        series: dict[str, list[tuple[float, float]]] | None = None
+        if cfg.obs.sample_period is not None:
+            series = {}
+            for nid in sorted(payloads):
+                node_series = payloads[nid].get("series")
+                if node_series:
+                    series.update(node_series)
+        node_metrics: dict[int, dict[str, t.Any]] | None = None
+        if cfg.obs.metrics_enabled:
+            node_metrics = {
+                nid: payloads[nid]["metrics"]
+                for nid in sorted(payloads)
+                if payloads[nid].get("metrics") is not None
+            }
+
         return RunResult(
             cfg=cfg,
             duration=cfg.run_seconds - cfg.warmup_seconds,
@@ -422,6 +591,9 @@ class ProcessBackend:
             delay_timeline=collector["timeline"],
             tuples_generated=master["tuples_generated"],
             pairs=pairs,
+            trace=self._finish_trace(cfg, traces),
+            series=series,
+            node_metrics=node_metrics,
             faults=master["faults"],
             injected_faults=injected,
         )

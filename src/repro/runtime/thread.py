@@ -153,19 +153,15 @@ def reject_unsupported(
 ) -> None:
     """Fail fast on config features a wall-clock backend cannot honor.
 
-    Observability hooks are not thread-safe and the fault plane's
-    message/slowdown injection hangs off the DES transport; the
-    wall-clock backends support only ``crash:`` specs (*crash_ok*) —
-    the thread backend reaps the victim's threads, the process backend
-    SIGKILLs the victim's OS process.
+    The fault plane's message/slowdown injection hangs off the DES
+    transport; the wall-clock backends support only ``crash:`` specs
+    (*crash_ok*) — the thread backend reaps the victim's threads, the
+    process backend SIGKILLs the victim's OS process.  (Observability
+    is supported everywhere since the tracer went thread-safe: records
+    are stamped with a per-node ``seq`` under a lock.)
     """
     from repro.errors import ConfigError
 
-    if cfg.obs.enabled:
-        raise ConfigError(
-            f"the {backend} backend does not support tracing/sampling "
-            "(observability hooks are not thread-safe); use backend='sim'"
-        )
     if not cfg.faults.enabled:
         return
     if not crash_ok:
@@ -212,6 +208,7 @@ class ThreadBackend:
     """
 
     name = "thread"
+    supports_observability = True
 
     def run(
         self,
@@ -221,14 +218,25 @@ class ThreadBackend:
     ) -> t.Any:
         # Local imports: repro.runtime.thread must stay importable
         # without the core layer (proc_transport pulls in Thunk).
-        from repro.core.cluster import build_cluster
-        from repro.core.system import collect_result, slave_node_id
+        from repro.core.cluster import build_cluster, trace_meta
+        from repro.core.system import (
+            collect_result,
+            slave_node_id,
+            start_admin_server,
+        )
         from repro.errors import DeadlockError
         from repro.net.thread_transport import ThreadTransport
+        from repro.obs.tracer import NULL_TRACER, build_tracer
 
         reject_unsupported(cfg, self.name, crash_ok=True)
         runtime = ThreadRuntime(time_scale=cfg.time_scale)
-        transport = ThreadTransport(cfg.tuple_bytes, time_scale=cfg.time_scale)
+        tracer = build_tracer(cfg.obs, meta=trace_meta(cfg))
+        transport = ThreadTransport(
+            cfg.tuple_bytes,
+            time_scale=cfg.time_scale,
+            tracer=tracer if cfg.obs.trace_transport else NULL_TRACER,
+            now_fn=runtime.now,
+        )
         injector = None
         if cfg.faults.enabled:
             from repro.faults.injector import FaultInjector
@@ -244,8 +252,10 @@ class ThreadBackend:
             transport,
             workload=workload,
             collect_pairs=collect_pairs,
+            tracer=tracer,
             faults=injector,
         )
+        admin = start_admin_server(cfg, cluster, runtime.now, self.name)
         for name, gen in cluster.processes():
             runtime.spawn(gen, name=name)
         if injector is not None:
@@ -268,7 +278,11 @@ class ThreadBackend:
         # generators' numpy work takes however long it takes, regardless
         # of the compressed clock.
         budget = cfg.run_seconds * cfg.time_scale * 4.0 + 60.0
-        runtime.join_all(timeout=budget)
+        try:
+            runtime.join_all(timeout=budget)
+        finally:
+            if admin is not None:
+                admin.close()
         stuck = [h.thread.name for h in runtime.handles if h.is_alive]
         if stuck:
             raise DeadlockError(f"node threads never finished: {stuck}")

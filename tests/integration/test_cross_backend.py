@@ -148,15 +148,39 @@ class TestBackendSelection:
         with pytest.raises(ConfigError, match="sim.*thread"):
             JoinSystem(cfg).run()
 
-    def test_wall_backends_reject_observability(self):
-        from repro.config import ObservabilityConfig
+    def test_every_registered_backend_supports_observability(self):
+        """All shipped backends declare the observability capability
+        (wall backends trace since the distributed-trace plane)."""
+        from repro.core.system import available_backends, get_backend
 
-        for backend in ("thread", "process"):
-            cfg = SystemConfig.paper_defaults().with_(
-                backend=backend, obs=ObservabilityConfig(trace_memory=True)
+        for name in available_backends():
+            assert getattr(get_backend(name), "supports_observability", False), (
+                f"backend {name!r} does not declare supports_observability"
             )
-            with pytest.raises(ConfigError, match="tracing"):
+
+    def test_backend_without_trace_shipping_is_rejected(self):
+        """A backend that cannot ship traces must fail loudly, not
+        silently swallow the requested observability plane."""
+        from repro.config import ObservabilityConfig
+        from repro.core.system import register_backend
+
+        class _BlindBackend:
+            name = "blind"
+
+            def run(self, cfg, collect_pairs=False, workload=None):
+                raise AssertionError("must be rejected before run()")
+
+        register_backend("blind", _BlindBackend)
+        try:
+            cfg = SystemConfig.paper_defaults().with_(
+                backend="blind", obs=ObservabilityConfig(trace_memory=True)
+            )
+            with pytest.raises(ConfigError, match="observability"):
                 JoinSystem(cfg).run()
+        finally:
+            from repro.core.system import _BACKEND_FACTORIES
+
+            _BACKEND_FACTORIES.pop("blind", None)
 
     def test_thread_backend_rejects_non_crash_faults(self):
         from repro.faults.plan import FaultPlan, parse_fault
