@@ -9,6 +9,13 @@ loops.
 Payload sizes: tuple-bearing messages cost ``n * tuple_bytes`` wire
 bytes (the paper's 64 B machine-independent tuple format); control
 messages cost a small fixed size.
+
+Two lint rules keep this module honest: PROTO001 (every ``Message``
+subclass is constructed and, when sent, dispatched by a node loop) and
+PROTO002 (every subclass has a unique, append-only tag with an
+encoder/decoder in :mod:`repro.net.wire` — adding a message here
+without extending the codec *and* its ``_TAG_LEDGER``/``WIRE_VERSION``
+is a finding).
 """
 
 from __future__ import annotations

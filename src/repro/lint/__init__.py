@@ -8,18 +8,28 @@ system.  This package checks them statically:
 
 * a visitor **engine** over per-file ASTs plus a cross-file project
   view (:mod:`repro.lint.engine`, :mod:`repro.lint.source`);
-* a **rule registry** with six built-in rules
+* a whole-project **symbol table and call graph**
+  (:mod:`repro.lint.symbols`, :mod:`repro.lint.callgraph`) feeding a
+  cycle-safe **taint dataflow** fixpoint (:mod:`repro.lint.dataflow`)
+  — the interprocedural rules SIM004/SIM005/PERF001 flag call *chains*
+  that reach the wall clock, unseeded randomness, or blocking I/O;
+* a **rule registry** with eleven built-in rules
   (:mod:`repro.lint.rules`);
-* line-scoped ``# lint: disable=<rule>`` **pragmas** and a shrink-only
-  **baseline** file for triaged debt (:mod:`repro.lint.baseline`);
-* the ``swjoin lint`` CLI (:mod:`repro.lint.cli`) and this importable
-  API for tests::
+* line-scoped ``# lint: disable=<rule>`` **pragmas** (honored by file
+  and project rules alike) and a shrink-only **baseline** file for
+  triaged debt (:mod:`repro.lint.baseline`);
+* a content-hash **result cache** (:mod:`repro.lint.cache`) keeping
+  the interprocedural pass instant in pre-commit;
+* the ``swjoin lint`` CLI (:mod:`repro.lint.cli`) — including
+  ``--explain RULE file:line``, which prints a finding's witness call
+  chain — and this importable API for tests::
 
       from repro.lint import lint_paths
       assert lint_paths(["src/repro"]).ok
 """
 
 from repro.lint.baseline import Baseline, BaselineEntry
+from repro.lint.cache import ResultCache
 from repro.lint.engine import LintResult, collect_files, lint_paths, lint_sources
 from repro.lint.finding import Finding
 from repro.lint.registry import RULES, FileRule, ProjectRule, Rule, register
@@ -29,6 +39,7 @@ __all__ = [
     "BaselineEntry",
     "Finding",
     "LintResult",
+    "ResultCache",
     "Rule",
     "FileRule",
     "ProjectRule",

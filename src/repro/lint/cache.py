@@ -1,0 +1,110 @@
+"""Content-hash result cache for the lint pass.
+
+The interprocedural pass (symbol table + call graph + three taint
+fixpoints) is run on every pre-commit hook invocation; the cache makes
+the common case — lint the same tree twice — a hash-and-load.
+
+The key is a SHA-256 over
+
+* a schema/revision salt (bumped whenever rule behavior changes, so an
+  upgraded linter never serves stale verdicts);
+* the registered rule-id set and the ``--select`` restriction;
+* every ``(path, content-hash)`` pair of the linted file set, sorted.
+
+Because suppression pragmas live *in* the sources, the cached payload
+is the post-pragma finding list (plus the suppressed count); the
+baseline is applied after load — it is cheap and lives outside the
+keyed content.  The cache holds one entry (the last run), is written
+atomically, and any unreadable/corrupt file is treated as a miss: the
+cache can never make a lint run wrong, only fast.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import typing as t
+
+from repro.lint.finding import Finding
+
+__all__ = ["ANALYSIS_REVISION", "ResultCache"]
+
+#: Bump when any rule's behavior or the finding schema changes: a stale
+#: cache must never survive a linter upgrade.
+ANALYSIS_REVISION = 7
+
+
+class ResultCache:
+    """Single-entry, content-keyed store of one lint run's findings."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    # -- keying ------------------------------------------------------------
+    @staticmethod
+    def key_for(
+        sources: t.Mapping[str, str],
+        rule_ids: t.Iterable[str],
+        only: t.Collection[str] | None,
+    ) -> str:
+        digest = hashlib.sha256()
+        digest.update(f"schema=1;revision={ANALYSIS_REVISION};".encode())
+        digest.update(",".join(sorted(rule_ids)).encode())
+        digest.update(b";")
+        digest.update(
+            ",".join(sorted(only)).encode() if only is not None else b"<all>"
+        )
+        for path in sorted(sources):
+            digest.update(b"\0")
+            digest.update(path.encode())
+            digest.update(b"\0")
+            digest.update(
+                hashlib.sha256(sources[path].encode()).digest()
+            )
+        return digest.hexdigest()
+
+    # -- lookup / store ----------------------------------------------------
+    def lookup(self, key: str) -> tuple[list[Finding], int, int] | None:
+        """``(findings, suppressed, n_files)`` on a hit, else ``None``."""
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+            if payload.get("key") != key:
+                return None
+            findings = [
+                Finding.from_record(record) for record in payload["findings"]
+            ]
+            return findings, int(payload["suppressed"]), int(payload["n_files"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def store(
+        self,
+        key: str,
+        findings: t.Sequence[Finding],
+        suppressed: int,
+        n_files: int,
+    ) -> None:
+        """Atomically persist one run's results; failures are silent."""
+        payload = {
+            "key": key,
+            "findings": [f.to_record() for f in findings],
+            "suppressed": suppressed,
+            "n_files": n_files,
+        }
+        directory = os.path.dirname(os.path.abspath(self.path))
+        try:
+            fd, tmp = tempfile.mkstemp(
+                prefix=".swjoin-lint-cache-", dir=directory
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    json.dump(payload, fh)
+                os.replace(tmp, self.path)
+            except BaseException:
+                os.unlink(tmp)
+                raise
+        except OSError:
+            pass

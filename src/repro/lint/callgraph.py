@@ -1,0 +1,225 @@
+"""Project call graph over the symbol table.
+
+Every module is walked once; each resolvable call becomes an edge:
+
+* ``helper()`` / ``module.helper()`` — through the module's bindings
+  (import aliases, ``from``-imports, first-order callable aliases);
+* ``self.method()`` / ``cls.method()`` / ``super().method()`` — through
+  the enclosing class and its project-internal MRO;
+* ``ClassName(...)`` — an edge to the class's (possibly inherited)
+  ``__init__``;
+* a bare reference to a project function in call arguments
+  (``schedule(self._tick)``) — a ``kind="ref"`` edge, because the
+  callee may invoke it (first-order callables taint their consumers).
+
+Calls whose target cannot be named statically (attribute calls on
+unknown receivers, higher-order results) produce **no** edge: the
+analysis is deliberately first-order and under-approximating, which is
+the right polarity for purity linting — resolvable chains must be
+clean; unresolvable ones are the transports' dynamic dispatch seams.
+
+Calls that resolve *outside* the project (``time.time()``,
+``socket.socket()``) are recorded as :class:`ExternalCall` — these are
+the sinks the taint pass (:mod:`repro.lint.dataflow`) starts from.
+Module-level statements are attributed to a ``<module>`` pseudo
+function so import-time calls participate too.
+"""
+
+from __future__ import annotations
+
+import ast
+import typing as t
+from dataclasses import dataclass, field
+
+from repro.lint.astutil import dotted
+from repro.lint.source import Project
+from repro.lint.symbols import ModuleInfo, SymbolTable
+
+__all__ = ["CallSite", "ExternalCall", "CallGraph"]
+
+#: Builtins worth tracking as external sinks even though they are never
+#: import-bound (PERF001 cares about the file-I/O ones).
+_TRACKED_BUILTINS = frozenset({"open", "input", "breakpoint"})
+
+
+@dataclass(frozen=True, order=True)
+class CallSite:
+    """One resolved project-internal call edge."""
+
+    caller: str
+    callee: str
+    path: str
+    lineno: int
+    kind: str = "call"  #: ``"call"`` or ``"ref"`` (callable passed along)
+
+
+@dataclass(frozen=True, order=True)
+class ExternalCall:
+    """One call that resolves outside the project (a potential sink)."""
+
+    caller: str
+    name: str
+    path: str
+    lineno: int
+
+
+@dataclass
+class CallGraph:
+    """Edges + external calls, indexed both ways."""
+
+    table: SymbolTable
+    calls: dict[str, list[CallSite]] = field(default_factory=dict)
+    callers_of: dict[str, list[CallSite]] = field(default_factory=dict)
+    externals: dict[str, list[ExternalCall]] = field(default_factory=dict)
+    #: Every known caller/callee qualname -> defining file path.
+    paths: dict[str, str] = field(default_factory=dict)
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def build(cls, project: Project) -> "CallGraph":
+        graph = cls(table=SymbolTable.build(project))
+        for qual, fn in graph.table.functions.items():
+            graph.paths[qual] = fn.path
+        for path in sorted(project.files):
+            src = project.files[path]
+            mod = graph.table.modules[graph.table.module_of_path[path]]
+            pseudo = f"{mod.name}.<module>"
+            graph.paths[pseudo] = path
+            for node in src.tree.body:
+                graph._visit(node, mod, cls_qual=None, func=None)
+        for sites in graph.calls.values():
+            sites.sort()
+        for sites in graph.callers_of.values():
+            sites.sort()
+        for exts in graph.externals.values():
+            exts.sort()
+        return graph
+
+    def path_of(self, qualname: str) -> str:
+        return self.paths.get(qualname, "")
+
+    def all_callers(self) -> list[str]:
+        """Every function that makes at least one recorded call, sorted."""
+        return sorted(set(self.calls) | set(self.externals))
+
+    # -- walking -----------------------------------------------------------
+    def _visit(
+        self,
+        node: ast.AST,
+        mod: ModuleInfo,
+        cls_qual: str | None,
+        func: str | None,
+    ) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Decorators and default values evaluate in the enclosing
+            # scope; the body belongs to the function itself.  Nested
+            # defs stay attributed to the outermost function: a closure
+            # runs (at the latest) when its owner does.
+            for dec in node.decorator_list:
+                self._visit(dec, mod, cls_qual, func)
+            for default in [*node.args.defaults, *node.args.kw_defaults]:
+                if default is not None:
+                    self._visit(default, mod, cls_qual, func)
+            inner = func
+            if inner is None:
+                owner = cls_qual or mod.name
+                inner = f"{owner}.{node.name}"
+            for stmt in node.body:
+                self._visit(stmt, mod, cls_qual, inner)
+            return
+        if isinstance(node, ast.ClassDef):
+            for dec in node.decorator_list:
+                self._visit(dec, mod, cls_qual, func)
+            for base in node.bases:
+                self._visit(base, mod, cls_qual, func)
+            inner_cls = f"{mod.name}.{node.name}" if func is None else cls_qual
+            for stmt in node.body:
+                self._visit(stmt, mod, inner_cls, func)
+            return
+        if isinstance(node, ast.Call):
+            caller = func if func is not None else f"{mod.name}.<module>"
+            self._record_call(node, mod, cls_qual, caller)
+        for child in ast.iter_child_nodes(node):
+            self._visit(child, mod, cls_qual, func)
+
+    # -- edge recording ----------------------------------------------------
+    def _record_call(
+        self, node: ast.Call, mod: ModuleInfo, cls_qual: str | None, caller: str
+    ) -> None:
+        target = node.func
+        if isinstance(target, ast.Name):
+            if target.id in mod.bindings:
+                resolved = self.table.resolve(mod, target.id)
+                if resolved is not None:
+                    self._emit(caller, resolved, node.lineno, mod.path)
+            elif target.id in _TRACKED_BUILTINS:
+                self._add_external(caller, target.id, mod.path, node.lineno)
+        elif isinstance(target, ast.Attribute):
+            receiver = target.value
+            if (
+                isinstance(receiver, ast.Name)
+                and receiver.id in ("self", "cls")
+                and cls_qual is not None
+            ):
+                method = self.table.find_method(cls_qual, target.attr)
+                if method is not None:
+                    self._add_call(caller, method, mod.path, node.lineno)
+            elif (
+                isinstance(receiver, ast.Call)
+                and isinstance(receiver.func, ast.Name)
+                and receiver.func.id == "super"
+                and cls_qual is not None
+            ):
+                method = self.table.find_method(
+                    cls_qual, target.attr, skip_own=True
+                )
+                if method is not None:
+                    self._add_call(caller, method, mod.path, node.lineno)
+            else:
+                spelling = dotted(target)
+                if spelling is not None:
+                    resolved = self.table.resolve(mod, spelling)
+                    if resolved is not None:
+                        self._emit(caller, resolved, node.lineno, mod.path)
+        # First-order callables handed onward: a project function
+        # referenced (not called) in the arguments may run inside the
+        # callee — record a weak ("ref") edge.
+        for arg in [*node.args, *[kw.value for kw in node.keywords]]:
+            if isinstance(arg, (ast.Name, ast.Attribute)):
+                spelling = dotted(arg)
+                if spelling is None:
+                    continue
+                resolved = self.table.resolve(mod, spelling)
+                if resolved is None:
+                    continue
+                fn = self.table.functions.get(self.table.canonical(resolved))
+                if fn is not None:
+                    self._add_call(
+                        caller, fn.qualname, mod.path, node.lineno, kind="ref"
+                    )
+
+    def _emit(
+        self, caller: str, resolved: str, lineno: int, path: str
+    ) -> None:
+        fn = self.table.lookup(resolved)
+        if fn is not None:
+            self._add_call(caller, fn.qualname, path, lineno)
+        elif not self.table.is_internal(resolved):
+            self._add_external(caller, resolved, path, lineno)
+        # Internal-but-unresolved (constants, data attributes): no edge.
+
+    def _add_call(
+        self, caller: str, callee: str, path: str, lineno: int, kind: str = "call"
+    ) -> None:
+        site = CallSite(
+            caller=caller, callee=callee, path=path, lineno=lineno, kind=kind
+        )
+        self.calls.setdefault(caller, []).append(site)
+        self.callers_of.setdefault(callee, []).append(site)
+
+    def _add_external(
+        self, caller: str, name: str, path: str, lineno: int
+    ) -> None:
+        self.externals.setdefault(caller, []).append(
+            ExternalCall(caller=caller, name=name, path=path, lineno=lineno)
+        )

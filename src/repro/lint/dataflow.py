@@ -1,0 +1,134 @@
+"""Taint dataflow over the call graph.
+
+The lattice is deliberately tiny — per function, per taint kind, one of
+``{clean, tainted}`` plus the *witness*: the next hop toward an
+external sink and the sink's name.  Taint is defined by a
+:class:`TaintSpec`:
+
+* ``is_source(name)`` — which external calls start the taint
+  (``time.time``, ``random.*``, ``socket.*``, ...);
+* ``is_barrier(path)`` — modules *entitled* to the sink.  A barrier
+  function neither becomes tainted nor propagates taint: the thread
+  runtime may read the clock, ``simul/rng.py`` may construct
+  generators, the transports may block.  What the rules flag is the
+  sink smuggled through **non**-barrier helpers.
+
+Propagation is a breadth-first fixpoint on the reversed call graph:
+functions directly calling a source are depth 0; every non-barrier
+caller of a tainted function is tainted one step further out.  The
+visited-set makes the iteration cycle-safe (mutual recursion
+terminates), and BFS order makes every recorded witness a *shortest*
+chain — `--explain` paths stay readable.  Ties are broken by sorted
+qualname order, so runs are deterministic.
+"""
+
+from __future__ import annotations
+
+import typing as t
+from dataclasses import dataclass
+
+from repro.lint.callgraph import CallGraph
+
+__all__ = ["TaintSpec", "ChainStep", "TaintResult", "propagate"]
+
+
+@dataclass(frozen=True)
+class TaintSpec:
+    """What taints (external sinks) and what absorbs (barrier modules)."""
+
+    name: str
+    is_source: t.Callable[[str], bool]
+    is_barrier: t.Callable[[str], bool]
+
+
+@dataclass(frozen=True)
+class ChainStep:
+    """One hop of a witness chain: *qualname* calls onward at *path:line*."""
+
+    qualname: str
+    path: str
+    lineno: int
+
+    def render(self) -> str:
+        return f"{self.qualname} ({self.path}:{self.lineno})"
+
+
+@dataclass(frozen=True)
+class _Taint:
+    depth: int
+    next_hop: str | None  #: tainted callee, or ``None`` at the sink call
+    path: str
+    lineno: int
+    sink: str  #: external sink name this chain reaches
+
+
+class TaintResult:
+    """Tainted functions plus witness-chain reconstruction."""
+
+    def __init__(self, spec: TaintSpec) -> None:
+        self.spec = spec
+        self.tainted: dict[str, _Taint] = {}
+
+    def __contains__(self, qualname: str) -> bool:
+        return qualname in self.tainted
+
+    def sink(self, qualname: str) -> str:
+        return self.tainted[qualname].sink
+
+    def chain(self, qualname: str) -> list[ChainStep]:
+        """Witness hops from *qualname* down to (excluding) the sink."""
+        steps: list[ChainStep] = []
+        seen: set[str] = set()
+        cur: str | None = qualname
+        while cur is not None and cur not in seen:
+            seen.add(cur)
+            taint = self.tainted.get(cur)
+            if taint is None:
+                break
+            steps.append(ChainStep(cur, taint.path, taint.lineno))
+            cur = taint.next_hop
+        return steps
+
+
+def propagate(graph: CallGraph, spec: TaintSpec) -> TaintResult:
+    """Fixpoint the taint lattice for *spec* over *graph*."""
+    result = TaintResult(spec)
+    tainted = result.tainted
+    frontier: list[str] = []
+
+    for caller in sorted(graph.externals):
+        if spec.is_barrier(graph.path_of(caller)):
+            continue
+        for ext in graph.externals[caller]:
+            if spec.is_source(ext.name):
+                tainted[caller] = _Taint(
+                    depth=0,
+                    next_hop=None,
+                    path=ext.path,
+                    lineno=ext.lineno,
+                    sink=ext.name,
+                )
+                frontier.append(caller)
+                break
+
+    depth = 0
+    while frontier:
+        depth += 1
+        next_frontier: list[str] = []
+        for callee in sorted(frontier):
+            for site in graph.callers_of.get(callee, []):
+                caller = site.caller
+                if caller in tainted:
+                    continue
+                if spec.is_barrier(graph.path_of(caller)):
+                    continue
+                tainted[caller] = _Taint(
+                    depth=depth,
+                    next_hop=callee,
+                    path=site.path,
+                    lineno=site.lineno,
+                    sink=tainted[callee].sink,
+                )
+                next_frontier.append(caller)
+        frontier = next_frontier
+    return result

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 import repro.lint.rules  # noqa: F401  — registers the built-in rules
 from repro.lint.baseline import Baseline, BaselineEntry
+from repro.lint.cache import ResultCache
 from repro.lint.finding import Finding
 from repro.lint.registry import RULES, FileRule, ProjectRule
 from repro.lint.source import Project, SourceFile
@@ -86,13 +87,17 @@ def _normalize(path: str) -> str:
     return path.replace(os.sep, "/")
 
 
-def lint_sources(
+def _compute_findings(
     sources: t.Mapping[str, str],
-    baseline: Baseline | None = None,
-    only: t.Collection[str] | None = None,
-) -> LintResult:
-    """Lint an in-memory ``{path: source text}`` mapping."""
-    result = LintResult(n_files=len(sources))
+    only: t.Collection[str] | None,
+) -> tuple[list[Finding], int]:
+    """Run every selected rule; returns post-pragma findings + suppressed.
+
+    Pragma suppression is applied here, uniformly: a finding from a
+    *project* rule (PROTO001/PROTO002, the taint rules, CFG001) honors a
+    line-scoped ``# lint: disable=`` exactly like a file-rule finding —
+    the filter keys on the finding's anchor, not on the rule flavor.
+    """
     files: dict[str, SourceFile] = {}
     raw: list[Finding] = []
     for path in sorted(sources):
@@ -120,11 +125,44 @@ def lint_sources(
         elif isinstance(rule, ProjectRule):
             raw.extend(rule.check_project(project))
 
+    findings: list[Finding] = []
+    suppressed = 0
     for finding in sorted(set(raw)):
         src = project.files.get(finding.path)
         if src is not None and src.is_suppressed(finding.rule, finding.line):
-            result.suppressed += 1
+            suppressed += 1
             continue
+        findings.append(finding)
+    return findings, suppressed
+
+
+def lint_sources(
+    sources: t.Mapping[str, str],
+    baseline: Baseline | None = None,
+    only: t.Collection[str] | None = None,
+    cache: ResultCache | None = None,
+) -> LintResult:
+    """Lint an in-memory ``{path: source text}`` mapping.
+
+    With a *cache*, a run over byte-identical sources (same rule
+    selection, same linter revision) loads its post-pragma findings
+    instead of recomputing; the baseline split always runs fresh.
+    """
+    result = LintResult(n_files=len(sources))
+    key = ""
+    cached: tuple[list[Finding], int, int] | None = None
+    if cache is not None:
+        key = ResultCache.key_for(sources, RULES, only)
+        cached = cache.lookup(key)
+
+    if cached is not None:
+        findings, result.suppressed, result.n_files = cached
+    else:
+        findings, result.suppressed = _compute_findings(sources, only)
+        if cache is not None:
+            cache.store(key, findings, result.suppressed, result.n_files)
+
+    for finding in findings:
         result.findings.append(finding)
         if baseline is not None and baseline.covers(finding):
             result.baselined.append(finding)
@@ -140,10 +178,11 @@ def lint_paths(
     paths: t.Sequence[str],
     baseline: Baseline | None = None,
     only: t.Collection[str] | None = None,
+    cache: ResultCache | None = None,
 ) -> LintResult:
     """Lint files/directories on disk."""
     sources: dict[str, str] = {}
     for file_path in collect_files(paths):
         with open(file_path, "r", encoding="utf-8") as fh:
             sources[file_path] = fh.read()
-    return lint_sources(sources, baseline=baseline, only=only)
+    return lint_sources(sources, baseline=baseline, only=only, cache=cache)

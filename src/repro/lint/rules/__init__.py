@@ -8,8 +8,17 @@ simulation-purity and protocol invariants:
 SIM001     no wall-clock reads outside the thread runtime / CLI
 SIM002     all randomness flows through simul/rng.py substreams
 SIM003     no float equality on simulated timestamps
+SIM004     no *call chain* to the wall clock off the allowlist
+           (interprocedural SIM001 over the project call graph)
+SIM005     no *call chain* to stdlib random / numpy.random module
+           state outside simul/rng.py (interprocedural SIM002)
 OBS001     trace-event construction guarded by the null-tracer check
+OBS002     metric instrument updates guarded by registry.enabled
+PERF001    no blocking call (socket/select/sleep/file I/O) reachable
+           from the master epoch loop, probe path, or data/soa.py
 PROTO001   protocol message set == dispatched set (no dead surface)
+PROTO002   wire _TAGS == Message set; tags unique + append-only, and
+           tag-set changes bump WIRE_VERSION (ledger-checked)
 CFG001     every SystemConfig/ObservabilityConfig field is read
 =========  ==========================================================
 """
@@ -18,13 +27,20 @@ from repro.lint.rules.configuse import ConfigFieldsRead
 from repro.lint.rules.protocol import ProtocolExhaustiveness
 from repro.lint.rules.randomness import NoDirectRandom
 from repro.lint.rules.simtime import NoFloatTimestampEquality, NoWallClock
-from repro.lint.rules.tracing import GuardedTraceEmit
+from repro.lint.rules.taint import BlockingReachability, RngTaint, WallClockTaint
+from repro.lint.rules.tracing import GuardedMetricUpdate, GuardedTraceEmit
+from repro.lint.rules.wireproto import WireProtocolConsistency
 
 __all__ = [
     "NoWallClock",
     "NoDirectRandom",
     "NoFloatTimestampEquality",
+    "WallClockTaint",
+    "RngTaint",
+    "BlockingReachability",
     "GuardedTraceEmit",
+    "GuardedMetricUpdate",
     "ProtocolExhaustiveness",
+    "WireProtocolConsistency",
     "ConfigFieldsRead",
 ]

@@ -1,0 +1,398 @@
+"""PROTO002 — wire-codec consistency and append-only tag discipline.
+
+PROTO001 keeps the *schedule* exhaustive (every protocol message
+constructed and dispatched); PROTO002 keeps the *codec* exhaustive and
+the byte format stable.  It cross-checks, all statically:
+
+* the ``Message`` subclass set of ``core/protocol.py`` (the same
+  extraction PROTO001 dispatch/send checking is built on);
+* ``net/wire.py``'s ``_TAGS`` registry — every wire-codable type needs
+  an encoder, a decoder and a tag; tag numbers must be literal ints and
+  unique;
+* ``net/wire.py``'s ``_TAG_LEDGER`` — the append-only history mapping
+  each ``WIRE_VERSION`` to the tags it introduced.
+
+Findings: a message type with no tag (it would raise
+:class:`~repro.errors.WireError` at the first send on the process
+backend), a ``_TAGS`` entry naming an unknown type or an undefined
+encoder/decoder, duplicate or renumbered tags, a tag present in
+``_TAGS`` but missing from the ledger (a tag-set change without a
+``WIRE_VERSION`` bump), a ledger entry whose tag vanished from
+``_TAGS`` (tags are append-only: deprecate, never delete), and a
+``WIRE_VERSION`` that does not match the ledger's newest version.
+
+The rule is silent when either file is absent (fixture projects that
+exercise only the schedule rules).
+"""
+
+from __future__ import annotations
+
+import ast
+import typing as t
+from dataclasses import dataclass, field
+
+from repro.lint.astutil import terminal_name
+from repro.lint.finding import Finding
+from repro.lint.registry import ProjectRule, register
+from repro.lint.rules.protocol import PROTOCOL_SUFFIX, _message_classes
+from repro.lint.source import Project, SourceFile
+
+#: Where the codec lives.
+WIRE_SUFFIX = "net/wire.py"
+
+_TAGS_NAME = "_TAGS"
+_LEDGER_NAME = "_TAG_LEDGER"
+_VERSION_NAME = "WIRE_VERSION"
+
+
+@dataclass
+class _TagEntry:
+    tag: int
+    lineno: int
+    type_name: str | None = None
+    encoder: str | None = None
+    decoder: str | None = None
+
+
+@dataclass
+class _WireSurface:
+    """Everything PROTO002 reads out of ``net/wire.py``'s AST."""
+
+    tags_lineno: int | None = None
+    entries: list[_TagEntry] = field(default_factory=list)
+    bad_keys: list[int] = field(default_factory=list)  #: non-literal key lines
+    version: int | None = None
+    version_lineno: int | None = None
+    ledger_lineno: int | None = None
+    #: version -> [(tag, type name, lineno)]
+    ledger: dict[int, list[tuple[int, str, int]]] = field(default_factory=dict)
+    toplevel_defs: set[str] = field(default_factory=set)
+
+
+def _assigned_value(node: ast.stmt, name: str) -> ast.expr | None:
+    if isinstance(node, ast.Assign):
+        if any(
+            isinstance(target, ast.Name) and target.id == name
+            for target in node.targets
+        ):
+            return node.value
+    elif isinstance(node, ast.AnnAssign):
+        if isinstance(node.target, ast.Name) and node.target.id == name:
+            return node.value
+    return None
+
+
+def _int_const(node: ast.expr | None) -> int | None:
+    if (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, int)
+        and not isinstance(node.value, bool)
+    ):
+        return node.value
+    return None
+
+
+def _parse_tags(value: ast.expr, surface: _WireSurface) -> None:
+    if not isinstance(value, ast.Dict):
+        return
+    for key, item in zip(value.keys, value.values):
+        if key is None:
+            continue
+        tag = _int_const(key)
+        if tag is None:
+            surface.bad_keys.append(key.lineno)
+            continue
+        entry = _TagEntry(tag=tag, lineno=key.lineno)
+        if isinstance(item, ast.Tuple) and len(item.elts) == 3:
+            entry.type_name = terminal_name(item.elts[0])
+            entry.encoder = terminal_name(item.elts[1])
+            entry.decoder = terminal_name(item.elts[2])
+        surface.entries.append(entry)
+
+
+def _parse_ledger(value: ast.expr, surface: _WireSurface) -> None:
+    if not isinstance(value, ast.Dict):
+        return
+    for key, item in zip(value.keys, value.values):
+        version = _int_const(key)
+        if version is None or not isinstance(item, (ast.Tuple, ast.List)):
+            continue
+        rows: list[tuple[int, str, int]] = []
+        for element in item.elts:
+            if not isinstance(element, (ast.Tuple, ast.List)):
+                continue
+            if len(element.elts) != 2:
+                continue
+            tag = _int_const(element.elts[0])
+            name_node = element.elts[1]
+            if tag is None or not isinstance(name_node, ast.Constant):
+                continue
+            if not isinstance(name_node.value, str):
+                continue
+            rows.append((tag, name_node.value, element.lineno))
+        surface.ledger[version] = rows
+
+
+def _read_wire(wire: SourceFile) -> _WireSurface:
+    surface = _WireSurface()
+    for node in wire.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            surface.toplevel_defs.add(node.name)
+            continue
+        value = _assigned_value(node, _TAGS_NAME)
+        if value is not None:
+            surface.tags_lineno = node.lineno
+            _parse_tags(value, surface)
+            continue
+        value = _assigned_value(node, _LEDGER_NAME)
+        if value is not None:
+            surface.ledger_lineno = node.lineno
+            _parse_ledger(value, surface)
+            continue
+        value = _assigned_value(node, _VERSION_NAME)
+        if value is not None:
+            surface.version = _int_const(value)
+            surface.version_lineno = node.lineno
+    return surface
+
+
+@register
+class WireProtocolConsistency(ProjectRule):
+    """PROTO002: _TAGS == Message set == append-only ledger @ WIRE_VERSION."""
+
+    id = "PROTO002"
+    summary = (
+        "every protocol message has a unique wire tag + encoder/decoder; "
+        "tags are append-only and any tag-set change bumps WIRE_VERSION"
+    )
+
+    def check_project(self, project: Project) -> t.Iterator[Finding]:
+        wire = project.find(WIRE_SUFFIX)
+        proto = project.find(PROTOCOL_SUFFIX)
+        if wire is None or proto is None:
+            return
+        messages = _message_classes(proto)
+        surface = _read_wire(wire)
+
+        if surface.tags_lineno is None:
+            yield Finding(
+                path=wire.path,
+                line=1,
+                rule=self.id,
+                message=(
+                    f"no `{_TAGS_NAME}` registry found — the wire codec "
+                    "must map every message type to (type, encoder, "
+                    "decoder) under a literal int tag"
+                ),
+            )
+            return
+
+        for lineno in surface.bad_keys:
+            yield Finding(
+                path=wire.path,
+                line=lineno,
+                rule=self.id,
+                message=(
+                    f"`{_TAGS_NAME}` key is not a literal int — tags are "
+                    "part of the wire format and must be auditable "
+                    "constants"
+                ),
+            )
+
+        yield from self._check_entries(wire, surface, messages)
+        yield from self._check_coverage(proto, surface, messages)
+        yield from self._check_ledger(wire, surface)
+
+    # -- individual checks -------------------------------------------------
+    def _check_entries(
+        self,
+        wire: SourceFile,
+        surface: _WireSurface,
+        messages: dict[str, int],
+    ) -> t.Iterator[Finding]:
+        seen_tags: dict[int, int] = {}
+        for entry in surface.entries:
+            if entry.tag in seen_tags:
+                yield Finding(
+                    path=wire.path,
+                    line=entry.lineno,
+                    rule=self.id,
+                    message=(
+                        f"duplicate wire tag {entry.tag} (first assigned "
+                        f"at line {seen_tags[entry.tag]}) — tag numbers "
+                        "must be unique"
+                    ),
+                )
+            else:
+                seen_tags[entry.tag] = entry.lineno
+            if entry.type_name is None:
+                yield Finding(
+                    path=wire.path,
+                    line=entry.lineno,
+                    rule=self.id,
+                    message=(
+                        f"tag {entry.tag} entry is not a (type, encoder, "
+                        "decoder) triple"
+                    ),
+                )
+                continue
+            if entry.type_name not in messages:
+                yield Finding(
+                    path=wire.path,
+                    line=entry.lineno,
+                    rule=self.id,
+                    message=(
+                        f"tag {entry.tag} references `{entry.type_name}`, "
+                        f"which is not a Message subclass in "
+                        f"{PROTOCOL_SUFFIX} — stale codec entry"
+                    ),
+                )
+            for role, fname in (
+                ("encoder", entry.encoder),
+                ("decoder", entry.decoder),
+            ):
+                if fname is not None and fname not in surface.toplevel_defs:
+                    yield Finding(
+                        path=wire.path,
+                        line=entry.lineno,
+                        rule=self.id,
+                        message=(
+                            f"tag {entry.tag} ({entry.type_name}) names "
+                            f"{role} `{fname}`, which is not defined in "
+                            f"{WIRE_SUFFIX}"
+                        ),
+                    )
+
+    def _check_coverage(
+        self,
+        proto: SourceFile,
+        surface: _WireSurface,
+        messages: dict[str, int],
+    ) -> t.Iterator[Finding]:
+        coded = {
+            entry.type_name
+            for entry in surface.entries
+            if entry.type_name is not None
+        }
+        for name in sorted(messages):
+            if name not in coded:
+                yield Finding(
+                    path=proto.path,
+                    line=messages[name],
+                    rule=self.id,
+                    message=(
+                        f"message `{name}` has no wire tag/encoder/decoder "
+                        f"in {WIRE_SUFFIX} — the process backend would "
+                        "raise WireError on the first send"
+                    ),
+                )
+
+    def _check_ledger(
+        self, wire: SourceFile, surface: _WireSurface
+    ) -> t.Iterator[Finding]:
+        tags_line = surface.tags_lineno or 1
+        if surface.ledger_lineno is None:
+            yield Finding(
+                path=wire.path,
+                line=tags_line,
+                rule=self.id,
+                message=(
+                    f"no `{_LEDGER_NAME}` found — record each wire "
+                    "version's tags so tag-set changes without a "
+                    f"{_VERSION_NAME} bump are machine-checked"
+                ),
+            )
+            return
+
+        ledger_rows: dict[int, tuple[str, int, int]] = {}
+        for version in sorted(surface.ledger):
+            for tag, type_name, lineno in surface.ledger[version]:
+                if tag in ledger_rows:
+                    yield Finding(
+                        path=wire.path,
+                        line=lineno,
+                        rule=self.id,
+                        message=(
+                            f"tag {tag} appears twice in `{_LEDGER_NAME}` "
+                            "— the ledger is append-only, one row per tag"
+                        ),
+                    )
+                    continue
+                ledger_rows[tag] = (type_name, version, lineno)
+
+        current = {e.tag: e for e in surface.entries if e.type_name is not None}
+        for tag in sorted(current):
+            entry = current[tag]
+            row = ledger_rows.get(tag)
+            if row is None:
+                yield Finding(
+                    path=wire.path,
+                    line=entry.lineno,
+                    rule=self.id,
+                    message=(
+                        f"tag {tag} ({entry.type_name}) is not in "
+                        f"`{_LEDGER_NAME}` — a tag-set change must be "
+                        f"recorded under a new version and {_VERSION_NAME} "
+                        "bumped"
+                    ),
+                )
+            elif row[0] != entry.type_name:
+                yield Finding(
+                    path=wire.path,
+                    line=entry.lineno,
+                    rule=self.id,
+                    message=(
+                        f"tag {tag} is `{entry.type_name}` in "
+                        f"`{_TAGS_NAME}` but `{row[0]}` in "
+                        f"`{_LEDGER_NAME}` — tags must never be reassigned"
+                    ),
+                )
+        for tag in sorted(ledger_rows):
+            type_name, _version, lineno = ledger_rows[tag]
+            if tag not in current:
+                yield Finding(
+                    path=wire.path,
+                    line=lineno,
+                    rule=self.id,
+                    message=(
+                        f"ledger tag {tag} ({type_name}) is missing from "
+                        f"`{_TAGS_NAME}` — tags are append-only: old "
+                        "frames must stay decodable (deprecate, never "
+                        "delete)"
+                    ),
+                )
+
+        # Append-only numbering: a later version may only add tags above
+        # everything earlier versions used.
+        high = 0
+        for version in sorted(surface.ledger):
+            rows = surface.ledger[version]
+            for tag, type_name, lineno in rows:
+                if tag <= high and version > min(surface.ledger):
+                    yield Finding(
+                        path=wire.path,
+                        line=lineno,
+                        rule=self.id,
+                        message=(
+                            f"version {version} introduces tag {tag} below "
+                            f"an earlier version's high-water mark {high} "
+                            "— tags are allocated append-only"
+                        ),
+                    )
+            if rows:
+                high = max(high, max(tag for tag, _n, _l in rows))
+
+        if surface.version is not None and surface.ledger:
+            newest = max(surface.ledger)
+            if surface.version != newest:
+                yield Finding(
+                    path=wire.path,
+                    line=surface.version_lineno or tags_line,
+                    rule=self.id,
+                    message=(
+                        f"{_VERSION_NAME} is {surface.version} but "
+                        f"`{_LEDGER_NAME}`'s newest entry is version "
+                        f"{newest} — bump {_VERSION_NAME} whenever the "
+                        "tag set changes"
+                    ),
+                )

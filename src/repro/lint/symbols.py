@@ -1,0 +1,334 @@
+"""Project-wide symbol table: modules, classes, functions, bindings.
+
+The interprocedural rules (SIM004/SIM005/PERF001) reason about *whole
+call chains*, so they need to know, for every module of the project,
+which local spelling names which fully qualified thing.  This module
+builds that table:
+
+* :func:`module_name` maps a file path to its dotted module name
+  (``src/repro/core/master.py`` -> ``repro.core.master``);
+* :class:`ModuleInfo` holds one module's *bindings* — local name to
+  qualified target — populated from imports (absolute and relative,
+  aliased or not), top-level ``def``/``class`` statements, and
+  first-order callable aliases (``_clock = time.monotonic``);
+* :class:`SymbolTable` indexes every top-level function, method and
+  class of the project and resolves dotted spellings through re-export
+  hops to a canonical qualified name.
+
+Names that resolve into the project but match no symbol (constants,
+instance attributes) resolve to ``None``; names whose root is not a
+project module are *external* (``time.time``, ``numpy.random.seed``)
+and become taint sources for the dataflow pass.
+"""
+
+from __future__ import annotations
+
+import ast
+import typing as t
+from dataclasses import dataclass, field
+
+from repro.lint.astutil import dotted
+from repro.lint.source import Project
+
+__all__ = [
+    "module_name",
+    "FunctionInfo",
+    "ClassInfo",
+    "ModuleInfo",
+    "SymbolTable",
+]
+
+_FuncDef = t.Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Follow at most this many re-export / alias hops (cycle guard).
+_MAX_HOPS = 8
+
+
+def module_name(path: str) -> str:
+    """Dotted module name for a normalized posix *path*.
+
+    Paths are anchored at the last ``repro`` segment when present
+    (``src/repro/core/x.py`` -> ``repro.core.x``); other paths fall
+    back to the file stem so fixture projects still get stable names.
+    """
+    stem = path[:-3] if path.endswith(".py") else path
+    parts = [p for p in stem.split("/") if p]
+    if "repro" in parts:
+        anchor = len(parts) - 1 - parts[::-1].index("repro")
+        parts = parts[anchor:]
+    else:
+        parts = parts[-1:]
+    if len(parts) > 1 and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+@dataclass
+class FunctionInfo:
+    """One top-level function or method of the project."""
+
+    qualname: str
+    module: str
+    path: str
+    lineno: int
+    node: _FuncDef
+    cls: str | None = None  #: enclosing class qualname, if a method
+
+
+@dataclass
+class ClassInfo:
+    """One top-level class: its methods and (unresolved) base spellings."""
+
+    qualname: str
+    module: str
+    path: str
+    lineno: int
+    bases: tuple[str, ...] = ()
+    methods: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleInfo:
+    """One module's path and name-binding table."""
+
+    name: str
+    path: str
+    is_package: bool = False
+    bindings: dict[str, str] = field(default_factory=dict)
+
+
+def _import_base(mod: ModuleInfo, node: ast.ImportFrom) -> str | None:
+    """Absolute module an ``ImportFrom`` pulls from (relative resolved)."""
+    if node.level == 0:
+        return node.module
+    parts = mod.name.split(".")
+    if not mod.is_package:
+        parts = parts[:-1]
+    drop = node.level - 1
+    if drop > len(parts):
+        return None
+    if drop:
+        parts = parts[:-drop]
+    if node.module:
+        parts = parts + node.module.split(".")
+    return ".".join(parts) if parts else None
+
+
+class SymbolTable:
+    """Every resolvable symbol of one lint project."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        self.module_of_path: dict[str, str] = {}
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def build(cls, project: Project) -> "SymbolTable":
+        table = cls()
+        pending_aliases: list[tuple[ModuleInfo, str, str]] = []
+        for path in sorted(project.files):
+            src = project.files[path]
+            mod = ModuleInfo(
+                name=module_name(path),
+                path=path,
+                is_package=path.endswith("__init__.py"),
+            )
+            table.modules[mod.name] = mod
+            table.module_of_path[path] = mod.name
+            table._collect_imports(mod, src.tree)
+            table._collect_defs(mod, src.tree, pending_aliases)
+        table._resolve_aliases(pending_aliases)
+        return table
+
+    def _collect_imports(self, mod: ModuleInfo, tree: ast.Module) -> None:
+        # Function-local imports bind module-wide here: scope-imprecise,
+        # but exactly what the taint rules need (an `import socket`
+        # inside a helper must still resolve at its call sites).
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname is not None:
+                        mod.bindings[alias.asname] = alias.name
+                    else:
+                        root = alias.name.split(".", 1)[0]
+                        mod.bindings.setdefault(root, root)
+            elif isinstance(node, ast.ImportFrom):
+                base = _import_base(mod, node)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    mod.bindings[local] = f"{base}.{alias.name}"
+
+    def _collect_defs(
+        self,
+        mod: ModuleInfo,
+        tree: ast.Module,
+        pending_aliases: list[tuple[ModuleInfo, str, str]],
+    ) -> None:
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{mod.name}.{node.name}"
+                self.functions[qual] = FunctionInfo(
+                    qualname=qual,
+                    module=mod.name,
+                    path=mod.path,
+                    lineno=node.lineno,
+                    node=node,
+                )
+                mod.bindings[node.name] = qual
+            elif isinstance(node, ast.ClassDef):
+                qual = f"{mod.name}.{node.name}"
+                info = ClassInfo(
+                    qualname=qual,
+                    module=mod.name,
+                    path=mod.path,
+                    lineno=node.lineno,
+                    bases=tuple(
+                        spelling
+                        for base in node.bases
+                        if (spelling := dotted(base)) is not None
+                    ),
+                )
+                for stmt in node.body:
+                    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        mqual = f"{qual}.{stmt.name}"
+                        info.methods[stmt.name] = mqual
+                        self.functions[mqual] = FunctionInfo(
+                            qualname=mqual,
+                            module=mod.name,
+                            path=mod.path,
+                            lineno=stmt.lineno,
+                            node=stmt,
+                            cls=qual,
+                        )
+                self.classes[qual] = info
+                mod.bindings[node.name] = qual
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+                # First-order callable alias: `_clock = time.monotonic`,
+                # `probe = fast_probe`.  Resolved after all defs exist.
+                target = node.targets[0]
+                spelling = dotted(node.value)
+                if isinstance(target, ast.Name) and spelling is not None:
+                    pending_aliases.append((mod, target.id, spelling))
+
+    def _resolve_aliases(
+        self, pending: list[tuple[ModuleInfo, str, str]]
+    ) -> None:
+        # Aliases may chain (`a = f; b = a`): iterate to a fixpoint,
+        # bounded by the alias count so cycles cannot spin.
+        for _ in range(max(1, len(pending))):
+            progressed = False
+            for mod, local, spelling in pending:
+                if local in mod.bindings:
+                    continue
+                resolved = self.resolve(mod, spelling)
+                if resolved is not None:
+                    mod.bindings[local] = resolved
+                    progressed = True
+            if not progressed:
+                break
+
+    # -- resolution --------------------------------------------------------
+    def resolve(self, mod: ModuleInfo, spelling: str) -> str | None:
+        """Qualified target of a dotted *spelling* inside *mod*.
+
+        Returns a project qualname, an external dotted name, or ``None``
+        when the head is not bound (a local variable or builtin).
+        """
+        head, _, rest = spelling.partition(".")
+        target = mod.bindings.get(head)
+        if target is None:
+            return None
+        return self.canonical(f"{target}.{rest}" if rest else target)
+
+    def canonical(self, full: str, _hops: int = 0) -> str:
+        """Follow re-export bindings to a terminal qualified name.
+
+        ``repro.core.proto_api.Shipment`` where ``proto_api`` does
+        ``from repro.core.protocol import Shipment`` canonicalizes to
+        ``repro.core.protocol.Shipment``.  Cycle-guarded.
+        """
+        if _hops >= _MAX_HOPS:
+            return full
+        if full in self.functions or full in self.classes:
+            return full
+        segs = full.split(".")
+        for cut in range(len(segs) - 1, 0, -1):
+            prefix = ".".join(segs[:cut])
+            mod = self.modules.get(prefix)
+            if mod is None:
+                continue
+            target = mod.bindings.get(segs[cut])
+            if target is None:
+                return full
+            rewritten = ".".join([target, *segs[cut + 1 :]])
+            if rewritten == full:
+                return full
+            return self.canonical(rewritten, _hops + 1)
+        return full
+
+    def is_internal(self, full: str) -> bool:
+        """True when *full* lives under some project module."""
+        segs = full.split(".")
+        return any(
+            ".".join(segs[:cut]) in self.modules
+            for cut in range(len(segs), 0, -1)
+        )
+
+    def mro(self, class_qual: str) -> list[ClassInfo]:
+        """Project-internal base classes of *class_qual*, BFS order."""
+        out: list[ClassInfo] = []
+        seen: set[str] = set()
+        queue = [class_qual]
+        while queue:
+            qual = queue.pop(0)
+            if qual in seen:
+                continue
+            seen.add(qual)
+            info = self.classes.get(qual)
+            if info is None:
+                continue
+            out.append(info)
+            mod = self.modules[info.module]
+            for base in info.bases:
+                resolved = self.resolve(mod, base)
+                if resolved is not None and resolved in self.classes:
+                    queue.append(resolved)
+        return out
+
+    def find_method(
+        self, class_qual: str, name: str, skip_own: bool = False
+    ) -> str | None:
+        """Qualname of method *name* on *class_qual* or a project base."""
+        for info in self.mro(class_qual):
+            if skip_own and info.qualname == class_qual:
+                continue
+            found = info.methods.get(name)
+            if found is not None:
+                return found
+        return None
+
+    def lookup(self, full: str) -> FunctionInfo | None:
+        """The function *full* names, through classes and re-exports.
+
+        A class name resolves to its ``__init__`` (possibly inherited);
+        ``Class.method`` spellings resolve through the project MRO.
+        """
+        full = self.canonical(full)
+        fn = self.functions.get(full)
+        if fn is not None:
+            return fn
+        if full in self.classes:
+            init = self.find_method(full, "__init__")
+            return self.functions.get(init) if init is not None else None
+        prefix, _, attr = full.rpartition(".")
+        if prefix and prefix in self.classes:
+            found = self.find_method(prefix, attr)
+            if found is not None:
+                return self.functions.get(found)
+        return None

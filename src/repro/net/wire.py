@@ -507,6 +507,34 @@ _TAGS: dict[int, tuple[type, t.Any, t.Any]] = {
 }
 _TAG_OF = {tp: tag for tag, (tp, _e, _d) in _TAGS.items()}
 
+#: Append-only history of the tag space: version -> the tags that
+#: version introduced, with the message type each encodes.  PROTO002
+#: cross-checks this ledger against ``_TAGS`` and ``WIRE_VERSION``:
+#: every tag must be recorded under exactly one version, no recorded
+#: tag may ever be deleted or retyped, new tags go under a *new*
+#: version entry, and ``WIRE_VERSION`` must equal the newest version.
+#: To evolve the protocol: add the message type + codec, append its
+#: tag to ``_TAGS``, record it here under ``WIRE_VERSION + 1``, and
+#: bump ``WIRE_VERSION``.
+_TAG_LEDGER: dict[int, tuple[tuple[int, str], ...]] = {
+    1: (
+        (1, "Shipment"),
+        (2, "LoadReport"),
+        (3, "ReorgOrder"),
+        (4, "StateTransfer"),
+        (5, "MoveAck"),
+        (6, "Activate"),
+        (7, "ResultReport"),
+        (8, "Halt"),
+        (9, "SlaveSync"),
+    ),
+    2: (
+        (10, "Replicate"),
+        (11, "Checkpoint"),
+        (12, "Restore"),
+    ),
+}
+
 
 def encode_message(message: t.Any) -> bytes:
     """Serialize one protocol message to wire bytes (header + body)."""

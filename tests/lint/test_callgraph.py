@@ -1,0 +1,316 @@
+"""Symbol table, call graph, and taint-fixpoint unit tests.
+
+These exercise the interprocedural machinery directly (not through the
+rules): name resolution across import styles, method/inheritance
+resolution, first-order callable aliases, cycle safety, and witness
+chains.
+"""
+
+from repro.lint.callgraph import CallGraph
+from repro.lint.dataflow import TaintSpec, propagate
+from repro.lint.source import Project, SourceFile
+from repro.lint.symbols import SymbolTable, module_name
+
+
+def project(sources):
+    return Project(
+        {path: SourceFile.parse(path, text) for path, text in sources.items()}
+    )
+
+
+def graph_of(sources):
+    return CallGraph.build(project(sources))
+
+
+def edges(graph):
+    """``{(caller, callee, kind)}`` over the whole graph."""
+    return {
+        (site.caller, site.callee, site.kind)
+        for sites in graph.calls.values()
+        for site in sites
+    }
+
+
+class TestModuleName:
+    def test_anchors_at_repro(self):
+        assert module_name("src/repro/core/master.py") == "repro.core.master"
+        assert module_name("src/repro/cli.py") == "repro.cli"
+
+    def test_package_init_drops_the_suffix(self):
+        assert module_name("src/repro/lint/__init__.py") == "repro.lint"
+
+    def test_non_repro_paths_fall_back_to_the_stem(self):
+        assert module_name("tmp/fixture.py") == "fixture"
+
+
+class TestImportResolution:
+    def test_plain_and_aliased_module_imports(self):
+        g = graph_of(
+            {
+                "src/repro/util/a.py": "def f():\n    return 1\n",
+                "src/repro/core/b.py": (
+                    "import repro.util.a\n"
+                    "import repro.util.a as ua\n"
+                    "def g():\n"
+                    "    repro.util.a.f()\n"
+                    "    ua.f()\n"
+                ),
+            }
+        )
+        assert ("repro.core.b.g", "repro.util.a.f", "call") in edges(g)
+        assert (
+            sum(
+                1
+                for c, k, _ in edges(g)
+                if c == "repro.core.b.g" and k == "repro.util.a.f"
+            )
+            == 1
+        )  # both spellings resolve; the edge list is per-site, set-deduped here
+
+    def test_from_import_with_alias(self):
+        g = graph_of(
+            {
+                "src/repro/util/a.py": "def f():\n    return 1\n",
+                "src/repro/core/b.py": (
+                    "from repro.util.a import f as helper\n"
+                    "def g():\n    helper()\n"
+                ),
+            }
+        )
+        assert ("repro.core.b.g", "repro.util.a.f", "call") in edges(g)
+
+    def test_relative_import(self):
+        g = graph_of(
+            {
+                "src/repro/core/__init__.py": "",
+                "src/repro/core/a.py": "def f():\n    return 1\n",
+                "src/repro/core/b.py": (
+                    "from .a import f\ndef g():\n    f()\n"
+                ),
+            }
+        )
+        assert ("repro.core.b.g", "repro.core.a.f", "call") in edges(g)
+
+    def test_reexport_canonicalizes(self):
+        g = graph_of(
+            {
+                "src/repro/core/impl.py": "def f():\n    return 1\n",
+                "src/repro/core/api.py": "from repro.core.impl import f\n",
+                "src/repro/core/use.py": (
+                    "from repro.core.api import f\ndef g():\n    f()\n"
+                ),
+            }
+        )
+        assert ("repro.core.use.g", "repro.core.impl.f", "call") in edges(g)
+
+    def test_first_order_callable_alias(self):
+        g = graph_of(
+            {
+                "src/repro/core/a.py": (
+                    "def fast():\n    return 1\n\nprobe = fast\n"
+                ),
+                "src/repro/core/b.py": (
+                    "from repro.core.a import probe\ndef g():\n    probe()\n"
+                ),
+            }
+        )
+        assert ("repro.core.b.g", "repro.core.a.fast", "call") in edges(g)
+
+    def test_external_alias_records_an_external_call(self):
+        g = graph_of(
+            {
+                "src/repro/core/a.py": (
+                    "import time\n_clock = time.monotonic\n"
+                    "def g():\n    return _clock()\n"
+                )
+            }
+        )
+        names = {
+            e.name for exts in g.externals.values() for e in exts
+        }
+        assert "time.monotonic" in names
+
+
+class TestMethods:
+    SOURCES = {
+        "src/repro/core/base.py": (
+            "class Base:\n"
+            "    def __init__(self):\n"
+            "        self.setup()\n"
+            "    def setup(self):\n"
+            "        pass\n"
+            "    def shared(self):\n"
+            "        pass\n"
+        ),
+        "src/repro/core/derived.py": (
+            "from repro.core.base import Base\n"
+            "class Derived(Base):\n"
+            "    def setup(self):\n"
+            "        super().setup()\n"
+            "        self.shared()\n"
+            "def make():\n"
+            "    return Derived()\n"
+        ),
+    }
+
+    def test_self_method_resolves_in_own_class(self):
+        e = edges(graph_of(self.SOURCES))
+        assert (
+            "repro.core.base.Base.__init__",
+            "repro.core.base.Base.setup",
+            "call",
+        ) in e
+
+    def test_super_skips_the_own_override(self):
+        e = edges(graph_of(self.SOURCES))
+        assert (
+            "repro.core.derived.Derived.setup",
+            "repro.core.base.Base.setup",
+            "call",
+        ) in e
+
+    def test_inherited_method_found_through_the_mro(self):
+        e = edges(graph_of(self.SOURCES))
+        assert (
+            "repro.core.derived.Derived.setup",
+            "repro.core.base.Base.shared",
+            "call",
+        ) in e
+
+    def test_construction_is_an_edge_to_init(self):
+        e = edges(graph_of(self.SOURCES))
+        assert (
+            "repro.core.derived.make",
+            "repro.core.base.Base.__init__",
+            "call",
+        ) in e
+
+    def test_lookup_resolves_class_to_inherited_init(self):
+        table = SymbolTable.build(project(self.SOURCES))
+        fn = table.lookup("repro.core.derived.Derived")
+        assert fn is not None
+        assert fn.qualname == "repro.core.base.Base.__init__"
+
+
+class TestGraphShape:
+    def test_module_level_calls_use_the_module_pseudo_caller(self):
+        g = graph_of(
+            {
+                "src/repro/core/a.py": (
+                    "def f():\n    return 1\n\nVALUE = f()\n"
+                )
+            }
+        )
+        assert (
+            "repro.core.a.<module>",
+            "repro.core.a.f",
+            "call",
+        ) in edges(g)
+
+    def test_function_reference_in_args_is_a_ref_edge(self):
+        g = graph_of(
+            {
+                "src/repro/core/a.py": (
+                    "def tick():\n    return 1\n"
+                    "def schedule(fn):\n    return fn\n"
+                    "def run():\n    schedule(tick)\n"
+                )
+            }
+        )
+        e = edges(g)
+        assert ("repro.core.a.run", "repro.core.a.tick", "ref") in e
+        assert ("repro.core.a.run", "repro.core.a.schedule", "call") in e
+
+    def test_unresolvable_attribute_call_produces_no_edge(self):
+        g = graph_of(
+            {
+                "src/repro/core/a.py": (
+                    "def run(transport):\n    transport.send(1)\n"
+                )
+            }
+        )
+        assert edges(g) == set()
+        assert g.externals == {}
+
+    def test_recursion_and_mutual_recursion_terminate(self):
+        g = graph_of(
+            {
+                "src/repro/core/a.py": (
+                    "def odd(n):\n"
+                    "    return n != 0 and even(n - 1)\n"
+                    "def even(n):\n"
+                    "    return n == 0 or odd(n - 1)\n"
+                    "def loop(n):\n"
+                    "    return loop(n)\n"
+                )
+            }
+        )
+        e = edges(g)
+        assert ("repro.core.a.odd", "repro.core.a.even", "call") in e
+        assert ("repro.core.a.even", "repro.core.a.odd", "call") in e
+        assert ("repro.core.a.loop", "repro.core.a.loop", "call") in e
+
+
+class TestTaintFixpoint:
+    def spec(self):
+        return TaintSpec(
+            name="wall-clock",
+            is_source=lambda name: name == "time.time",
+            is_barrier=lambda path: path.endswith("runtime/thread.py"),
+        )
+
+    def test_taint_propagates_through_a_cycle(self):
+        g = graph_of(
+            {
+                "src/repro/core/a.py": (
+                    "import time\n"
+                    "def ping(n):\n"
+                    "    return pong(n)\n"
+                    "def pong(n):\n"
+                    "    time.time()\n"
+                    "    return ping(n - 1)\n"
+                    "def user():\n"
+                    "    return ping(3)\n"
+                )
+            }
+        )
+        taints = propagate(g, self.spec())
+        for qual in ("repro.core.a.ping", "repro.core.a.pong", "repro.core.a.user"):
+            assert qual in taints
+            assert taints.sink(qual) == "time.time"
+
+    def test_barrier_absorbs_taint(self):
+        g = graph_of(
+            {
+                "src/repro/runtime/thread.py": (
+                    "import time\ndef now():\n    return time.time()\n"
+                ),
+                "src/repro/core/a.py": (
+                    "from repro.runtime.thread import now\n"
+                    "def step():\n    return now()\n"
+                ),
+            }
+        )
+        taints = propagate(g, self.spec())
+        assert "repro.runtime.thread.now" not in taints
+        assert "repro.core.a.step" not in taints
+
+    def test_witness_chain_is_shortest_and_ordered(self):
+        g = graph_of(
+            {
+                "src/repro/core/a.py": (
+                    "import time\n"
+                    "def sinkward():\n"
+                    "    return time.time()\n"
+                    "def middle():\n"
+                    "    return sinkward()\n"
+                    "def top():\n"
+                    "    middle()\n"
+                    "    sinkward()\n"
+                )
+            }
+        )
+        taints = propagate(g, self.spec())
+        chain = [step.qualname for step in taints.chain("repro.core.a.top")]
+        # top calls sinkward directly, so the shortest witness skips middle.
+        assert chain == ["repro.core.a.top", "repro.core.a.sinkward"]

@@ -25,6 +25,20 @@ def test_src_repro_is_lint_clean():
     assert result.n_files > 50  # sanity: we actually walked the tree
 
 
+def test_full_pass_fits_the_precommit_budget():
+    """The whole-project pass (symbol table + call graph + three taint
+    fixpoints + codec cross-check) must stay fast enough to run
+    uncached on every commit: < 30 s wall, with the CI lint job
+    asserting the same bound end-to-end."""
+    import time
+
+    start = time.perf_counter()  # lint: disable=SIM001
+    result = lint_paths([str(SRC_REPRO)])
+    elapsed = time.perf_counter() - start  # lint: disable=SIM001
+    assert result.n_files > 50
+    assert elapsed < 30.0, f"lint pass took {elapsed:.1f}s (budget 30s)"
+
+
 def test_tests_trees_parse():
     # Rules target src/repro; for tests we only insist the engine can
     # parse everything (PARSE findings would hide real syntax errors).

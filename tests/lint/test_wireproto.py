@@ -1,0 +1,244 @@
+"""PROTO002 — wire/protocol consistency fixtures.
+
+Two layers: synthetic fixtures pinning each individual check, and
+mutation tests over the *real* ``net/wire.py``/``core/protocol.py``
+sources — deleting any single ``_TAGS`` entry or ``Message`` subclass
+must produce a PROTO002 finding (the ISSUE's acceptance criterion).
+"""
+
+from pathlib import Path
+
+from repro.lint import lint_sources
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+WIRE_PATH = "src/repro/net/wire.py"
+PROTO_PATH = "src/repro/core/protocol.py"
+
+
+def fresh(sources):
+    return sorted(lint_sources(sources, only={"PROTO002"}).fresh)
+
+
+def fresh_keys(sources):
+    return [f.key for f in fresh(sources)]
+
+
+# ---------------------------------------------------------------------------
+# Synthetic fixtures
+# ---------------------------------------------------------------------------
+
+CLEAN = {
+    PROTO_PATH: (
+        "class Message:\n"
+        "    pass\n"
+        "\n"
+        "class Ping(Message):\n"
+        "    pass\n"
+        "\n"
+        "class Pong(Message):\n"
+        "    pass\n"
+    ),
+    WIRE_PATH: (
+        "WIRE_VERSION = 2\n"
+        "\n"
+        "def _enc_ping(w, m):\n"
+        "    pass\n"
+        "\n"
+        "def _dec_ping(r):\n"
+        "    pass\n"
+        "\n"
+        "def _enc_pong(w, m):\n"
+        "    pass\n"
+        "\n"
+        "def _dec_pong(r):\n"
+        "    pass\n"
+        "\n"
+        "_TAGS = {\n"
+        "    1: (Ping, _enc_ping, _dec_ping),\n"
+        "    2: (Pong, _enc_pong, _dec_pong),\n"
+        "}\n"
+        "\n"
+        "_TAG_LEDGER = {\n"
+        "    1: (\n"
+        "        (1, 'Ping'),\n"
+        "    ),\n"
+        "    2: (\n"
+        "        (2, 'Pong'),\n"
+        "    ),\n"
+        "}\n"
+    ),
+}
+
+
+def mutate(wire=None, proto=None):
+    sources = dict(CLEAN)
+    if wire is not None:
+        sources[WIRE_PATH] = wire(sources[WIRE_PATH])
+    if proto is not None:
+        sources[PROTO_PATH] = proto(sources[PROTO_PATH])
+    return sources
+
+
+class TestFixtures:
+    def test_clean_fixture_has_no_findings(self):
+        assert fresh_keys(CLEAN) == []
+
+    def test_silent_when_wire_or_protocol_is_absent(self):
+        assert fresh_keys({PROTO_PATH: CLEAN[PROTO_PATH]}) == []
+        assert fresh_keys({WIRE_PATH: CLEAN[WIRE_PATH]}) == []
+
+    def test_message_without_a_tag_is_flagged_at_its_class(self):
+        sources = mutate(
+            proto=lambda s: s + "\nclass Nack(Message):\n    pass\n"
+        )
+        findings = fresh(sources)
+        assert [f.key for f in findings] == [f"PROTO002 {PROTO_PATH}:10"]
+        assert "`Nack` has no wire tag/encoder/decoder" in findings[0].message
+
+    def test_deleting_a_tags_entry_is_flagged_twice(self):
+        sources = mutate(
+            wire=lambda s: s.replace("    2: (Pong, _enc_pong, _dec_pong),\n", "")
+        )
+        findings = fresh(sources)
+        messages = "\n".join(f.message for f in findings)
+        # Coverage: Pong lost its codec.  Ledger: tag 2 vanished.
+        assert "`Pong` has no wire tag/encoder/decoder" in messages
+        assert "ledger tag 2 (Pong) is missing from `_TAGS`" in messages
+
+    def test_duplicate_tag_is_flagged(self):
+        sources = mutate(
+            wire=lambda s: s.replace(
+                "    2: (Pong, _enc_pong, _dec_pong),\n",
+                "    1: (Pong, _enc_pong, _dec_pong),\n",
+            )
+        )
+        messages = "\n".join(f.message for f in fresh(sources))
+        assert "duplicate wire tag 1" in messages
+
+    def test_unknown_type_and_undefined_codec_are_flagged(self):
+        sources = mutate(
+            wire=lambda s: s.replace(
+                "    2: (Pong, _enc_pong, _dec_pong),\n",
+                "    2: (Gone, _enc_gone, _dec_pong),\n",
+            )
+        )
+        messages = "\n".join(f.message for f in fresh(sources))
+        assert "references `Gone`, which is not a Message subclass" in messages
+        assert "names encoder `_enc_gone`, which is not defined" in messages
+
+    def test_new_tag_without_a_ledger_entry_is_flagged(self):
+        sources = mutate(
+            wire=lambda s: s.replace(
+                "    2: (Pong, _enc_pong, _dec_pong),\n",
+                "    2: (Pong, _enc_pong, _dec_pong),\n"
+                "    3: (Pong, _enc_pong, _dec_pong),\n",
+            )
+        )
+        messages = "\n".join(f.message for f in fresh(sources))
+        assert (
+            "tag 3 (Pong) is not in `_TAG_LEDGER`" in messages
+        ), messages
+        assert "WIRE_VERSION bumped" in messages
+
+    def test_missing_ledger_is_flagged(self):
+        sources = mutate(
+            wire=lambda s: s[: s.index("_TAG_LEDGER")]
+        )
+        messages = "\n".join(f.message for f in fresh(sources))
+        assert "no `_TAG_LEDGER` found" in messages
+
+    def test_retyped_tag_is_flagged(self):
+        sources = mutate(
+            wire=lambda s: s.replace("(2, 'Pong')", "(2, 'Ping')")
+        )
+        messages = "\n".join(f.message for f in fresh(sources))
+        assert "tags must never be reassigned" in messages
+
+    def test_version_must_match_the_ledger_head(self):
+        sources = mutate(
+            wire=lambda s: s.replace("WIRE_VERSION = 2", "WIRE_VERSION = 1")
+        )
+        messages = "\n".join(f.message for f in fresh(sources))
+        assert "WIRE_VERSION is 1" in messages
+        assert "newest entry is version 2" in messages
+
+    def test_tag_below_the_high_water_mark_is_flagged(self):
+        sources = mutate(
+            wire=lambda s: s.replace("(2, 'Pong')", "(0, 'Pong')").replace(
+                "    2: (Pong, _enc_pong, _dec_pong),\n",
+                "    0: (Pong, _enc_pong, _dec_pong),\n",
+            )
+        )
+        messages = "\n".join(f.message for f in fresh(sources))
+        assert "below an earlier version's high-water mark" in messages
+
+    def test_non_literal_tag_key_is_flagged(self):
+        sources = mutate(
+            wire=lambda s: "NEXT = 2\n"
+            + s.replace(
+                "    2: (Pong, _enc_pong, _dec_pong),\n",
+                "    NEXT: (Pong, _enc_pong, _dec_pong),\n",
+            )
+        )
+        messages = "\n".join(f.message for f in fresh(sources))
+        assert "not a literal int" in messages
+
+
+# ---------------------------------------------------------------------------
+# Mutations of the real sources (acceptance criterion)
+# ---------------------------------------------------------------------------
+
+
+def real_sources():
+    return {
+        WIRE_PATH: (REPO_ROOT / WIRE_PATH).read_text(),
+        PROTO_PATH: (REPO_ROOT / PROTO_PATH).read_text(),
+    }
+
+
+class TestRealWireSurface:
+    def test_the_real_codec_is_consistent(self):
+        assert fresh_keys(real_sources()) == []
+
+    def test_deleting_any_single_tags_entry_is_caught(self):
+        base = real_sources()
+        wire_lines = base[WIRE_PATH].splitlines(keepends=True)
+        tag_lines = [
+            i
+            for i, line in enumerate(wire_lines)
+            if line.lstrip()[:1].isdigit() and ": (" in line and "_enc_" in line
+        ]
+        assert len(tag_lines) >= 12  # the seed protocol has 12 messages
+        for i in tag_lines:
+            mutated = dict(base)
+            mutated[WIRE_PATH] = "".join(
+                line for j, line in enumerate(wire_lines) if j != i
+            )
+            assert fresh_keys(mutated), (
+                f"deleting _TAGS line {i + 1} went unnoticed: "
+                f"{wire_lines[i].strip()}"
+            )
+
+    def test_deleting_any_single_message_subclass_is_caught(self):
+        base = real_sources()
+        proto = base[PROTO_PATH]
+        import ast
+
+        tree = ast.parse(proto)
+        message_classes = [
+            node.name
+            for node in tree.body
+            if isinstance(node, ast.ClassDef)
+            and any(
+                isinstance(b, ast.Name) and b.id == "Message"
+                for b in node.bases
+            )
+        ]
+        assert len(message_classes) >= 12
+        for name in message_classes:
+            mutated = dict(base)
+            mutated[PROTO_PATH] = proto.replace(
+                f"class {name}(Message)", f"class {name}X(Message)"
+            )
+            keys = fresh_keys(mutated)
+            assert keys, f"renaming message {name} went unnoticed"
