@@ -1,18 +1,55 @@
-"""Micro-benchmarks of the hot kernels (true pytest-benchmark targets).
+"""Join-kernel benchmarks: micro targets plus the kernel matrix.
 
-These are the inner loops the HPC guides say to profile before
-optimizing: the vectorized probe, key generation, hash partitioning,
-directory routing and the DES event loop.
+Two layers:
+
+* **pytest-benchmark micro targets** (``pytest benchmarks/``): the
+  inner loops the HPC guides say to profile before optimizing — the
+  vectorized probe, key generation, hash partitioning, directory
+  routing and the DES event loop.
+* **The kernel-matrix benchmark** (``python benchmarks/bench_kernels.py
+  --out BENCH_kernels.json``): sustained probe-commit-expire cycles at
+  realistic window sizes for every registered join kernel, plus an
+  end-to-end cross-kernel x cross-backend verification pass.
+
+The matrix measures the pattern production runs actually execute —
+probe a head block, commit it, advance the expiry watermark — because
+that is where the kernels diverge: each commit invalidates block-NLJ's
+sorted-key snapshot (a full ``argsort`` of the window on the next
+probe), while the indexed kernel's hash buckets absorb the same commit
+incrementally and expire lazily.  Probing an *unchanging* window would
+flatter blocknlj (its snapshot would be built once and binary-searched
+forever) and measure nothing real.
+
+No speedup is publishable without proof of equal work: the matrix
+refuses to write a report (exit 1) unless (a) every kernel produced
+the identical joined-pair multiset over the identical probe stream at
+every window size, and (b) end-to-end runs on the sim and thread
+backends for every kernel reproduced the ``naive_window_join`` oracle
+exactly.  The JSON's ``"verified"`` flag records that both held.
 """
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+import typing as t
 
 import numpy as np
 import pytest
 
+from repro.config import SystemConfig
 from repro.core.hashing import directory_hash, partition_of
+from repro.core.kernels import available_kernels
 from repro.core.partition_group import JoinGeometry, PartitionGroup
 from repro.core.probe import probe_sorted
+from repro.core.system import JoinSystem
+from repro.core.window import StreamWindow
+from repro.reference import naive_window_join
 from repro.simul.kernel import Simulator
-from repro.workload.bmodel import BModelKeys
+from repro.simul.rng import RngRegistry
+from repro.workload.generator import TwoStreamWorkload
+from repro.workload.traces import TraceReplayer
 
 
 @pytest.fixture(scope="module")
@@ -105,3 +142,219 @@ def test_event_loop_throughput(benchmark):
 
     now = benchmark(run_loop)
     assert now == pytest.approx(10.0, rel=0.01)
+
+
+@pytest.mark.parametrize("kernel", available_kernels())
+def test_probe_commit_cycle(benchmark, kernel):
+    """One probe-then-commit cycle per kernel at a 20k-tuple window —
+    the micro version of the matrix below."""
+    win, clock, dt = _build_window(kernel, 20_000, window_seconds=600.0)
+    rng = np.random.default_rng(1)
+
+    state = {"clock": clock, "seq": 1_000_000}
+
+    def cycle():
+        ts = state["clock"] + dt * np.arange(1, 65)
+        key = rng.integers(0, 20_000 // 8, 64)
+        seq = np.arange(state["seq"], state["seq"] + 64)
+        r = win.probe_committed(ts, key, seq, 600.0)
+        win.append_fresh(ts, key, seq)
+        win.commit_fresh()
+        state["clock"] = float(ts[-1])
+        state["seq"] += 64
+        return r
+
+    result = benchmark(cycle)
+    assert result.n_pairs >= 0
+
+
+# ---------------------------------------------------------------------------
+# The kernel matrix (argparse entry point).
+# ---------------------------------------------------------------------------
+WINDOW_SIZES = (10_000, 100_000)
+BATCH = 64  # head-block size at the paper's 4 KiB blocks / 64 B tuples
+
+
+def _build_window(
+    kernel: str, n_window: int, window_seconds: float
+) -> tuple[StreamWindow, float, float]:
+    """A committed window of *n_window* tuples spanning exactly one
+    window length, so steady-state expiry balances steady-state commit.
+    Returns ``(window, clock, dt)``."""
+    win = StreamWindow(0, BATCH, BATCH * 64, kernel=kernel)
+    rng = np.random.default_rng(0)
+    dt = window_seconds / n_window
+    ts = dt * np.arange(n_window)
+    key = rng.integers(0, max(1, n_window // 8), n_window).astype(np.int64)
+    seq = np.arange(n_window, dtype=np.int64)
+    win.committed.append(ts, key, seq)
+    win.kernel.warm()
+    return win, float(ts[-1]), dt
+
+
+def measure_kernel(
+    kernel: str, n_window: int, iters: int, window_seconds: float = 600.0
+) -> dict[str, t.Any]:
+    """Sustained probe/commit/expire throughput for one kernel at one
+    window size, returning the stats and the full pair multiset."""
+    build0 = time.perf_counter()
+    win, clock, dt = _build_window(kernel, n_window, window_seconds)
+    build = time.perf_counter() - build0
+
+    rng = np.random.default_rng(42)  # same probe stream for every kernel
+    probe_keys = rng.integers(
+        0, max(1, n_window // 8), (iters, BATCH)
+    ).astype(np.int64)
+    all_pairs: list[np.ndarray] = []
+    n_pairs = 0
+
+    wall0 = time.perf_counter()
+    for i in range(iters):
+        ts = clock + dt * np.arange(1, BATCH + 1)
+        key = probe_keys[i]
+        seq = np.arange(1_000_000 + i * BATCH, 1_000_000 + (i + 1) * BATCH)
+        result = win.probe_committed(ts, key, seq, window_seconds,
+                                     collect_pairs=True)
+        n_pairs += result.n_pairs
+        all_pairs.append(result.pairs)
+        # The steady-state mutation pattern: commit what we probed,
+        # advance the expiry watermark one head block's worth.
+        win.append_fresh(ts, key, seq)
+        win.commit_fresh()
+        clock = float(ts[-1])
+        win.expire_before(clock - window_seconds)
+    wall = time.perf_counter() - wall0
+
+    pairs = (
+        np.concatenate(all_pairs)
+        if all_pairs
+        else np.empty((0, 2), dtype=np.int64)
+    )
+    pairs = pairs[np.lexsort((pairs[:, 1], pairs[:, 0]))]
+    return {
+        "kernel": kernel,
+        "window_tuples": n_window,
+        "iters": iters,
+        "build_seconds": round(build, 4),
+        "wall_seconds": round(wall, 4),
+        "probe_tuples_per_s": round(iters * BATCH / wall, 1),
+        "pairs": int(n_pairs),
+        "_multiset": pairs,
+    }
+
+
+def verify_end_to_end(seed: int) -> tuple[bool, dict[str, t.Any]]:
+    """Every kernel x {sim, thread} reproduces the naive oracle."""
+    cfg = (
+        SystemConfig.paper_defaults()
+        .scaled(0.01)
+        .with_(
+            num_slaves=2,
+            npart=8,
+            rate=300.0,
+            run_seconds=10.0,
+            warmup_seconds=2.0,
+            window_seconds=3.0,
+            time_scale=0.02,
+            seed=seed,
+        )
+    )
+    wl = TwoStreamWorkload.poisson_bmodel(
+        RngRegistry(seed), cfg.rate, cfg.b_skew, 10_000
+    )
+    trace = wl.generate(0.0, cfg.run_seconds - 3 * cfg.dist_epoch)
+    oracle = naive_window_join(trace, cfg.window_seconds)
+    detail: dict[str, t.Any] = {"oracle_pairs": int(len(oracle))}
+    ok = len(oracle) > 0
+    for kernel in available_kernels():
+        for backend in ("sim", "thread"):
+            result = JoinSystem(
+                cfg.with_(kernel=kernel, backend=backend),
+                collect_pairs=True,
+                workload=TraceReplayer(trace),
+            ).run()
+            pairs = result.pairs
+            pairs = pairs[np.lexsort((pairs[:, 1], pairs[:, 0]))]
+            match = bool(np.array_equal(pairs, oracle))
+            detail[f"{kernel}/{backend}"] = (
+                "oracle-exact" if match else f"DIVERGED ({len(pairs)} pairs)"
+            )
+            ok &= match
+    return ok, detail
+
+
+def main(argv: t.Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--iters", type=int, default=150,
+                        help="probe-commit-expire cycles per cell")
+    parser.add_argument("--seed", type=int, default=20130724)
+    parser.add_argument("--out", default="BENCH_kernels.json")
+    args = parser.parse_args(argv)
+
+    started = time.perf_counter()
+    kernels = available_kernels()
+    cells: list[dict[str, t.Any]] = []
+    multisets_equal = True
+    for n_window in WINDOW_SIZES:
+        reference: np.ndarray | None = None
+        for kernel in kernels:
+            cell = measure_kernel(kernel, n_window, args.iters)
+            multiset = cell.pop("_multiset")
+            if reference is None:
+                reference = multiset
+            elif not np.array_equal(multiset, reference):
+                multisets_equal = False
+                cell["DIVERGED"] = True
+            cells.append(cell)
+            print(
+                f"{kernel:>9} @ {n_window:>7,} tuples: "
+                f"{cell['probe_tuples_per_s']:>12,.0f} probe t/s  "
+                f"({cell['wall_seconds']:.3f}s, {cell['pairs']:,} pairs)"
+            )
+
+    e2e_ok, e2e_detail = verify_end_to_end(args.seed)
+    verified = multisets_equal and e2e_ok
+
+    def cell_of(kernel: str, n: int) -> dict[str, t.Any]:
+        return next(
+            c for c in cells
+            if c["kernel"] == kernel and c["window_tuples"] == n
+        )
+
+    speedups = {
+        str(n): round(
+            cell_of("indexed", n)["probe_tuples_per_s"]
+            / cell_of("blocknlj", n)["probe_tuples_per_s"],
+            2,
+        )
+        for n in WINDOW_SIZES
+        if "indexed" in kernels and "blocknlj" in kernels
+    }
+    report = {
+        "benchmark": "kernels",
+        "verified": verified,
+        "iters": args.iters,
+        "batch": BATCH,
+        "cells": cells,
+        "indexed_over_blocknlj_speedup": speedups,
+        "end_to_end": e2e_detail,
+        "wall_seconds": round(time.perf_counter() - started, 2),
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps({k: v for k, v in report.items() if k != "cells"},
+                     indent=2))
+    print(f"wrote {args.out}")
+    if not verified:
+        print(
+            "ERROR: kernels did not perform identical join work "
+            "(multisets_equal=%s, end_to_end=%s); the speedups above "
+            "are not publishable." % (multisets_equal, e2e_ok)
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,9 +6,10 @@ buffered tuples into a sequence of **work units**.  Each unit carries
 the simulated CPU cost of one step of the paper's algorithm:
 
 * ``expire``  — dropping expired blocks from the front of every window;
-* ``probe``   — flushing a fresh head block: block nested-loop join of
-  the fresh tuples against the opposite stream's committed window in
-  the same mini-partition-group;
+* ``probe``   — flushing a fresh head block: joining the fresh tuples
+  against the opposite stream's committed window in the same
+  mini-partition-group via the configured join kernel
+  (:mod:`repro.core.kernels`), charged that kernel's cost model;
 * ``tune``    — splitting an oversized mini-group / merging undersized
   buddies (fine-grained partition tuning).
 
@@ -137,13 +138,17 @@ class JoinModule:
 
     def _rearm_watermark(self) -> None:
         """Recompute ``_oldest_pending_ts`` from the surviving queues
-        (``inf`` when all are empty).  Queue heads are the oldest entry
-        of each queue (the master drains in timestamp order), so the
-        head minimum is the true oldest pending timestamp."""
+        (``inf`` when all are empty).  Every queued batch is inspected,
+        not just the head: a later batch can hold *older* tuples — a
+        restore replays the checkpointed mini-buffer followed by logged
+        shipments whose epochs overlap it, and a post-move shipment can
+        trail tuples predating an earlier one — and a cutoff derived
+        from the head alone would expire window tuples those batches
+        still need to join against."""
         oldest = float("inf")
         for queue in self._minibuffers.values():
-            if queue:
-                oldest = min(oldest, float(queue[0].ts.min()))
+            for batch in queue:
+                oldest = min(oldest, float(batch.ts.min()))
         self._oldest_pending_ts = oldest
 
     def snapshot_partition(self, pid: int) -> tuple[PartitionGroupState, TupleBatch]:
@@ -294,13 +299,15 @@ class JoinModule:
                     for _ in range(min(len(queue), max_batches_per_pid))
                 ]
                 out[pid] = TupleBatch.concat(parts)
-            # Batches left behind re-arm the expiry watermark.  The
-            # head batch is the queue's oldest, but its own tuples may
-            # not be timestamp-sorted (post-move shipments), so take
-            # the true minimum.
-            if queue:
+            # Batches left behind re-arm the expiry watermark.  Scan
+            # them ALL: tuples need not be timestamp-sorted within a
+            # batch (post-move shipments) nor monotone across batches
+            # (restore-replay queues a checkpointed mini-buffer ahead
+            # of logged shipments that overlap it), so the head batch
+            # alone can overstate the oldest pending timestamp.
+            for batch in queue:
                 self._oldest_pending_ts = min(
-                    self._oldest_pending_ts, float(queue[0].ts.min())
+                    self._oldest_pending_ts, float(batch.ts.min())
                 )
         return out
 
@@ -364,13 +371,22 @@ class JoinModule:
 
     def _flush_unit(self, pid: int, mini: MiniGroup, sid: int) -> WorkUnit:
         window = mini.windows[sid]
-        # Block-NLJ scans the committed blocks of every other stream's
-        # window in this mini-group.
+        # Each opposite window's kernel decides what the probe touches:
+        # block-NLJ scans its committed blocks wholesale, the indexed
+        # kernel only the candidate tuples its buckets return.  The
+        # kernel likewise picks the matching cost formula, so an indexed
+        # run is charged the indexed model, never the NLJ cross-product.
+        _ts, fresh_key, _seq = window.fresh_view()
+        tb = self.geometry.tuple_bytes
         scanned = sum(
-            w.committed_bytes for k, w in enumerate(mini.windows) if k != sid
+            w.probe_scan_bytes(fresh_key, tb)
+            for k, w in enumerate(mini.windows)
+            if k != sid
         )
         spilled = int(scanned * self.spill_fraction())
-        cost = self.cost_model.probe_cost(window.n_fresh, scanned, spilled)
+        cost = window.kernel.probe_cost(
+            self.cost_model, window.n_fresh, scanned, spilled
+        )
         if spilled:
             self.metrics.disk_bytes_read += spilled
 

@@ -1,0 +1,262 @@
+"""The hash-index join kernel: incremental insert, lazy bulk expiry.
+
+Structure (IBWJ / PanJoin lineage, PAPERS.md): one hash bucket per
+join key, each bucket a growable int64 vector of the committed SoA's
+*logical positions* (:attr:`~repro.data.soa.GrowableSoA.appended_total`
+counts them; see the "logical positions" note there).  Logical ids
+survive the SoA's internal rebases, so the index needs no mutation
+hooks at all:
+
+* **Incremental insert** — the kernel remembers the highest logical id
+  it has indexed (``_synced``) and, on the next probe (or explicitly
+  at commit time via :meth:`sync`), indexes exactly the tuples
+  appended since.  A commit of one head block costs one small argsort
+  plus a few bucket appends, never a re-sort of the window.
+* **Lazy bulk expiry** — the join module's expiry watermark advances
+  :attr:`~repro.data.soa.GrowableSoA.expired_total`; the index does
+  *nothing* at that moment.  Bucket prefixes with ids below the live
+  floor are skipped per probe (ids are append-ordered, so dead
+  entries are always a prefix — a binary search), and a full sweep
+  reclaims memory only once the dead total exceeds the live window
+  (:data:`SWEEP_MIN_DEAD`).  The *visible* cutoff is therefore
+  byte-identical to block-NLJ's: both kernels read candidates straight
+  from the same SoA view, so a tuple expiring exactly at the watermark
+  is excluded from (or retained by) both in the same probe.
+* **Vectorized probes** — per probe batch, candidate id vectors are
+  gathered per key (one dict lookup per probe tuple), concatenated,
+  and the window predicate ``|cand.ts - probe.ts| <= W`` (inclusive)
+  is evaluated in one vector pass, exactly like the sorted baseline.
+
+The simulated CPU charge reflects what the structure touches: a hash
+lookup per probe tuple plus the candidate bytes actually gathered
+(:meth:`~repro.core.costmodel.CostModel.indexed_probe_cost`), not the
+full-window scan of the block-NLJ model.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+import numpy as np
+
+from repro.core.kernels import JoinKernel
+from repro.core.probe import ProbeResult
+
+if t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.costmodel import CostModel
+    from repro.core.window import StreamWindow
+
+#: A sweep only runs once at least this many dead ids have accumulated
+#: since the last one (and the dead total exceeds the live window):
+#: tiny windows should not pay per-expiry index maintenance.
+SWEEP_MIN_DEAD: t.Final = 1024
+
+_EMPTY_TS: t.Final[np.ndarray] = np.empty(0, dtype=np.float64)
+_EMPTY_PAIRS: t.Final[np.ndarray] = np.empty((0, 2), dtype=np.int64)
+_EMPTY_IDS: t.Final[np.ndarray] = np.empty(0, dtype=np.int64)
+
+
+class _Bucket:
+    """Growable vector of ascending logical ids for one join key."""
+
+    __slots__ = ("ids", "n", "start")
+
+    ids: np.ndarray
+    n: int
+    start: int
+
+    def __init__(self, capacity: int = 4) -> None:
+        self.ids = np.empty(capacity, dtype=np.int64)
+        self.n = 0
+        self.start = 0
+
+    def append(self, new_ids: np.ndarray) -> None:
+        k = len(new_ids)
+        needed = self.n + k
+        if needed > len(self.ids):
+            grown = np.empty(max(needed, 2 * len(self.ids)), dtype=np.int64)
+            grown[: self.n] = self.ids[: self.n]
+            self.ids = grown
+        self.ids[self.n : self.n + k] = new_ids
+        self.n = needed
+
+    def live(self, floor: int) -> np.ndarray:
+        """View of the ids ``>= floor``, pruning the dead prefix.
+
+        Ids are ascending (append order == temporal order within one
+        SoA) and expiry removes a temporal prefix, so dead entries are
+        exactly the ids below *floor*.
+        """
+        if self.start < self.n and int(self.ids[self.start]) < floor:
+            self.start = int(
+                np.searchsorted(self.ids[: self.n], floor, side="left")
+            )
+        return self.ids[self.start : self.n]
+
+    def compact(self, floor: int) -> int:
+        """Drop dead entries for good; returns the live count."""
+        live = self.live(floor)
+        if self.start:
+            self.ids = live.copy() if len(live) else np.empty(4, dtype=np.int64)
+            self.n = len(live)
+            self.start = 0
+        return self.n
+
+
+class IndexedKernel(JoinKernel):
+    """Hash index over committed window contents (``kernel="indexed"``)."""
+
+    name: t.ClassVar[str] = "indexed"
+
+    def __init__(self, window: "StreamWindow") -> None:
+        super().__init__(window)
+        self._buckets: dict[int, _Bucket] = {}
+        #: Logical id up to which the index covers the SoA.
+        self._synced = 0
+        #: ``expired_total`` at the last full sweep.
+        self._swept = 0
+
+    # -- maintenance -------------------------------------------------------
+    def sync(self) -> None:
+        """Index every committed tuple appended since the last sync.
+
+        Called from probes (so the index is always complete when read)
+        and from :meth:`~repro.core.window.StreamWindow.commit_fresh`
+        (so insert cost is paid incrementally at commit time, the IBWJ
+        structure's contract).
+        """
+        soa = self.window.committed
+        appended = int(soa.appended_total)
+        expired = int(soa.expired_total)
+        lo = max(self._synced, expired)
+        if lo < appended:
+            offset = lo - expired
+            keys = soa.key[offset:]
+            ids = np.arange(lo, appended, dtype=np.int64)
+            order = np.argsort(keys, kind="stable")
+            sorted_keys = keys[order]
+            sorted_ids = ids[order]
+            # Equal-key runs -> one bucket append per distinct key.
+            starts = np.flatnonzero(
+                np.r_[True, sorted_keys[1:] != sorted_keys[:-1]]
+            )
+            ends = np.r_[starts[1:], len(sorted_keys)]
+            buckets = self._buckets
+            for s, e in zip(starts.tolist(), ends.tolist()):
+                key = int(sorted_keys[s])
+                bucket = buckets.get(key)
+                if bucket is None:
+                    bucket = buckets[key] = _Bucket()
+                bucket.append(sorted_ids[s:e])
+        self._synced = appended
+        self._maybe_sweep()
+
+    def _maybe_sweep(self) -> None:
+        """Bulk-reclaim dead index entries once they outweigh the live
+        window (the lazy-expiry compaction pass)."""
+        soa = self.window.committed
+        expired = int(soa.expired_total)
+        dead = expired - self._swept
+        if dead < SWEEP_MIN_DEAD or dead <= len(soa):
+            return
+        buckets = self._buckets
+        for key in [k for k, b in buckets.items() if b.compact(expired) == 0]:
+            del buckets[key]
+        self._swept = expired
+
+    def on_commit(self) -> None:
+        self.sync()
+
+    def warm(self) -> None:
+        self.sync()
+
+    # -- probing -----------------------------------------------------------
+    def _gather(
+        self, probe_key: np.ndarray
+    ) -> tuple[np.ndarray, list[np.ndarray]]:
+        """Per-probe-tuple live candidate counts + id chunks."""
+        self.sync()
+        floor = int(self.window.committed.expired_total)
+        counts = np.zeros(len(probe_key), dtype=np.int64)
+        chunks: list[np.ndarray] = []
+        buckets = self._buckets
+        for i, key in enumerate(probe_key.tolist()):
+            bucket = buckets.get(key)
+            if bucket is None:
+                continue
+            ids = bucket.live(floor)
+            if len(ids):
+                counts[i] = len(ids)
+                chunks.append(ids)
+        return counts, chunks
+
+    def probe(
+        self,
+        probe_ts: np.ndarray,
+        probe_key: np.ndarray,
+        probe_seq: np.ndarray,
+        window_seconds: float,
+        collect_pairs: bool = False,
+    ) -> ProbeResult:
+        soa = self.window.committed
+        if len(probe_key) == 0 or len(soa) == 0:
+            return ProbeResult(
+                0, _EMPTY_TS, _EMPTY_PAIRS if collect_pairs else None
+            )
+        counts, chunks = self._gather(probe_key)
+        total = int(counts.sum())
+        if total == 0:
+            return ProbeResult(
+                0, _EMPTY_TS, _EMPTY_PAIRS if collect_pairs else None
+            )
+
+        floor = int(soa.expired_total)
+        positions = (
+            np.concatenate(chunks) if chunks else _EMPTY_IDS
+        ) - floor
+        owner = np.repeat(np.arange(len(probe_key)), counts)
+
+        cand_ts = soa.ts[positions]
+        own_ts = probe_ts[owner]
+        valid = np.abs(cand_ts - own_ts) <= window_seconds
+        n_pairs = int(np.count_nonzero(valid))
+        if n_pairs == 0:
+            return ProbeResult(
+                0, _EMPTY_TS, _EMPTY_PAIRS if collect_pairs else None
+            )
+
+        newer = np.maximum(cand_ts[valid], own_ts[valid])
+        pairs: np.ndarray | None = None
+        if collect_pairs:
+            pairs = np.column_stack(
+                (probe_seq[owner[valid]], soa.seq[positions[valid]])
+            ).astype(np.int64)
+        return ProbeResult(n_pairs, newer, pairs)
+
+    # -- costing -----------------------------------------------------------
+    def probe_scan_bytes(self, probe_key: np.ndarray, tuple_bytes: int) -> int:
+        # Tuple granularity, not block granularity: the index gathers
+        # exactly the candidate tuples, wherever they sit.
+        counts, _chunks = self._gather(probe_key)
+        return int(counts.sum()) * int(tuple_bytes)
+
+    @staticmethod
+    def probe_cost(
+        model: "CostModel",
+        n_probe_tuples: int,
+        scanned_bytes: int,
+        spilled_bytes: int,
+    ) -> float:
+        return model.indexed_probe_cost(
+            n_probe_tuples, scanned_bytes, spilled_bytes
+        )
+
+    # -- introspection (tests, benchmarks) ----------------------------------
+    @property
+    def n_buckets(self) -> int:
+        return len(self._buckets)
+
+    @property
+    def n_indexed(self) -> int:
+        """Index entries currently held, including unswept dead ones."""
+        return sum(b.n - b.start for b in self._buckets.values())

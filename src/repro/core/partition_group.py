@@ -40,6 +40,8 @@ class JoinGeometry(t.NamedTuple):
     #: Number of joining streams (the paper's general model; the
     #: evaluation prototype uses 2).
     n_streams: int = 2
+    #: Join kernel probing each window (:mod:`repro.core.kernels`).
+    kernel: str = "blocknlj"
 
 
 class MiniGroup:
@@ -50,7 +52,12 @@ class MiniGroup:
     def __init__(self, geometry: JoinGeometry) -> None:
         self.geometry = geometry
         self.windows = tuple(
-            StreamWindow(sid, geometry.tuples_per_block, geometry.block_bytes)
+            StreamWindow(
+                sid,
+                geometry.tuples_per_block,
+                geometry.block_bytes,
+                kernel=geometry.kernel,
+            )
             for sid in range(geometry.n_streams)
         )
 
@@ -354,3 +361,18 @@ class PartitionGroup:
         if self._on_double is not None:
             directory.on_double = lambda depth: self._on_double(self.pid, depth)
         self.directory = directory
+        self.warm_kernels()
+
+    def warm_kernels(self) -> None:
+        """Eagerly rebuild every window's kernel-derived state.
+
+        Kernels are never serialized: a shipped
+        :class:`PartitionGroupState` carries window contents only, so
+        after a state install (migration or crash restore) the consumer
+        rebuilds indexes from the installed SoAs.  Lossless by
+        construction — the committed store is the single source of
+        truth for every kernel.
+        """
+        for bucket in self.directory.buckets():
+            for window in bucket.payload.windows:
+                window.kernel.warm()

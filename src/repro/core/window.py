@@ -12,18 +12,22 @@ A :class:`StreamWindow` holds:
   or the stream buffer drains (:meth:`flush` is called by the join
   module at those points).
 
-A sorted-by-key index of the committed tuples is maintained lazily for
-the vectorized probe kernel; mutation marks it dirty and the next probe
-rebuilds it.  The simulated CPU cost of a probe is charged separately by
-the cost model and reflects the paper's block nested-loop scan, not this
-index.
+Probing is delegated to a pluggable *join kernel*
+(:mod:`repro.core.kernels`, selected by ``JoinGeometry.kernel`` /
+``SystemConfig.kernel``): the ``blocknlj`` baseline binary-searches a
+lazily rebuilt sorted-by-key snapshot of the committed tuples; the
+``indexed`` kernel keeps an incrementally maintained hash index with
+lazy bulk expiry.  Every kernel computes the *exact* match set — the
+simulated CPU cost charged per probe is the kernel's own model
+(:mod:`repro.core.costmodel`), not the cost of these structures.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.probe import ProbeResult, probe_sorted
+from repro.core.kernels import make_kernel
+from repro.core.probe import ProbeResult
 from repro.data.blocks import block_bytes_used, n_blocks
 from repro.data.soa import GrowableSoA
 from repro.data.tuples import KEY_DTYPE, SEQ_DTYPE, TS_DTYPE, TupleBatch
@@ -37,6 +41,7 @@ class StreamWindow:
         "tuples_per_block",
         "block_bytes",
         "committed",
+        "kernel",
         "_fresh_ts",
         "_fresh_key",
         "_fresh_seq",
@@ -48,12 +53,19 @@ class StreamWindow:
     )
 
     def __init__(
-        self, stream_id: int, tuples_per_block: int, block_bytes: int
+        self,
+        stream_id: int,
+        tuples_per_block: int,
+        block_bytes: int,
+        kernel: str = "blocknlj",
     ) -> None:
         self.stream_id = int(stream_id)
         self.tuples_per_block = int(tuples_per_block)
         self.block_bytes = int(block_bytes)
         self.committed = GrowableSoA()
+        #: The probe strategy matching the opposite stream's fresh
+        #: tuples against this window's committed ones.
+        self.kernel = make_kernel(kernel, self)
         self._fresh_ts = np.empty(tuples_per_block, TS_DTYPE)
         self._fresh_key = np.empty(tuples_per_block, KEY_DTYPE)
         self._fresh_seq = np.empty(tuples_per_block, SEQ_DTYPE)
@@ -144,25 +156,27 @@ class StreamWindow:
         collect_pairs: bool = False,
     ) -> ProbeResult:
         """Match *probe* tuples against this window's committed tuples."""
-        self._refresh_index(collect_pairs)
-        return probe_sorted(
+        return self.kernel.probe(
             probe_ts,
             probe_key,
             probe_seq,
-            self._sorted_key,
-            self._sorted_ts,
-            self._sorted_seq,
             window_seconds,
             collect_pairs=collect_pairs,
         )
+
+    def probe_scan_bytes(self, probe_key: np.ndarray, tuple_bytes: int) -> int:
+        """Bytes the configured kernel touches probing *probe_key* here
+        (drives the simulated CPU charge and the disk-spill fraction)."""
+        return self.kernel.probe_scan_bytes(probe_key, tuple_bytes)
 
     def sorted_view(
         self, need_seq: bool = False
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
         """Committed tuples sorted by key: ``(key, ts, seq-or-None)``.
 
-        Used by the n-way composite prober; valid until the next
-        mutation of this window.
+        Used by the n-way composite prober and the ``blocknlj`` kernel;
+        valid until the next mutation of this window.  Kernels that do
+        not call it never pay for the sort.
         """
         self._refresh_index(need_seq)
         return self._sorted_key, self._sorted_ts, self._sorted_seq
@@ -175,6 +189,9 @@ class StreamWindow:
             self.committed.append(ts, key, seq)
             self._fresh_n = 0
             self._index_dirty = True
+            # Incremental insert: index the just-committed block now so
+            # the structure is maintained at commit time, not probe time.
+            self.kernel.on_commit()
 
     def _refresh_index(self, need_seq: bool) -> None:
         if not self._index_dirty and not (need_seq and self._sorted_seq is None):

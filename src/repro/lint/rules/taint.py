@@ -52,6 +52,9 @@ BLOCKING_SCOPE_SUFFIXES: tuple[str, ...] = (
     "repro/core/master.py",
     "repro/core/join_module.py",
     "repro/core/probe.py",
+    "repro/core/kernels/__init__.py",
+    "repro/core/kernels/blocknlj.py",
+    "repro/core/kernels/indexed.py",
     "repro/data/soa.py",
 )
 

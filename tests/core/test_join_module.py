@@ -158,6 +158,54 @@ class TestProcessing:
         got = np.concatenate(metrics.pair_chunks())
         assert sorted(got.tolist()) == [[0, 100], [0, 101]]
 
+    def test_watermark_scans_all_queued_batches(self, geometry):
+        """Regression: the pending watermark once read only each queue's
+        *head* batch when re-arming after a drain.  A later batch can
+        hold older tuples (restore-replay queues a checkpointed
+        mini-buffer ahead of logged shipments that overlap it), so a
+        head-only watermark over-advanced expiry between passes and
+        silently dropped the older batch's pairs."""
+        module, metrics = make_module(geometry, collect_pairs=True)
+        from repro.data.tuples import TupleBatch
+
+        partner = TupleBatch.build(ts=[0.2], key=[7], seq=[0], stream=0)
+        module.enqueue(Shipment(0, 0.0, 2.0, partner))
+        process_all(module)
+        # Three shipments queued for one partition before any pass runs
+        # (at most one batch per partition drains per pass).  After
+        # pass 1 pops b1, the queue is [b2, b3]: the head b2 is *newer*
+        # than b3, so a head-only watermark (10.5) would set the pass-2
+        # cutoff to 0.5 and expire the ts=0.2 partner that b3's ts=0.5
+        # stream-1 tuple still joins against.
+        b1 = TupleBatch.build(ts=[5.0], key=[7], seq=[10], stream=0)
+        b2 = TupleBatch.build(ts=[10.5], key=[7], seq=[20], stream=0)
+        b3 = TupleBatch.build(ts=[0.5], key=[7], seq=[101], stream=1)
+        module.enqueue(Shipment(5, 11.0, 13.0, b1))
+        module.enqueue(Shipment(6, 11.0, 13.0, b2))
+        module.enqueue(Shipment(7, 11.0, 13.0, b3))
+        process_all(module)
+        got = np.concatenate(metrics.pair_chunks())
+        # b3 joins every stream-0 tuple within W=10: the partner (0.3 s
+        # apart), b1 (4.5 s) and b2 (exactly 10.0 s, inclusive).
+        assert sorted(got.tolist()) == [[0, 101], [10, 101], [20, 101]]
+
+    def test_rearm_watermark_after_extract_scans_all_batches(self, geometry):
+        """The same all-batches rule applies when a partition move pops
+        a mini-buffer and the watermark is re-derived from survivors."""
+        from repro.core.hashing import partition_of
+        from repro.data.tuples import TupleBatch
+
+        module, _ = make_module(geometry, npart=4)
+        pid = int(partition_of(np.array([1]), 4)[0])
+        old = TupleBatch.build(ts=[40.0], key=[1], seq=[1], stream=0)
+        module.enqueue(Shipment(0, 60.0, 62.0, old))
+        # Push a *newer* head in front of it, as restore-replay ordering
+        # can: the queue's oldest tuple is now behind the head.
+        head = TupleBatch.build(ts=[45.0], key=[1], seq=[9], stream=0)
+        module._minibuffers[pid].appendleft(head)
+        module._rearm_watermark()
+        assert module._oldest_pending_ts == 40.0
+
     def test_fine_tuning_splits_under_load(self, geometry):
         module, metrics = make_module(geometry, npart=1)
         for epoch in range(5):

@@ -1,0 +1,198 @@
+"""Unit tests of the kernel registry, index internals and cost dispatch."""
+
+import numpy as np
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.costmodel import CostModel
+from repro.core.cluster import geometry_of
+from repro.core.kernels import (
+    JoinKernel,
+    available_kernels,
+    get_kernel,
+    make_kernel,
+    register_kernel,
+)
+from repro.core.kernels.blocknlj import BlockNLJKernel
+from repro.core.kernels.indexed import SWEEP_MIN_DEAD, IndexedKernel, _Bucket
+from repro.core.window import StreamWindow
+from repro.errors import ConfigError
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert available_kernels() == ["blocknlj", "indexed"]
+        assert get_kernel("blocknlj") is BlockNLJKernel
+        assert get_kernel("indexed") is IndexedKernel
+
+    def test_unknown_kernel_lists_available(self):
+        with pytest.raises(ConfigError, match="blocknlj.*indexed"):
+            get_kernel("btree")
+
+    def test_unnamed_kernel_rejected(self):
+        class Nameless(BlockNLJKernel):
+            name = ""
+
+        with pytest.raises(ValueError, match="non-empty name"):
+            register_kernel(Nameless)
+
+    def test_make_kernel_attaches_window(self):
+        win = StreamWindow(0, 4, 256)
+        kern = make_kernel("indexed", win)
+        assert isinstance(kern, IndexedKernel)
+        assert kern.window is win
+
+    def test_window_defaults_to_blocknlj(self):
+        assert isinstance(StreamWindow(0, 4, 256).kernel, BlockNLJKernel)
+
+
+class TestBucket:
+    def test_append_grows_geometrically(self):
+        b = _Bucket(capacity=2)
+        b.append(np.arange(10, dtype=np.int64))
+        b.append(np.arange(10, 15, dtype=np.int64))
+        assert b.n == 15
+        assert b.live(0).tolist() == list(range(15))
+
+    def test_live_prunes_dead_prefix(self):
+        b = _Bucket()
+        b.append(np.array([3, 7, 9, 12], dtype=np.int64))
+        assert b.live(8).tolist() == [9, 12]
+        assert b.start == 2  # prune is remembered
+        assert b.live(0).tolist() == [9, 12]  # floor never goes back
+
+    def test_compact_reclaims(self):
+        b = _Bucket()
+        b.append(np.array([3, 7, 9], dtype=np.int64))
+        assert b.compact(9) == 1
+        assert b.start == 0
+        assert b.live(0).tolist() == [9]
+        assert b.compact(100) == 0
+
+
+def _filled_window(kernel="indexed", n=10, key=5):
+    win = StreamWindow(0, 4, 256, kernel=kernel)
+    win.committed.append(
+        np.arange(n, dtype=np.float64),
+        np.full(n, key, dtype=np.int64),
+        np.arange(n, dtype=np.int64),
+    )
+    return win
+
+
+class TestIndexedMaintenance:
+    def test_sync_is_incremental(self):
+        win = _filled_window(n=6)
+        kern = win.kernel
+        kern.sync()
+        assert kern.n_indexed == 6
+        win.committed.append(
+            np.array([6.0]), np.array([5], dtype=np.int64),
+            np.array([6], dtype=np.int64),
+        )
+        kern.sync()
+        assert kern.n_indexed == 7
+
+    def test_lazy_expiry_defers_index_work(self):
+        win = _filled_window(n=8)
+        kern = win.kernel
+        kern.sync()
+        win.expire_before(5.0)
+        # Nothing removed from the index yet (lazy) ...
+        assert kern.n_indexed == 8
+        # ... but probes only see live tuples (and prune the prefix).
+        r = win.probe_committed(
+            np.array([5.0]), np.array([5], dtype=np.int64),
+            np.array([100], dtype=np.int64), 100.0, collect_pairs=True,
+        )
+        assert sorted(p[1] for p in r.pairs.tolist()) == [5, 6, 7]
+        assert kern.n_indexed == 3
+
+    def test_sweep_reclaims_after_bulk_expiry(self):
+        n = 3 * SWEEP_MIN_DEAD
+        win = StreamWindow(0, 4, 256, kernel="indexed")
+        rng = np.random.default_rng(7)
+        keys = rng.integers(0, 50, size=n)
+        win.committed.append(
+            np.arange(n, dtype=np.float64),
+            keys.astype(np.int64),
+            np.arange(n, dtype=np.int64),
+        )
+        kern = win.kernel
+        kern.sync()
+        # Expire all but a sliver: dead (n - 64) >> live (64) and >> floor.
+        win.expire_before(float(n - 64))
+        kern.sync()
+        assert kern.n_indexed <= 64
+        assert kern.n_buckets <= 50
+
+    def test_empty_buckets_deleted_by_sweep(self):
+        n = SWEEP_MIN_DEAD + 2
+        win = StreamWindow(0, 4, 256, kernel="indexed")
+        keys = np.arange(n, dtype=np.int64)  # all distinct keys
+        win.committed.append(
+            np.arange(n, dtype=np.float64), keys, np.arange(n, dtype=np.int64)
+        )
+        kern = win.kernel
+        kern.sync()
+        assert kern.n_buckets == n
+        win.expire_before(float(n - 1))
+        kern.sync()
+        assert kern.n_buckets == 1
+
+
+class TestCostDispatch:
+    def test_indexed_probe_cost_scales_with_candidates_not_window(self):
+        model = CostModel(SystemConfig.paper_defaults().cost)
+        nlj = BlockNLJKernel.probe_cost(model, 64, 1_000_000, 0)
+        idx = IndexedKernel.probe_cost(model, 64, 2_048, 0)
+        assert idx < nlj
+        # The NLJ cross product multiplies bytes by n; indexed does not.
+        assert model.indexed_probe_cost(64, 1_000_000) < model.probe_cost(
+            64, 1_000_000
+        )
+
+    def test_indexed_cost_charges_lookup(self):
+        cfg = SystemConfig.paper_defaults().cost
+        model = CostModel(cfg)
+        base = model.indexed_probe_cost(10, 0)
+        assert base == pytest.approx(
+            10 * (cfg.tuple_cost + cfg.index_lookup_cost)
+        )
+        assert model.indexed_probe_cost(0, 12345) == 0.0
+
+    def test_probe_scan_bytes_granularity(self):
+        win_nlj = _filled_window(kernel="blocknlj", n=10)
+        win_idx = _filled_window(kernel="indexed", n=10)
+        probe = np.array([5], dtype=np.int64)
+        # Block-NLJ charges whole committed blocks regardless of keys.
+        assert win_nlj.probe_scan_bytes(probe, 64) == win_nlj.committed_bytes
+        # The index charges exactly the candidate tuples.
+        assert win_idx.probe_scan_bytes(probe, 64) == 10 * 64
+        assert (
+            win_idx.probe_scan_bytes(np.array([99], dtype=np.int64), 64) == 0
+        )
+
+
+class TestConfigPlumbing:
+    def test_geometry_carries_kernel(self):
+        cfg = SystemConfig(kernel="indexed")
+        assert geometry_of(cfg).kernel == "indexed"
+
+    def test_unknown_kernel_rejected_at_build(self):
+        with pytest.raises(ConfigError, match="unknown join kernel"):
+            geometry_of(SystemConfig(kernel="btree"))
+
+    def test_nway_requires_blocknlj(self):
+        cfg = SystemConfig(n_streams=3, kernel="indexed")
+        with pytest.raises(ConfigError, match="n_streams=2"):
+            geometry_of(cfg)
+        geometry_of(SystemConfig(n_streams=3))  # default kernel is fine
+
+    def test_config_validates_kernel_string(self):
+        with pytest.raises(ConfigError, match="kernel"):
+            SystemConfig(kernel="").validated()
+
+    def test_subclass_hooks(self):
+        assert issubclass(BlockNLJKernel, JoinKernel)
+        assert issubclass(IndexedKernel, JoinKernel)

@@ -101,8 +101,9 @@ class TestThreeWayConformance:
     identical joined-output multisets — equal to each other and to the
     ``naive_window_join`` oracle — across several seeds."""
 
+    @pytest.mark.parametrize("kernel", ["blocknlj", "indexed"])
     @pytest.mark.parametrize("seed", CONFORMANCE_SEEDS)
-    def test_all_backends_match_each_other_and_oracle(self, seed):
+    def test_all_backends_match_each_other_and_oracle(self, seed, kernel):
         cfg = (
             SystemConfig.paper_defaults()
             .scaled(0.01)
@@ -115,6 +116,7 @@ class TestThreeWayConformance:
                 window_seconds=3.0,
                 reorg_epoch=4.0,
                 time_scale=0.02,
+                kernel=kernel,
             )
         )
         wl = TwoStreamWorkload.poisson_bmodel(
@@ -208,8 +210,9 @@ class TestLosslessRecoveryConformance:
     must restore the victim's partitions from the backup slave and
     produce the crash-free oracle's exact pair multiset, undegraded."""
 
+    @pytest.mark.parametrize("kernel", ["blocknlj", "indexed"])
     @pytest.mark.parametrize("backend", ["sim", "thread", "process"])
-    def test_crash_with_replication_matches_oracle(self, backend):
+    def test_crash_with_replication_matches_oracle(self, backend, kernel):
         from repro.core.cluster import slave_node_id
         from repro.faults.plan import FaultPlan
 
@@ -228,6 +231,7 @@ class TestLosslessRecoveryConformance:
                 time_scale=0.05,
                 replication="checkpoint+log",
                 faults=FaultPlan.parse(["crash:1@5s"]),
+                kernel=kernel,
             )
         )
         wl = TwoStreamWorkload.poisson_bmodel(
