@@ -1,13 +1,16 @@
 """Backend benchmark: equal-work throughput and CPU, sim vs thread vs
-process.
+process vs tcp.
 
-All three backends replay the *same* pregenerated trace (so workload
+All four backends replay the *same* pregenerated trace (so workload
 generation — pure Python, GIL-bound — is paid once, outside the
 measured runs) under a near-zero modeled cost model: wall time is then
 dominated by the real numpy join work, which is exactly what
 distinguishes the backends.  The DES backend executes it single
 threaded by construction, the thread backend is GIL-bound, and the
-process backend spreads the per-slave probe work across cores.
+process and tcp backends spread the per-slave probe work across cores
+— tcp additionally paying real socket framing for every inter-node
+message (run loopback here, so the delta over ``process`` prices the
+TCP stack, not the network).
 
 Two measurement rules keep the comparison apples-to-apples:
 
@@ -24,7 +27,7 @@ Two measurement rules keep the comparison apples-to-apples:
   design there (see DESIGN.md, "Determinism contract") and must never
   be compared across backends.  The pair multiset is backend-invariant
   and the benchmark *verifies* that: it refuses to publish a speedup
-  (exit 1) unless sim, thread and process produced the identical
+  (exit 1) unless sim, thread, process and tcp produced the identical
   joined-output multiset from the identical ingested trace.
 
 The default geometry (wide windows, few partitions) makes per-slave
@@ -72,7 +75,7 @@ from repro.simul.rng import RngRegistry
 from repro.workload.generator import TwoStreamWorkload
 from repro.workload.traces import TraceReplayer
 
-BACKENDS = ("sim", "thread", "process")
+BACKENDS = ("sim", "thread", "process", "tcp")
 
 #: Near-zero modeled costs: the DES cost model charges simulated
 #: seconds (slept on the wall backends); zeroing it makes the *real*
@@ -181,6 +184,10 @@ def main(argv: t.Sequence[str] | None = None) -> int:
         by_backend["thread"]["wall_seconds"]
         / by_backend["process"]["wall_seconds"]
     )
+    tcp_speedup = (
+        by_backend["thread"]["wall_seconds"]
+        / by_backend["tcp"]["wall_seconds"]
+    )
     report = {
         "benchmark": "backends",
         "trace_tuples": int(len(trace.ts)),
@@ -201,9 +208,18 @@ def main(argv: t.Sequence[str] | None = None) -> int:
             "process_over_thread_speedup": round(speedup, 2),
             "process_beats_thread": speedup > 1.0,
             "multicore_capable": cores > 1,
+            "tcp_over_thread_speedup": round(tcp_speedup, 2),
+            # Both loopback backends do the same multicore work; their
+            # wall-time ratio prices the TCP stack against mp.Pipe.
+            "tcp_over_process_ratio": round(
+                by_backend["process"]["wall_seconds"]
+                / by_backend["tcp"]["wall_seconds"],
+                2,
+            ),
             "process_cpu_utilization": by_backend["process"][
                 "cpu_utilization"
             ],
+            "tcp_cpu_utilization": by_backend["tcp"]["cpu_utilization"],
             "thread_cpu_utilization": by_backend["thread"]["cpu_utilization"],
             # CPU the thread backend burned beyond the process backend
             # for the same verified work: the price of GIL contention.

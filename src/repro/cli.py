@@ -5,6 +5,8 @@ Examples::
     swjoin run --rate 3000 --slaves 4 --scale 0.05
     swjoin run --scale 0.05 --adaptive --trace trace.jsonl
     swjoin run --scale 0.05 --fault crash:2@35s
+    swjoin run --backend tcp --peers 3=10.0.0.2:7000
+    swjoin worker --listen 0.0.0.0:7000
     swjoin report trace.jsonl
     swjoin experiment fig07 --scale 0.05
     swjoin experiment all --out EXPERIMENTS.generated.md
@@ -23,6 +25,7 @@ from repro._version import __version__
 from repro.analysis.experiments import DEFAULT_SCALE, EXPERIMENTS, run_experiment
 from repro.config import ObservabilityConfig, SystemConfig
 from repro.core.system import JoinSystem
+from repro.errors import ConfigError
 from repro.faults.plan import FaultPlan
 
 
@@ -36,11 +39,22 @@ def _add_run_parser(sub: t.Any) -> None:
     p.add_argument("--dist-epoch", type=float, default=2.0)
     p.add_argument("--subgroups", type=int, default=1)
     p.add_argument("--seed", type=int, default=20130724)
-    p.add_argument("--backend", choices=("sim", "thread", "process"),
+    p.add_argument("--backend", choices=("sim", "thread", "process", "tcp"),
                    default="sim",
                    help="runtime backend: deterministic DES (sim, default), "
-                        "one thread per node generator (thread), or one OS "
-                        "process per cluster node (process)")
+                        "one thread per node generator (thread), one OS "
+                        "process per cluster node (process), or one worker "
+                        "per node over real TCP connections, optionally "
+                        "spanning hosts via `swjoin worker` (tcp)")
+    p.add_argument("--peers", metavar="NODE=HOST:PORT", action="append",
+                   help="tcp backend only: static peer map entry for a "
+                        "remote node served by `swjoin worker --listen`; "
+                        "repeatable, comma-separable.  Unlisted nodes are "
+                        "forked locally on loopback")
+    p.add_argument("--bind-host", metavar="HOST", default="127.0.0.1",
+                   help="tcp backend only: address local workers listen "
+                        "on (default loopback; use a routable address "
+                        "when remote workers must reach local nodes)")
     p.add_argument("--time-scale", type=float, default=None,
                    metavar="FACTOR",
                    help="wall seconds per modeled second on the thread/"
@@ -87,6 +101,24 @@ def _add_run_parser(sub: t.Any) -> None:
                         "epoch when faults are injected)")
 
 
+def _parse_peers(specs: t.Sequence[str]) -> tuple[tuple[int, str], ...]:
+    """Parse repeated/comma-separated ``NODE=HOST:PORT`` peer entries."""
+    peers: list[tuple[int, str]] = []
+    for spec in specs:
+        for item in spec.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            node, sep, addr = item.partition("=")
+            if not sep or not node.strip().isdigit():
+                raise ConfigError(
+                    f"--peers entries must look like NODE=HOST:PORT, "
+                    f"got {item!r}"
+                )
+            peers.append((int(node.strip()), addr.strip()))
+    return tuple(peers)
+
+
 def _obs_config(args: argparse.Namespace) -> ObservabilityConfig:
     sample_period = args.sample_period
     if sample_period is None and (args.trace or args.plot_gauge):
@@ -119,6 +151,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         num_subgroups=args.subgroups,
         seed=args.seed,
         backend=args.backend,
+        tcp_peers=_parse_peers(args.peers or ()),
+        tcp_host=args.bind_host,
         time_scale=args.time_scale,
         kernel=args.kernel,
         fine_tuning=not args.no_fine_tuning,
@@ -153,6 +187,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print()
         print(plot_run_series(result, args.plot_gauge))
     return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    # Lazy import: only the tcp backend pulls in the socket runtime.
+    from repro.runtime.tcp import parse_hostport, serve_worker
+
+    host, port = parse_hostport(args.listen)
+    return serve_worker(host, port)
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -226,6 +268,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--plot", action="store_true", help="ASCII chart too")
     p.add_argument("--out", help="also write markdown to this file")
 
+    p = sub.add_parser(
+        "worker",
+        help="serve one cluster node for a remote "
+             "`swjoin run --backend tcp` launcher, then exit",
+    )
+    p.add_argument("--listen", required=True, metavar="HOST:PORT",
+                   help="address to listen on (port 0 = ephemeral; the "
+                        "bound address is printed on startup)")
+
     p = sub.add_parser("report", help="summarize a JSONL trace file")
     p.add_argument("path", help="trace file written by `swjoin run --trace`")
     p.add_argument("--top", type=int, default=5,
@@ -243,6 +294,8 @@ def main(argv: t.Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "worker":
+        return _cmd_worker(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
     if args.command == "report":

@@ -275,11 +275,20 @@ class SystemConfig:
 
     # -- execution backend -------------------------------------------------
     #: Runtime backend executing the cluster: ``"sim"`` (deterministic
-    #: DES kernel), ``"thread"`` (one OS thread per node generator) or
-    #: ``"process"`` (one OS process per cluster node, real sockets).
+    #: DES kernel), ``"thread"`` (one OS thread per node generator),
+    #: ``"process"`` (one OS process per cluster node, real sockets) or
+    #: ``"tcp"`` (one worker per node over TCP, optionally multi-host).
     #: Registered in :mod:`repro.core.system`; unknown names raise
     #: :class:`ConfigError` at run time with the available set.
     backend: str = "sim"
+    #: Static peer map for the tcp backend: ``((node_id, "host:port"),
+    #: ...)``.  Listed nodes are expected to be running ``swjoin worker
+    #: --listen`` at that address; every other node is forked locally.
+    tcp_peers: tuple[tuple[int, str], ...] = ()
+    #: Host the tcp backend binds its *local* workers' listen sockets
+    #: on.  Loopback by default; use a routable address when remote
+    #: workers must connect back to locally forked nodes.
+    tcp_host: str = "127.0.0.1"
     #: Wall seconds per modeled second on the wall-clock backends
     #: (thread/process): ``time_scale=0.01`` compresses a 60-second
     #: scenario into 0.6 wall seconds.  Ignored by the DES backend.
@@ -419,6 +428,39 @@ class SystemConfig:
             raise ConfigError("beta must lie in (0, 1)")
         if not self.backend or not isinstance(self.backend, str):
             raise ConfigError("backend must be a non-empty string")
+        if self.tcp_peers:
+            if self.backend != "tcp":
+                raise ConfigError(
+                    "tcp_peers is only meaningful with backend='tcp'"
+                )
+            seen: set[int] = set()
+            for entry in self.tcp_peers:
+                if len(entry) != 2:
+                    raise ConfigError(
+                        f"tcp_peers entries must be (node_id, 'host:port') "
+                        f"pairs, got {entry!r}"
+                    )
+                nid, addr = entry
+                if not isinstance(nid, int) or nid < 0:
+                    raise ConfigError(
+                        f"tcp peer node id must be a non-negative int, "
+                        f"got {nid!r}"
+                    )
+                if nid in seen:
+                    raise ConfigError(f"duplicate tcp peer for node {nid}")
+                seen.add(nid)
+                host, sep, port = str(addr).rpartition(":")
+                if (
+                    not sep
+                    or not host
+                    or not port.isdigit()
+                    or not 0 < int(port) < 65536
+                ):
+                    raise ConfigError(
+                        f"tcp peer address must be HOST:PORT, got {addr!r}"
+                    )
+        if not self.tcp_host:
+            raise ConfigError("tcp_host must be a non-empty host name")
         if not self.kernel or not isinstance(self.kernel, str):
             raise ConfigError("kernel must be a non-empty string")
         if self.time_scale <= 0:

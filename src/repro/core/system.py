@@ -16,6 +16,10 @@ Backends live in a registry keyed by ``SystemConfig.backend``:
     One OS process per cluster node, socket-pair channels and the
     :mod:`repro.net.wire` codec
     (:class:`~repro.runtime.process.ProcessBackend`).
+``tcp``
+    One worker process per cluster node over real TCP connections,
+    optionally spanning multiple hosts via ``swjoin worker``
+    (:class:`~repro.runtime.tcp.TcpBackend`).
 
 The non-default backends are registered through lazy factories so that
 importing this module never pulls in the wall-clock runtime stack.
@@ -419,9 +423,16 @@ def _process_backend() -> Backend:
     return ProcessBackend()
 
 
+def _tcp_backend() -> Backend:
+    from repro.runtime.tcp import TcpBackend
+
+    return TcpBackend()
+
+
 register_backend("sim", SimBackend)
 register_backend("thread", _thread_backend)
 register_backend("process", _process_backend)
+register_backend("tcp", _tcp_backend)
 
 
 def master_snapshot(cluster: "Cluster") -> dict[str, t.Any]:

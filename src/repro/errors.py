@@ -47,6 +47,16 @@ class WireError(ReproError):
     the frame is rejected whole."""
 
 
+class ConnectError(ReproError):
+    """Raised when the TCP backend cannot establish a required
+    connection: the bounded connect/accept retry schedule is exhausted,
+    the handshake times out, or a peer answers the handshake with the
+    wrong node identity.  The message names the peer node and its
+    address so a mislaunched topology is triaged straight from the
+    traceback.  (Version skew is a :class:`WireError` instead — it can
+    never be resolved by retrying.)"""
+
+
 class CapacityError(ReproError):
     """Raised when a bounded buffer would exceed its allotted capacity."""
 

@@ -50,8 +50,13 @@ WALL_CLOCK_NAMES = frozenset(
 WALL_CLOCK_ALLOWED_SUFFIXES: tuple[str, ...] = (
     "repro/runtime/thread.py",
     "repro/runtime/process.py",
+    "repro/runtime/tcp.py",
     "repro/net/thread_transport.py",
     "repro/net/proc_transport.py",
+    # The TCP transport/backend pair is real-socket infrastructure:
+    # handshake timeouts, retry backoff sleeps and the shared start
+    # barrier are wall-clock by nature, like the process pair above.
+    "repro/net/tcp_transport.py",
     # The admin HTTP server reports real uptime: it is wall-clock
     # infrastructure by definition, never part of the modeled cluster.
     "repro/obs/admin.py",

@@ -48,6 +48,7 @@ import threading
 import time
 import typing as t
 
+from repro.errors import WireError
 from repro.faults.markers import NodeDown, RecvTimeout
 from repro.net.sim_transport import CommStats
 from repro.net.wire import decode_message, encode_message
@@ -126,7 +127,7 @@ class FrameReader:
                 return _TIMED_OUT
         (length,) = FRAME_HEADER.unpack(bytes(self._buf[: FRAME_HEADER.size]))
         if length > MAX_FRAME_BYTES:
-            raise ValueError(f"frame of {length} bytes exceeds sanity bound")
+            raise WireError(f"frame of {length} bytes exceeds sanity bound")
         total = FRAME_HEADER.size + length
         while len(self._buf) < total:
             if self._eof:

@@ -103,6 +103,38 @@ def test_checkpoint_log_crash_is_lossless(seed, when, kernel):
     assert np.array_equal(sorted_pairs(result.pairs), oracle)
 
 
+@pytest.mark.parametrize(
+    "when", ["mid-epoch", "during-reorg"], ids=["mid-epoch", "during-reorg"]
+)
+def test_tcp_backend_sigkill_is_lossless(when):
+    """TCP row of the matrix: the victim is a real worker process
+    connected to its peers over TCP sockets.  SIGKILL closes them, the
+    master's timeout path detects the EOF-driven ``NodeDown``, and the
+    backup ring restores every partition — the joined multiset must be
+    bit-identical to the crash-free oracle, undegraded."""
+    cfg = lossless_cfg(
+        SEEDS[0],
+        backend="tcp",
+        time_scale=0.05,
+        faults=FaultPlan.parse([f"crash:1@{CRASH_TIMES[when]}s"]),
+    )
+    trace = closed_trace(cfg, SEEDS[0])
+    result = run_with_trace(cfg, trace)
+
+    victim = slave_node_id(1)
+    assert result.injected_faults and result.injected_faults[0]["node"] == victim
+    assert [f["slave"] for f in result.faults] == [victim]
+    fault = result.faults[0]
+    assert fault["recovery_latency"] is not None
+    assert fault["lost_pids"] == ()
+    assert fault["restored_pids"], "recovery never exercised the backup"
+    assert not result.degraded
+
+    oracle = naive_window_join(trace, cfg.window_seconds)
+    assert len(oracle), "degenerate workload: oracle joined nothing"
+    assert np.array_equal(sorted_pairs(result.pairs), oracle)
+
+
 @pytest.mark.parametrize("seed", SEEDS)
 def test_log_only_replication_is_also_lossless(seed):
     """Pure log replication (no periodic re-base): the genesis log

@@ -1,11 +1,12 @@
 """Smoke test for the backend benchmark's equal-work verification.
 
-The benchmark only publishes a speedup after proving that sim, thread
-and process performed identical join work (same ingested trace, same
-joined-pair multiset).  This runs the real benchmark entry point at a
-tiny rate: any cross-backend divergence — a reintroduced gated-metric
-comparison, a backend losing trace tail tuples, wire-codec corruption
-— fails here before it can reach a published artifact.
+The benchmark only publishes a speedup after proving that sim, thread,
+process and tcp performed identical join work (same ingested trace,
+same joined-pair multiset).  This runs the real benchmark entry point
+at a tiny rate: any cross-backend divergence — a reintroduced
+gated-metric comparison, a backend losing trace tail tuples,
+wire-codec corruption — fails here before it can reach a published
+artifact.
 """
 
 import json
@@ -23,7 +24,10 @@ def test_benchmark_verifies_equal_work_across_backends(tmp_path):
         "sim",
         "thread",
         "process",
+        "tcp",
     ]
+    assert report["summary"]["tcp_over_thread_speedup"] > 0
+    assert report["summary"]["tcp_over_process_ratio"] > 0
     # Identical work: one outputs value, one ingested-tuple value, and
     # every backend ingested the complete trace.
     assert len({run["outputs"] for run in report["runs"]}) == 1

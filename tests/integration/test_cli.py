@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import _parse_peers, build_parser, main
+from repro.errors import ConfigError
 
 
 class TestParser:
@@ -11,6 +12,36 @@ class TestParser:
         assert args.command == "run"
         assert args.rate == 1500.0
         assert args.slaves == 4
+
+    def test_run_tcp_backend_with_peers(self):
+        args = build_parser().parse_args(
+            ["run", "--backend", "tcp",
+             "--peers", "3=10.0.0.2:7000", "--peers", "4=10.0.0.3:7001"]
+        )
+        assert args.backend == "tcp"
+        assert _parse_peers(args.peers) == (
+            (3, "10.0.0.2:7000"), (4, "10.0.0.3:7001"),
+        )
+
+    def test_peers_accept_comma_separated_entries(self):
+        assert _parse_peers(["2=h1:70, 3=h2:71"]) == (
+            (2, "h1:70"), (3, "h2:71"),
+        )
+
+    def test_malformed_peers_entry_rejected(self):
+        with pytest.raises(ConfigError, match="NODE=HOST:PORT"):
+            _parse_peers(["not-a-peer"])
+        with pytest.raises(ConfigError, match="NODE=HOST:PORT"):
+            _parse_peers(["x=host:70"])
+
+    def test_worker_requires_listen(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["worker"])
+        args = build_parser().parse_args(
+            ["worker", "--listen", "0.0.0.0:7000"]
+        )
+        assert args.command == "worker"
+        assert args.listen == "0.0.0.0:7000"
 
     def test_experiment_args(self):
         args = build_parser().parse_args(

@@ -1,6 +1,6 @@
 """Cross-backend conformance: every runtime backend — DES kernel,
-threads, OS processes — joins the exact same pairs as the oracle for a
-shared trace.
+threads, OS processes, TCP workers — joins the exact same pairs as the
+oracle for a shared trace.
 
 Timing-dependent metrics (delays, comm times) differ across backends by
 construction; the *results* must not.
@@ -19,7 +19,7 @@ from repro.simul.rng import RngRegistry
 from repro.workload.generator import TwoStreamWorkload
 from repro.workload.traces import TraceReplayer
 
-#: Independent workloads for the three-way conformance sweep.
+#: Independent workloads for the four-way conformance sweep.
 CONFORMANCE_SEEDS = (5, 11, 23)
 
 
@@ -96,8 +96,8 @@ class TestCrossBackend:
         assert cluster.collector.delays.count == local
 
 
-class TestThreeWayConformance:
-    """sim, thread and process runs of the same trace must produce
+class TestFourWayConformance:
+    """sim, thread, process and tcp runs of the same trace must produce
     identical joined-output multisets — equal to each other and to the
     ``naive_window_join`` oracle — across several seeds."""
 
@@ -127,7 +127,7 @@ class TestThreeWayConformance:
         assert len(oracle), "degenerate workload: oracle joined nothing"
 
         produced = {}
-        for backend in ("sim", "thread", "process"):
+        for backend in ("sim", "thread", "process", "tcp"):
             result = JoinSystem(
                 cfg.with_(backend=backend),
                 collect_pairs=True,
@@ -142,6 +142,7 @@ class TestThreeWayConformance:
             )
         assert np.array_equal(produced["sim"], produced["process"])
         assert np.array_equal(produced["sim"], produced["thread"])
+        assert np.array_equal(produced["sim"], produced["tcp"])
 
 
 class TestBackendSelection:
@@ -204,6 +205,39 @@ class TestBackendSelection:
         with pytest.raises(ConfigError, match="crash"):
             JoinSystem(cfg).run()
 
+    def test_tcp_backend_rejects_non_crash_faults(self):
+        from repro.faults.plan import FaultPlan, parse_fault
+
+        cfg = SystemConfig.paper_defaults().with_(
+            backend="tcp",
+            faults=FaultPlan(messages=(parse_fault("drop:2->0@3"),)),
+        )
+        with pytest.raises(ConfigError, match="crash"):
+            JoinSystem(cfg).run()
+
+    def test_tcp_backend_rejects_crash_on_remote_node(self):
+        # The launcher SIGKILLs crash victims, so a victim served by a
+        # remote `swjoin worker` is out of reach — fail fast, before
+        # any connection is attempted.
+        from repro.faults.plan import FaultPlan, parse_fault
+
+        cfg = SystemConfig.paper_defaults().with_(
+            backend="tcp",
+            tcp_peers=((2, "10.0.0.9:7000"),),  # slave 0 lives remotely
+            faults=FaultPlan(crashes=(parse_fault("crash:0@5s"),)),
+        )
+        with pytest.raises(ConfigError, match="remote"):
+            JoinSystem(cfg).run()
+
+    def test_tcp_backend_rejects_peers_outside_the_cluster(self):
+        cfg = SystemConfig.paper_defaults().with_(
+            num_slaves=2,  # nodes 0..3
+            backend="tcp",
+            tcp_peers=((9, "10.0.0.9:7000"),),
+        )
+        with pytest.raises(ConfigError, match="outside this cluster"):
+            JoinSystem(cfg).run()
+
 
 class TestLosslessRecoveryConformance:
     """Crash + checkpoint+log replication on every backend: each one
@@ -211,7 +245,7 @@ class TestLosslessRecoveryConformance:
     produce the crash-free oracle's exact pair multiset, undegraded."""
 
     @pytest.mark.parametrize("kernel", ["blocknlj", "indexed"])
-    @pytest.mark.parametrize("backend", ["sim", "thread", "process"])
+    @pytest.mark.parametrize("backend", ["sim", "thread", "process", "tcp"])
     def test_crash_with_replication_matches_oracle(self, backend, kernel):
         from repro.core.cluster import slave_node_id
         from repro.faults.plan import FaultPlan

@@ -1,0 +1,117 @@
+"""Loopback multi-process smoke for ``swjoin worker``.
+
+A worker launched as its own CLI process (the way a remote host would
+run it) serves one cluster node via the ``--peers`` map; the launcher
+forks the rest locally.  The joined-pair multiset must still equal the
+crash-free oracle, and the worker must exit 0 after its single run.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.system import JoinSystem
+from repro.reference import naive_window_join
+from repro.simul.rng import RngRegistry
+from repro.workload.generator import TwoStreamWorkload
+from repro.workload.traces import TraceReplayer
+
+import repro
+
+SRC_ROOT = Path(repro.__file__).resolve().parents[1]
+
+
+def launch_worker() -> tuple[subprocess.Popen, int]:
+    """Start ``swjoin worker`` on an ephemeral loopback port."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_ROOT) + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "worker",
+         "--listen", "127.0.0.1:0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    assert proc.stdout is not None
+    line = proc.stdout.readline().strip()
+    assert "listening on" in line, f"unexpected worker banner: {line!r}"
+    return proc, int(line.rsplit(":", 1)[1])
+
+
+@pytest.fixture
+def worker():
+    proc, port = launch_worker()
+    try:
+        yield proc, port
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+        proc.wait(timeout=10)
+
+
+def test_worker_cli_serves_one_node_and_matches_oracle(worker):
+    proc, port = worker
+    cfg = (
+        SystemConfig.paper_defaults()
+        .scaled(0.01)
+        .with_(
+            num_slaves=2,
+            npart=8,
+            rate=150.0,
+            run_seconds=10.0,
+            warmup_seconds=2.0,
+            window_seconds=3.0,
+            reorg_epoch=4.0,
+            backend="tcp",
+            time_scale=0.02,
+            # Slave 1 (node 3) lives in the worker process; master,
+            # collector and slave 0 are forked locally by the launcher.
+            tcp_peers=((3, f"127.0.0.1:{port}"),),
+        )
+    )
+    wl = TwoStreamWorkload.poisson_bmodel(
+        RngRegistry(5), cfg.rate, cfg.b_skew, 10_000
+    )
+    trace = wl.generate(0.0, cfg.run_seconds - 3 * cfg.dist_epoch)
+    result = JoinSystem(
+        cfg, collect_pairs=True, workload=TraceReplayer(trace)
+    ).run()
+
+    pairs = result.pairs
+    order = np.lexsort((pairs[:, 1], pairs[:, 0]))
+    oracle = naive_window_join(trace, cfg.window_seconds)
+    assert len(oracle), "degenerate workload: oracle joined nothing"
+    assert np.array_equal(pairs[order], oracle)
+    # One run served, clean exit: the worker is a one-shot process.
+    assert proc.wait(timeout=30) == 0
+
+
+def test_version_skewed_client_is_rejected_and_worker_survives(worker):
+    """A connection speaking the wrong wire version must be refused
+    without killing the worker — it keeps listening for the launcher."""
+    import socket as socket_mod
+
+    from repro.net.tcp_transport import HELLO, KIND_CONTROL, read_hello
+    from repro.net.wire import MAGIC, WIRE_VERSION
+
+    proc, port = worker
+    bad = socket_mod.create_connection(("127.0.0.1", port), timeout=5.0)
+    bad.sendall(HELLO.pack(MAGIC, WIRE_VERSION + 1, KIND_CONTROL, -1))
+    # The worker drops the connection without replying.
+    assert bad.recv(64) == b""
+    bad.close()
+    assert proc.poll() is None, "worker died on a version-skewed hello"
+
+    # A well-formed control hello still gets through afterwards.
+    good = socket_mod.create_connection(("127.0.0.1", port), timeout=5.0)
+    good.sendall(HELLO.pack(MAGIC, WIRE_VERSION, KIND_CONTROL, -1))
+    assert read_hello(good, 5.0) == (KIND_CONTROL, -1)
+    good.close()

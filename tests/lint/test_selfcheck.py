@@ -25,6 +25,29 @@ def test_src_repro_is_lint_clean():
     assert result.n_files > 50  # sanity: we actually walked the tree
 
 
+def test_tcp_modules_are_allowlisted_and_carry_zero_findings():
+    """Regression for the PR 9 allowlist widening: the TCP transport
+    and backend are wall-clock/socket modules (SIM001/SIM004 allowlist,
+    PERF001 barrier via ``repro/net/``+``repro/runtime/``) and must
+    land with zero fresh findings of their own."""
+    from repro.lint.rules.simtime import WALL_CLOCK_ALLOWED_SUFFIXES
+    from repro.lint.rules.taint import BLOCKING_ALLOWED_FRAGMENTS
+
+    assert "repro/net/tcp_transport.py" in WALL_CLOCK_ALLOWED_SUFFIXES
+    assert "repro/runtime/tcp.py" in WALL_CLOCK_ALLOWED_SUFFIXES
+    assert any("repro/net/" in f for f in BLOCKING_ALLOWED_FRAGMENTS)
+    assert any("repro/runtime/" in f for f in BLOCKING_ALLOWED_FRAGMENTS)
+
+    result = lint_paths([str(SRC_REPRO)])
+    tcp_findings = [
+        f
+        for f in result.fresh
+        if f.path.endswith(("net/tcp_transport.py", "runtime/tcp.py"))
+    ]
+    detail = "\n".join(f.render() for f in tcp_findings)
+    assert tcp_findings == [], f"fresh findings in the TCP modules:\n{detail}"
+
+
 def test_full_pass_fits_the_precommit_budget():
     """The whole-project pass (symbol table + call graph + three taint
     fixpoints + codec cross-check) must stay fast enough to run

@@ -17,6 +17,7 @@ import pytest
 
 from repro.core.protocol import Halt, MoveAck, Shipment
 from repro.data.tuples import TupleBatch
+from repro.errors import WireError
 from repro.faults.markers import NodeDown, RecvTimeout
 from repro.net.proc_transport import (
     FRAME_HEADER,
@@ -107,7 +108,7 @@ class TestFraming:
         sa, sb = socket.socketpair()
         sa.sendall(struct.pack("!I", 1 << 31))
         reader = FrameReader(sb)
-        with pytest.raises(ValueError, match="sanity"):
+        with pytest.raises(WireError, match="sanity"):
             reader.read_frame(None)
         sa.close(), sb.close()
 
