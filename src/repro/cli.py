@@ -90,9 +90,15 @@ def _add_run_parser(sub: t.Any) -> None:
                    default="off",
                    help="replicate partition-group state to backup slaves "
                         "so crash recovery is lossless (default: off)")
+    p.add_argument("--standby", action="store_true",
+                   help="run a standby coordinator mirroring the master's "
+                        "durable state every epoch; it takes over "
+                        "deterministically if the master dies (required "
+                        "for crash:master fault specs)")
     p.add_argument("--fault", metavar="SPEC", action="append",
                    help="inject a fault; repeatable.  SPECs: "
-                        "crash:<slave>@<t>s, drop:<src>-><dst>@<k>, "
+                        "crash:<slave>@<t>s, crash:master@<t>s, "
+                        "drop:<src>-><dst>@<k>, "
                         "delay:<src>-><dst>@<k>+<s>s, "
                         "slow:<slave>x<factor>@<t0>-<t1>s")
     p.add_argument("--detect-timeout", type=float, metavar="SECONDS",
@@ -159,6 +165,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         adaptive_declustering=args.adaptive,
         load_balancing=not args.no_load_balancing,
         replication=args.replication,
+        standby=args.standby,
         obs=_obs_config(args),
     )
     if args.fault or args.detect_timeout is not None:

@@ -245,6 +245,11 @@ class SystemConfig:
     slave_memory_bytes: int | None = None
     #: Number of sub-groups for slot-based communication (Section V-B).
     num_subgroups: int = 1
+    #: Run a standby coordinator (one extra node) that mirrors the
+    #: master's durable state every epoch and deterministically assumes
+    #: the master role if the master dies mid-run (``--standby``).
+    #: Required for ``crash:master`` fault specs.
+    standby: bool = False
 
     # -- epochs and load balancing ---------------------------------------
     #: Distribution epoch t_d, seconds.
@@ -478,4 +483,12 @@ class SystemConfig:
         self.cost.validated()
         self.obs.validated()
         self.faults.validated(num_slaves=self.num_slaves)
+        if not self.standby and any(
+            c.targets_master for c in self.faults.crashes
+        ):
+            raise ConfigError(
+                "crash:master fault specs require standby=True "
+                "(swjoin run --standby): without a standby coordinator "
+                "a master crash kills the whole run"
+            )
         return self

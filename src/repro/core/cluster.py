@@ -21,6 +21,7 @@ from repro.core.master import MasterNode
 from repro.core.metrics import MasterMetrics, MeasurementWindow, SlaveMetrics
 from repro.core.partition_group import JoinGeometry
 from repro.core.slave import SlaveNode
+from repro.core.standby import StandbyNode
 from repro.core.subgroups import build_schedules
 from repro.errors import ConfigError
 from repro.mp.comm import Communicator
@@ -41,6 +42,11 @@ COLLECTOR_ID = 1
 def slave_node_id(index: int) -> int:
     """Node id of the *index*-th slave (master=0, collector=1)."""
     return 2 + index
+
+
+def standby_node_id(cfg: SystemConfig) -> int:
+    """Node id of the standby coordinator (one past the last slave)."""
+    return slave_node_id(cfg.num_slaves)
 
 
 class Cluster(t.NamedTuple):
@@ -66,10 +72,26 @@ class Cluster(t.NamedTuple):
     #: only this node (the process backend): the sampler reads only the
     #: local node's state — foreign node objects exist but never run.
     local_node: int | None = None
+    #: Hot-standby coordinator (None unless ``cfg.standby``).
+    standby: StandbyNode | None = None
+
+    @property
+    def acting_master(self) -> MasterNode:
+        """The coordinator currently driving the run.
+
+        The real master until a takeover; the standby's shadow master
+        after it — reporting and admin surfaces read through this so
+        post-failover state is attributed to the node that owns it.
+        """
+        if self.standby is not None and self.standby.took_over:
+            return self.standby.master
+        return self.master
 
     def processes(self) -> list[tuple[str, t.Generator]]:
         """All node generators, named, ready to spawn on a runtime."""
         out = [("master", self.master.run())]
+        if self.standby is not None:
+            out.append(("standby", self.standby.run()))
         for slave in self.slaves:
             for i, gen in enumerate(slave.processes()):
                 kind = ("comm", "join")[i]
@@ -226,6 +248,7 @@ def build_cluster(
         registry = MetricsRegistry(node_id)
         registries[node_id] = registry
         return registry
+    supplied_workload = workload
     workload = workload or TwoStreamWorkload.poisson_bmodel(
         rng, cfg.rate, cfg.b_skew, cfg.key_domain, n_streams=cfg.n_streams
     )
@@ -234,6 +257,7 @@ def build_cluster(
     slave_ids = [slave_node_id(i) for i in range(cfg.num_slaves)]
     active_ids = slave_ids[: cfg.n_active_initial]
     schedules = build_schedules(active_ids, cfg.num_subgroups, cfg.dist_epoch)
+    standby_id = standby_node_id(cfg) if cfg.standby else None
 
     buffer = MasterBuffer(cfg.npart, cfg.tuple_bytes)
     buffer.assign_round_robin(active_ids)
@@ -250,7 +274,63 @@ def build_cluster(
         slave_ids,
         COLLECTOR_ID,
         tracer=tracer,
+        standby_id=standby_id,
     )
+
+    standby: StandbyNode | None = None
+    if standby_id is not None:
+        # The standby hosts a *dormant* shadow master over its own
+        # buffer, workload replica and controller substream — all built
+        # exactly like the real master's, so the mirrored state starts
+        # identical and the op-log replay keeps it so.  The shadow
+        # shares the standby's communicator: after a takeover its
+        # messages originate from the standby's node id.
+        if supplied_workload is None:
+            shadow_workload: t.Any = TwoStreamWorkload.poisson_bmodel(
+                RngRegistry(cfg.seed),
+                cfg.rate,
+                cfg.b_skew,
+                cfg.key_domain,
+                n_streams=cfg.n_streams,
+            )
+        elif hasattr(supplied_workload, "replica"):
+            shadow_workload = supplied_workload.replica()
+        else:
+            raise ConfigError(
+                "standby=True needs a replicable workload: pass one with "
+                "a .replica() method (e.g. TraceReplayer) or let "
+                "build_cluster construct the default workload"
+            )
+        shadow_buffer = MasterBuffer(cfg.npart, cfg.tuple_bytes)
+        shadow_buffer.assign_round_robin(active_ids)
+        standby_metrics = MasterMetrics(gate, registry=registry_for(standby_id))
+        standby_comm = Communicator(
+            transport.endpoint(standby_id, standby_metrics)
+        )
+        shadow_master = MasterNode(
+            cfg,
+            runtime,
+            standby_comm,
+            shadow_buffer,
+            shadow_workload,
+            DeclusteringController(
+                cfg, RngRegistry(cfg.seed).get("controller"), tracer=tracer
+            ),
+            standby_metrics,
+            slave_ids,
+            COLLECTOR_ID,
+            tracer=tracer,
+            standby_id=None,
+        )
+        standby = StandbyNode(
+            standby_id,
+            cfg,
+            runtime,
+            standby_comm,
+            shadow_master,
+            MASTER_ID,
+            tracer=tracer,
+        )
 
     slaves: list[SlaveNode] = []
     slave_metrics: list[SlaveMetrics] = []
@@ -283,6 +363,7 @@ def build_cluster(
                 active=node_id in active_ids,
                 tracer=tracer,
                 faults=faults,
+                standby_id=standby_id,
             )
         )
         slave_metrics.append(metrics)
@@ -310,4 +391,5 @@ def build_cluster(
         faults,
         registries,
         local_node,
+        standby,
     )

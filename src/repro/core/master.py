@@ -34,6 +34,7 @@ master-side slot offsets never diverge from slave-side ones.
 
 from __future__ import annotations
 
+import json
 import typing as t
 
 import numpy as np
@@ -57,6 +58,8 @@ from repro.core.protocol import (
     Restore,
     Shipment,
     SlaveSync,
+    StandbyPlan,
+    StandbySync,
 )
 from repro.core.subgroups import build_schedules, groups_in_order
 from repro.data.tuples import TupleBatch
@@ -105,6 +108,7 @@ class MasterNode:
         slave_ids: t.Sequence[int],
         collector_id: int,
         tracer: Tracer = NULL_TRACER,
+        standby_id: int | None = None,
     ) -> None:
         self.cfg = cfg
         self.rt = runtime
@@ -116,6 +120,14 @@ class MasterNode:
         self.tracer = tracer
         self.all_slaves = sorted(slave_ids)
         self.collector_id = collector_id
+        #: Standby coordinator mirroring this master's durable state
+        #: (``None``: no standby, zero behavior change).
+        self.standby_id = standby_id
+        #: Operation log of the current round, shipped to the standby
+        #: in the end-of-round :class:`StandbySync`.
+        self._round_ops: list[tuple[str, float, float]] = []
+        #: Pair chunks banked this round, for the same sync.
+        self._round_pairs: list[tuple[int, int, int, np.ndarray]] = []
         self.active = self.all_slaves[: cfg.n_active_initial]
         self.inactive = self.all_slaves[cfg.n_active_initial :]
         self.schedules = build_schedules(
@@ -150,7 +162,9 @@ class MasterNode:
         self._pending: dict[int, _PendingReplication] = {}
         #: Pair chunks retired to the master by checkpoints and state
         #: moves — they survive any later crash of the producing slave.
-        self._pair_store: list[np.ndarray] = []
+        #: Keyed ``(slave, pid, epoch)`` so replication to the standby
+        #: and post-takeover Rejoin resends deduplicate exactly.
+        self._pair_store: dict[tuple[int, int, int], np.ndarray] = {}
         if self.replication:
             self._backup_of = plan_backups(
                 self.buffer.mapping, set(self.active)
@@ -170,8 +184,17 @@ class MasterNode:
 
     def run(self) -> t.Generator:
         """The master's main loop (a node generator)."""
+        yield from self.run_from(0)
+
+    def run_from(self, k0: int) -> t.Generator:
+        """The main loop from round *k0* on.
+
+        ``k0 > 0`` is the takeover path: the standby injects the
+        replicated coordinator state and resumes the schedule exactly
+        where the dead master left off.
+        """
         cfg, tracer = self.cfg, self.tracer
-        if tracer.enabled:
+        if tracer.enabled and k0 == 0:
             # Record the initial degree of declustering so every trace
             # carries the DoD baseline even when it never changes.
             tracer.emit(
@@ -184,7 +207,7 @@ class MasterNode:
                     deactivated=(),
                 )
             )
-        k = 0
+        k = k0
         while (k + 2) * cfg.dist_epoch <= cfg.run_seconds + 1e-9:
             reorg = self._is_reorg_epoch(k)
             if tracer.enabled:
@@ -204,6 +227,8 @@ class MasterNode:
                 yield from self._recovery_round(k)
             else:
                 yield from self._distribution_round(k)
+            if self.standby_id is not None:
+                yield from self._send_standby_sync(k)
             self.metrics.epochs += 1
             if self.metrics.registry.enabled:
                 self.metrics.m_epochs.inc()
@@ -259,7 +284,13 @@ class MasterNode:
         self.metrics.failures.append(record)
         self._unrecovered.append(record)
         if self.tracer.enabled:
-            timeout = self._detect_timeout or 0.0
+            # ``info`` carries the armed detection timeout.  An
+            # unlimited timeout (None: silence detected via NodeDown,
+            # not a timer) is encoded as -1.0 — 0.0 would be
+            # indistinguishable from a zero-second timeout.
+            timeout = (
+                -1.0 if self._detect_timeout is None else self._detect_timeout
+            )
             self.tracer.emit(
                 FaultEvent(
                     t=now,
@@ -323,6 +354,7 @@ class MasterNode:
             for s, pids in plan.items():
                 for pid in pids:
                     self.buffer.remap(pid, s)
+                    self._log_op("remap", pid, s)
         if self.replication:
             # Adopted and restored partitions both need a fresh base
             # image at their new owner before the log can stay short.
@@ -379,7 +411,81 @@ class MasterNode:
     @property
     def pair_rows(self) -> list[np.ndarray]:
         """Pair chunks retired to the master by checkpoints and moves."""
-        return list(self._pair_store)
+        return [self._pair_store[key] for key in sorted(self._pair_store)]
+
+    def _bank_pairs(
+        self, slave: int, pid: int, epoch: int, rows: np.ndarray
+    ) -> None:
+        """Bank one pair chunk durably, deduplicating on its tag.
+
+        A chunk can legitimately arrive twice — once at the dead master
+        (replicated to the standby) and again in the producing slave's
+        post-takeover :class:`~repro.core.protocol.Rejoin` — so the
+        first banking of a tag wins.
+        """
+        key = (slave, pid, epoch)
+        if key in self._pair_store:
+            return
+        self._pair_store[key] = rows
+        if self.standby_id is not None:
+            self._round_pairs.append((slave, pid, epoch, rows))
+
+    # -- standby mirroring (master-failover plane) -------------------------
+    def _log_op(self, kind: str, a: float, b: float) -> None:
+        """Append one buffer-mutating op to the round's op log."""
+        if self.standby_id is not None:
+            self._round_ops.append((kind, a, b))
+
+    @staticmethod
+    def _plan_remaps(
+        adopt: t.Mapping[int, tuple[int, ...]],
+        restore_map: t.Mapping[int, tuple[int, ...]],
+    ) -> tuple[tuple[int, int], ...]:
+        """Adoption/restore remaps as ``(pid, dst)`` for a StandbyPlan."""
+        return tuple(sorted(
+            (pid, s)
+            for plan in (adopt, restore_map)
+            for s, pids in plan.items()
+            for pid in pids
+        ))
+
+    def _send_standby_sync(self, k: int) -> t.Generator:
+        """End-of-round sync: replicate this round's durable delta.
+
+        Sent after every round the master survives; receipt of sync
+        ``k`` tells the standby the whole of round ``k`` executed, so a
+        later master death is always pinned to round ``k + 1``.
+        """
+        assert self.standby_id is not None
+        pending = tuple(
+            (
+                s,
+                Replicate(
+                    k,
+                    entries=tuple(p.entries),
+                    drops=tuple(sorted(p.drops)),
+                    checkpoints=tuple(
+                        p.checkpoints[pid] for pid in sorted(p.checkpoints)
+                    ),
+                ),
+            )
+            for s, p in sorted(self._pending.items())
+        )
+        sync = StandbySync(
+            k,
+            ops=tuple(self._round_ops),
+            active=tuple(self.active),
+            dead=tuple(sorted(self.dead)),
+            next_gen_time=self._next_gen_time,
+            backup_of=tuple(sorted(self._backup_of.items())),
+            covered=tuple(sorted(self._covered)),
+            pending=pending,
+            failures_json=json.dumps(self.metrics.failures),
+            pairs=tuple(self._round_pairs),
+        )
+        self._round_ops = []
+        self._round_pairs = []
+        yield self.comm.send(self.standby_id, sync)
 
     def _pending_for(self, s: int) -> _PendingReplication:
         pending = self._pending.get(s)
@@ -481,7 +587,7 @@ class MasterNode:
     def _accept_checkpoint(self, s: int, k: int, cp: Checkpoint) -> None:
         """Bank a checkpoint: retire its pairs, queue it to the backup."""
         if cp.pairs is not None and len(cp.pairs):
-            self._pair_store.append(cp.pairs)
+            self._bank_pairs(s, cp.pid, cp.epoch, cp.pairs)
         backup = self._backup_of.get(cp.pid)
         if backup is None or backup in self.dead:
             return
@@ -518,12 +624,22 @@ class MasterNode:
 
     # -- workload ingestion ------------------------------------------------
     def _generate_upto(self, now: float) -> None:
+        """Ingest arrivals up to *now* — always a scheduled slot time.
+
+        Callers pass the slot's *scheduled* boundary, not the wall
+        clock: on the sim backend the two coincide exactly, and on the
+        wall-clock backends quantizing to the schedule makes ingestion
+        boundaries — and therefore every shipment's contents — a pure
+        function of the round structure.  That is what lets a standby
+        replay the rounds (and presume the fatal one) bit for bit.
+        """
         if now > self._next_gen_time:
             batch = self.workload.generate(self._next_gen_time, now)
             self.buffer.ingest(batch)
             self.metrics.tuples_ingested += len(batch)
             if self.metrics.registry.enabled:
                 self.metrics.m_tuples_ingested.inc(len(batch))
+            self._log_op("gen", self._next_gen_time, now)
             self._next_gen_time = now
         self.metrics.sample_buffer(now, self.buffer.total_bytes)
 
@@ -535,7 +651,7 @@ class MasterNode:
         slot_len = cfg.dist_epoch / len(groups)
         for g, members in enumerate(groups):
             yield rt.sleep_until(t_dist + g * slot_len)
-            self._generate_upto(rt.now())
+            self._generate_upto(t_dist + g * slot_len)
             for s in members:
                 if s in self.dead:
                     continue
@@ -548,6 +664,7 @@ class MasterNode:
 
     def _ship_to(self, k: int, slave: int) -> t.Generator:
         now = self.rt.now()
+        self._log_op("drain", slave, now)
         batch, epoch_start, parts = self.buffer.drain_for(slave, now)
         if self.replication:
             self._tee_parts(k, parts)
@@ -557,7 +674,7 @@ class MasterNode:
     def _reorg_round(self, k: int) -> t.Generator:
         rt, comm, cfg = self.rt, self.comm, self.cfg
         yield rt.sleep_until((k + 1) * cfg.dist_epoch)
-        self._generate_upto(rt.now())
+        self._generate_upto((k + 1) * cfg.dist_epoch)
 
         actives = list(self.active)
         for s in actives:
@@ -604,6 +721,25 @@ class MasterNode:
             (set(live) | set(plan.activate)) - set(plan.deactivate)
         )
         schedules = build_schedules(new_active, cfg.num_subgroups, cfg.dist_epoch)
+
+        if self.standby_id is not None:
+            # The plan reaches the standby before any slave sees an
+            # order: if the standby never receives it, no slave acted
+            # on it either, so a takeover can presume the fatal round
+            # plan-free.
+            yield comm.send(
+                self.standby_id,
+                StandbyPlan(
+                    k,
+                    moves=plan.moves,
+                    new_active=tuple(new_active),
+                    deactivate=plan.deactivate,
+                    remaps=self._plan_remaps(adopt, restore_map),
+                    restores=tuple(
+                        sorted(p for pids in restore_map.values() for p in pids)
+                    ),
+                ),
+            )
 
         for s in plan.activate:
             yield comm.send(s, Activate(k, clock=rt.now(), schedule=schedules[s]))
@@ -661,6 +797,7 @@ class MasterNode:
         # (adoptions and restores were remapped by ``_plan_adoption``).
         for m in plan.moves:
             self.buffer.remap(m.pid, m.dst)
+            self._log_op("remap", m.pid, m.dst)
         self.metrics.moves_ordered += len(plan.moves)
 
         participants = set(acks_expected)
@@ -683,7 +820,7 @@ class MasterNode:
                     yield from self._on_slave_silent(s, k, "ack")
                     break
                 if ack.pairs is not None and len(ack.pairs):
-                    self._pair_store.append(ack.pairs)
+                    self._bank_pairs(s, ack.pid, k, ack.pairs)
         for s in sorted(participants):
             if s not in deactivated and s not in self.dead:
                 if cp_requests.get(s):
@@ -733,11 +870,14 @@ class MasterNode:
         t_dist = (k + 1) * cfg.dist_epoch
         live = [s for s in self.active if s not in self.dead]
         if not live:
-            # Nobody left to adopt anything: leave the failure records
-            # unrecovered and keep draining the clock.
+            # Nobody left to adopt anything: the failure records stay
+            # unrecovered for good — mark them so reports distinguish
+            # "never recovered" from "recovery still in flight".
+            for record in self._unrecovered:
+                record["unrecovered_at_halt"] = True
             self._unrecovered = []
             yield rt.sleep_until(t_dist)
-            self._generate_upto(rt.now())
+            self._generate_upto(t_dist)
             return
         recovering = list(self._unrecovered)
         adopt, restore_map = self._plan_adoption(live, recovering)
@@ -752,11 +892,26 @@ class MasterNode:
                 self.buffer.mapping, reorg=False
             )
         new_schedules = build_schedules(live, cfg.num_subgroups, cfg.dist_epoch)
+        if self.standby_id is not None:
+            # Happens-before every ReorgOrder of the round, so the
+            # standby always knows the adoption remaps a fatal recovery
+            # round was executing.
+            yield comm.send(
+                self.standby_id,
+                StandbyPlan(
+                    k,
+                    new_active=tuple(live),
+                    remaps=self._plan_remaps(adopt, restore_map),
+                    restores=tuple(
+                        sorted(p for pids in restore_map.values() for p in pids)
+                    ),
+                ),
+            )
         groups = groups_in_order(self.active, cfg.num_subgroups)
         slot_len = cfg.dist_epoch / len(groups)
         for g, members in enumerate(groups):
             yield rt.sleep_until(t_dist + g * slot_len)
-            self._generate_upto(rt.now())
+            self._generate_upto(t_dist + g * slot_len)
             for s in members:
                 if s in self.dead:
                     continue
@@ -789,7 +944,7 @@ class MasterNode:
                         alive = False
                         break
                     if ack.pairs is not None and len(ack.pairs):
-                        self._pair_store.append(ack.pairs)
+                        self._bank_pairs(s, ack.pid, k, ack.pairs)
                 if alive and cp_requests.get(s):
                     alive = yield from self._collect_checkpoints(
                         s, k, len(cp_requests[s])
@@ -838,3 +993,11 @@ class MasterNode:
             yield comm.send(s, Halt(k))
         for s in self.inactive:
             yield comm.send(s, Halt(k))
+        if self.standby_id is not None:
+            yield comm.send(self.standby_id, Halt(k))
+        # The run halts with these failures still awaiting a recovery
+        # round: mark them so downstream reporting distinguishes
+        # "unrecovered at halt" from a latency not yet measured.
+        for record in self._unrecovered:
+            record["unrecovered_at_halt"] = True
+        self._unrecovered = []

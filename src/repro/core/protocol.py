@@ -269,5 +269,137 @@ class Restore(Message):
         return CONTROL_BYTES + 8 * len(self.pids)
 
 
-MasterToSlave = t.Union[Shipment, ReorgOrder, Activate, Halt, Replicate, Restore]
-SlaveToMaster = t.Union[SlaveSync, MoveAck, Checkpoint]
+@dataclass(frozen=True)
+class StandbySync(Message):
+    """Master -> standby: the coordinator's durable delta for one round.
+
+    Sent once at the *end* of every epoch the master survives, so the
+    standby's shadow state always reflects a round boundary.  Rather
+    than shipping the mini-buffer contents, the sync carries the
+    **operation log** of the round (``ops``): the standby holds its own
+    deterministic workload replica, so replaying ``("gen", t0, t1)``,
+    ``("drain", slave, now)`` and ``("remap", pid, dst)`` records in
+    order reconstructs the buffers bit for bit (see DESIGN.md §8).
+
+    The control-plane remainder travels explicitly: the active set, the
+    fenced dead set, the backup-ring assignment, the covered-pid set,
+    the un-flushed pending-replication ledger, the failure records
+    (as JSON — they are plain dicts) and the pair chunks the master
+    banked durably this round, tagged ``(slave, pid, epoch)``.
+    """
+
+    epoch: int
+    ops: tuple[tuple[str, float, float], ...] = ()
+    active: tuple[int, ...] = ()
+    dead: tuple[int, ...] = ()
+    next_gen_time: float = 0.0
+    #: Backup-ring assignment after this round, as ``(pid, backup)``.
+    backup_of: tuple[tuple[int, int], ...] = ()
+    covered: tuple[int, ...] = ()
+    #: Un-flushed replication maintenance, per backup slave.
+    pending: tuple[tuple[int, "Replicate"], ...] = ()
+    failures_json: str = "[]"
+    #: Durable pair chunks banked this round: ``(slave, pid, epoch, rows)``.
+    pairs: tuple[tuple[int, int, int, np.ndarray], ...] = ()
+
+    def wire_bytes(self, tuple_bytes: int) -> int:
+        total = CONTROL_BYTES + 24 * len(self.ops) + 8 * (
+            len(self.active) + len(self.dead) + len(self.covered)
+        ) + 16 * len(self.backup_of) + len(self.failures_json)
+        for _backup, rep in self.pending:
+            total += rep.wire_bytes(tuple_bytes)
+        for _slave, _pid, _epoch, rows in self.pairs:
+            total += 24 + 16 * len(rows)
+        return total
+
+
+@dataclass(frozen=True)
+class StandbyPlan(Message):
+    """Master -> standby: a reorg/recovery decision, before execution.
+
+    Sent right after the master computes a reorganization or recovery
+    plan and *before* any order reaches a slave, so the standby always
+    knows the plan a fatal round was executing.  If the standby never
+    received the plan, no slave received an order either — the plan
+    send happens-before every side effect of the round.
+    """
+
+    epoch: int
+    moves: tuple[MoveDirective, ...] = ()
+    new_active: tuple[int, ...] = ()
+    deactivate: tuple[int, ...] = ()
+    #: Buffer remaps ``(pid, dst)`` the plan applies at the master
+    #: *before* any drain (adoption of dead slaves' partitions and the
+    #: plan's own moves).  The standby cannot derive recovery-round
+    #: adoption targets itself, yet they decide which tuples the fatal
+    #: round's drains removed.
+    remaps: tuple[tuple[int, int], ...] = ()
+    #: The subset of remapped pids rebuilt from a backup replica (the
+    #: rest are empty adoptions).  Needed to replay the round's backup
+    #: placement refresh, which exempts in-restore partitions from the
+    #: replica drop it would otherwise issue.
+    restores: tuple[int, ...] = ()
+
+    def wire_bytes(self, tuple_bytes: int) -> int:
+        return CONTROL_BYTES + 24 * len(self.moves) + 8 * (
+            len(self.new_active) + len(self.deactivate) + len(self.restores)
+        ) + 16 * len(self.remaps)
+
+
+@dataclass(frozen=True)
+class TakeOver(Message):
+    """Standby -> slave: the standby is the acting master now.
+
+    Re-fences the in-flight epoch: the slave switches its master id to
+    the standby, adopts ``epoch`` as the next round index and answers
+    with a :class:`Rejoin`.  ``pending_in`` lists the fatal round's
+    planned moves *into* this slave whose :class:`StateTransfer` may
+    still be in flight — the slave absorbs each with a timed receive
+    before rejoining (supplier dead or never ordered -> timeout ->
+    the move is abandoned and the supplier keeps the partition).
+    """
+
+    epoch: int
+    clock: float = 0.0
+    schedule: SlotSchedule | None = None
+    active: bool = True
+    #: Epoch of the plan the moves belong to (-1: no plan in flight).
+    plan_epoch: int = -1
+    pending_in: tuple[MoveDirective, ...] = ()
+
+    def wire_bytes(self, tuple_bytes: int) -> int:
+        return CONTROL_BYTES + 24 * len(self.pending_in)
+
+
+@dataclass(frozen=True)
+class Rejoin(Message):
+    """Slave -> standby: acknowledgement of a :class:`TakeOver`.
+
+    Reports what the slave actually holds so the new master can rebuild
+    the authoritative partition map: the owned partition-groups, the
+    last epochs it received a shipment / a reorg order for, and any
+    join-pair chunks it surrendered (in a Checkpoint or MoveAck) that
+    the dead master may never have banked — tagged ``(pid, epoch)`` so
+    the new master deduplicates against the replicated pair store.
+    """
+
+    epoch: int
+    owned_pids: tuple[int, ...] = ()
+    last_shipment_epoch: int = -1
+    last_order_epoch: int = -1
+    active: bool = True
+    #: Possibly-unbanked pair chunks: ``(pid, epoch, rows)``.
+    pairs: tuple[tuple[int, int, np.ndarray], ...] = ()
+
+    def wire_bytes(self, tuple_bytes: int) -> int:
+        total = CONTROL_BYTES + 8 * len(self.owned_pids)
+        for _pid, _epoch, rows in self.pairs:
+            total += 16 + 16 * len(rows)
+        return total
+
+
+MasterToSlave = t.Union[
+    Shipment, ReorgOrder, Activate, Halt, Replicate, Restore, TakeOver
+]
+SlaveToMaster = t.Union[SlaveSync, MoveAck, Checkpoint, Rejoin]
+MasterToStandby = t.Union[StandbySync, StandbyPlan, Halt]

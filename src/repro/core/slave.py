@@ -34,7 +34,7 @@ from __future__ import annotations
 import typing as t
 
 from repro.config import SystemConfig
-from repro.faults.markers import peer_silent
+from repro.faults.markers import NodeDown, RecvTimeout, peer_silent
 from repro.core.join_module import JoinModule
 from repro.core.metrics import SlaveMetrics
 from repro.core.protocol import (
@@ -43,6 +43,8 @@ from repro.core.protocol import (
     Halt,
     LoadReport,
     MoveAck,
+    MoveDirective,
+    Rejoin,
     ReorgOrder,
     Replicate,
     ResultReport,
@@ -50,6 +52,7 @@ from repro.core.protocol import (
     Shipment,
     SlaveSync,
     StateTransfer,
+    TakeOver,
 )
 from repro.core.subgroups import SlotSchedule
 from repro.mp.comm import Communicator
@@ -85,6 +88,7 @@ class SlaveNode:
         active: bool,
         tracer: Tracer = NULL_TRACER,
         faults: "FaultInjector | None" = None,
+        standby_id: int | None = None,
     ) -> None:
         self.node_id = node_id
         self.cfg = cfg
@@ -114,6 +118,27 @@ class SlaveNode:
         self._occ_sum = 0.0
         self._occ_n = 0
         self._last_occ = 0.0
+        # -- master-failover state (all inert without a standby) --------
+        self.standby_id = standby_id
+        #: Receives from *peers* (not the master) are only allowed to
+        #: block forever when no standby exists: with one, a dead master
+        #: can strand a consumer waiting on a never-ordered supplier.
+        self._peer_timeout: float | None = (
+            cfg.faults.effective_timeout(cfg.dist_epoch)
+            if standby_id is not None and cfg.faults.enabled
+            else None
+        )
+        self._took_over = False
+        self._last_shipment_epoch = -1
+        self._last_order_epoch = -1
+        #: Pair chunks surrendered to the master (supplier MoveAcks and
+        #: checkpoints) that a master crash may not have banked yet,
+        #: keyed ``(pid, epoch)``.  Pruned when a later master message
+        #: proves the round was banked; resent in :class:`Rejoin`.
+        self._limbo_pairs: dict[tuple[int, int], t.Any] = {}
+        #: Incoming moves of an aborted order whose transfers were not
+        #: yet installed when we detected master death mid-consume.
+        self._pending_in_left: list[MoveDirective] | None = None
 
     # ------------------------------------------------------------------
     def processes(self) -> list[t.Generator]:
@@ -171,6 +196,13 @@ class SlaveNode:
         while not self._halted:
             if not self.active:
                 msg = yield from comm.recv_expect(self.master_id, Activate, Halt)
+                if peer_silent(msg):
+                    halted = yield from self._master_silent()
+                    if halted:
+                        yield from self._shutdown()
+                        return
+                    self._took_over = False
+                    continue
                 if isinstance(msg, Halt):
                     yield from self._shutdown()
                     return
@@ -204,6 +236,12 @@ class SlaveNode:
             if halted:
                 yield from self._shutdown()
                 return
+            if self._took_over:
+                # A standby became the acting master mid-exchange; it
+                # set our epoch/schedule via TakeOver — restart the loop
+                # at its round rather than finishing this one.
+                self._took_over = False
+                continue
             if self.active:
                 yield from self._report_results(k)
             self.epoch = k + 1
@@ -213,13 +251,15 @@ class SlaveNode:
         comm = self.comm
         yield comm.send(self.master_id, SlaveSync(k, self._make_report(k)))
         halted = yield from self._apply_replication(k)
-        if halted:
-            return True
+        if halted or self._took_over:
+            return halted
         # A ReorgOrder at a plain epoch is a recovery round: the master
         # is reassigning a dead slave's partition-groups.
         msg = yield from comm.recv_expect(
             self.master_id, Shipment, ReorgOrder, Halt
         )
+        if peer_silent(msg):
+            return (yield from self._master_silent())
         if isinstance(msg, Halt):
             return True
         if isinstance(msg, ReorgOrder):
@@ -238,6 +278,8 @@ class SlaveNode:
         if not self.replication:
             return False
         msg = yield from self.comm.recv_expect(self.master_id, Replicate, Halt)
+        if peer_silent(msg):
+            return (yield from self._master_silent())
         if isinstance(msg, Halt):
             return True
         assert self.backup_store is not None
@@ -245,6 +287,8 @@ class SlaveNode:
         return False
 
     def _accept_shipment(self, shipment: Shipment) -> t.Generator:
+        self._last_shipment_epoch = max(self._last_shipment_epoch, shipment.epoch)
+        self._prune_limbo(shipment.epoch)
         # Filing into the module's mini-buffers is safe alongside a
         # running join pass (the pass picks the tuples up at its next
         # drain); only state moves need the lock.
@@ -257,9 +301,11 @@ class SlaveNode:
             yield comm.send(self.master_id, SlaveSync(k, self._make_report(k)))
         self._reset_occupancy_window()
         halted = yield from self._apply_replication(k)
-        if halted:
-            return True
+        if halted or self._took_over:
+            return halted
         msg = yield from comm.recv_expect(self.master_id, ReorgOrder, Halt)
+        if peer_silent(msg):
+            return (yield from self._master_silent())
         if isinstance(msg, Halt):
             return True
         return (yield from self._handle_order(msg))
@@ -271,12 +317,16 @@ class SlaveNode:
         """
         rt, comm, metrics = self.rt, self.comm, self.metrics
         tuple_bytes = self.cfg.tuple_bytes
+        self._last_order_epoch = max(self._last_order_epoch, order.epoch)
+        self._prune_limbo(order.epoch)
         restore_pids: tuple[int, ...] = ()
         if self.replication:
             # The Restore rides right behind every ReorgOrder (possibly
             # empty).  Take it before any peer-dependent step so the
             # master's rendezvous send never waits on a state move.
             restore = yield from comm.recv_expect(self.master_id, Restore)
+            if peer_silent(restore):
+                return (yield from self._master_silent())
             restore_pids = restore.pids
         if order.schedule is not None:
             self.schedule = order.schedule
@@ -290,7 +340,14 @@ class SlaveNode:
                 # Retire the pairs this partition produced here; the
                 # master banks them so a later crash of the new owner
                 # cannot lose them (replay regenerates only the rest).
-                popped_pairs[mv.pid] = metrics.pop_pairs(mv.pid)
+                pairs = metrics.pop_pairs(mv.pid)
+                popped_pairs[mv.pid] = pairs
+                if self.standby_id is not None and pairs is not None and len(pairs):
+                    # Limbo copy from the moment of retirement: if the
+                    # master dies before banking the MoveAck, the chunk
+                    # rides our Rejoin instead.  Pruned once a later
+                    # master message proves the round was banked.
+                    self._limbo_pairs[(mv.pid, order.epoch)] = pairs
             self.lock.release()
             nbytes = (state.n_tuples + len(buffered)) * tuple_bytes
             t0 = rt.now()
@@ -298,12 +355,57 @@ class SlaveNode:
             yield rt.cpu(self._cpu_cost(self.cost_model.state_move_cost(nbytes)))
             metrics.charge_cpu("state_move", t0, rt.now())
             metrics.state_bytes_moved += nbytes
+            if self._peer_timeout is not None:
+                # A consumer only posts a *timed* receive for this
+                # transfer once the master is dead, and may have given
+                # up already — probe the master before committing to
+                # the rendezvous send so we never send into a channel
+                # nobody will read.  Zero-timeout: alive == RecvTimeout.
+                probe = yield from comm.recv_expect(
+                    self.master_id, Halt, timeout=0.0
+                )
+                if isinstance(probe, Halt):
+                    return True
+                if isinstance(probe, NodeDown):
+                    # Master died before we shipped: keep the group (our
+                    # Rejoin claims it; the consumer's absorb times out
+                    # and abandons the move — both sides agree).
+                    yield self.lock.acquire()
+                    self.module.install_partition(mv.pid, state, buffered)
+                    self.lock.release()
+                    self._trace_move(
+                        "lost", "supplier", mv.pid, mv.dst, nbytes, rt.now()
+                    )
+                    # Our own incoming transfers may still be in flight.
+                    self._pending_in_left = list(order.incoming)
+                    return (yield from self._master_silent())
             yield comm.send(mv.dst, StateTransfer(mv.pid, state, buffered))
             self._trace_move("end", "supplier", mv.pid, mv.dst, nbytes, rt.now())
 
-        # Consumer role: receive and install.
-        for mv in order.incoming:
-            transfer = yield from comm.recv_expect(mv.src, StateTransfer)
+        # Consumer role: receive and install.  With a standby wired in
+        # the receive is armed with a timeout: a supplier that never got
+        # its order (master died first) will never send, and only a
+        # probe of the master's channel can tell that apart from a
+        # supplier that is merely slow.
+        for i, mv in enumerate(order.incoming):
+            while True:
+                transfer = yield from comm.recv_expect(
+                    mv.src, StateTransfer, timeout=self._peer_timeout
+                )
+                if not isinstance(transfer, RecvTimeout):
+                    break
+                probe = yield from comm.recv_expect(
+                    self.master_id, Halt, timeout=0.0
+                )
+                if isinstance(probe, Halt):
+                    return True
+                if isinstance(probe, NodeDown):
+                    # The master is dead; this and the remaining moves
+                    # are absorbed (or abandoned) during failover.
+                    self._pending_in_left = list(order.incoming[i:])
+                    return (yield from self._master_silent())
+                # RecvTimeout on the probe: the master is alive, the
+                # supplier is just slow — keep waiting.
             if peer_silent(transfer):
                 # The supplier died before (or while) shipping this
                 # group's state: adopt the partition with empty windows
@@ -314,20 +416,7 @@ class SlaveNode:
                 self.lock.release()
                 self._trace_move("lost", "consumer", mv.pid, mv.src, 0, rt.now())
                 continue
-            nbytes = (transfer.state.n_tuples + len(transfer.buffered)) * tuple_bytes
-            t0 = rt.now()
-            self._trace_move("begin", "consumer", mv.pid, mv.src, nbytes, t0)
-            yield rt.cpu(self._cpu_cost(self.cost_model.state_move_cost(nbytes)))
-            metrics.charge_cpu("state_move", t0, rt.now())
-            metrics.state_bytes_moved += nbytes
-            yield self.lock.acquire()
-            self.module.install_partition(
-                transfer.pid, transfer.state, transfer.buffered
-            )
-            self.lock.release()
-            self._trace_move("end", "consumer", mv.pid, mv.src, nbytes, rt.now())
-            # The moved buffer may contain work; wake the join loop.
-            yield self.work_queue.put(WAKE_TOKEN)
+            yield from self._install_transfer(mv.src, transfer)
 
         # Recovery role: re-own a dead slave's groups with empty state.
         # Ack *before* installing: there is no transferred state to
@@ -388,16 +477,121 @@ class SlaveNode:
             t0 = rt.now()
             yield rt.cpu(self._cpu_cost(self.cost_model.state_move_cost(nbytes)))
             metrics.charge_cpu("state_move", t0, rt.now())
+            if self.standby_id is not None and pairs is not None and len(pairs):
+                self._limbo_pairs[(pid, order.epoch)] = pairs
             yield comm.send(
                 self.master_id,
                 Checkpoint(pid, order.epoch, state, buffered, pairs),
             )
 
         msg = yield from comm.recv_expect(self.master_id, Shipment, Halt)
+        if peer_silent(msg):
+            return (yield from self._master_silent())
         if isinstance(msg, Halt):
             return True
         yield from self._accept_shipment(msg)
         return False
+
+    def _install_transfer(self, src: int, transfer: StateTransfer) -> t.Generator:
+        """Charge, install and wake for one received state transfer."""
+        rt, metrics = self.rt, self.metrics
+        nbytes = (
+            transfer.state.n_tuples + len(transfer.buffered)
+        ) * self.cfg.tuple_bytes
+        t0 = rt.now()
+        self._trace_move("begin", "consumer", transfer.pid, src, nbytes, t0)
+        yield rt.cpu(self._cpu_cost(self.cost_model.state_move_cost(nbytes)))
+        metrics.charge_cpu("state_move", t0, rt.now())
+        metrics.state_bytes_moved += nbytes
+        yield self.lock.acquire()
+        self.module.install_partition(transfer.pid, transfer.state, transfer.buffered)
+        self.lock.release()
+        self._trace_move("end", "consumer", transfer.pid, src, nbytes, rt.now())
+        # The moved buffer may contain work; wake the join loop.
+        yield self.work_queue.put(WAKE_TOKEN)
+
+    def _prune_limbo(self, epoch: int) -> None:
+        """Drop limbo pair chunks the (live) master has provably banked.
+
+        Any master message carrying ``epoch`` proves every chunk this
+        slave surrendered in *earlier* rounds reached a master that
+        since synchronized with its standby (the sync ends the round).
+        Never called on :class:`TakeOver` — the new master has *not*
+        necessarily banked the fatal round's chunks.
+        """
+        if self._limbo_pairs:
+            for key in [k for k in self._limbo_pairs if k[1] < epoch]:
+                del self._limbo_pairs[key]
+
+    def _master_silent(self) -> t.Generator:
+        """The master's channel died mid-exchange: fail over.
+
+        Waits for the standby's :class:`TakeOver`, absorbs any state
+        transfers still in flight from the aborted order, and answers
+        with a :class:`Rejoin` describing exactly what this slave owns
+        and the last rounds it saw — the acting master rebuilds its
+        shadow mapping from these.  Returns True when the slave should
+        halt instead (no standby, standby dead too, or it sent Halt).
+        """
+        if self.standby_id is None:
+            return True
+        msg = yield from self.comm.recv_expect(self.standby_id, TakeOver, Halt)
+        if peer_silent(msg) or isinstance(msg, Halt):
+            return True
+        yield from self._absorb_pending(msg)
+        self.master_id = self.standby_id
+        self.epoch = msg.epoch
+        if msg.schedule is not None:
+            self.schedule = msg.schedule
+        self.active = msg.active
+        yield self.comm.send(
+            self.master_id,
+            Rejoin(
+                msg.epoch,
+                owned_pids=tuple(sorted(self.module.owned_pids())),
+                last_shipment_epoch=self._last_shipment_epoch,
+                last_order_epoch=self._last_order_epoch,
+                active=self.active,
+                pairs=tuple(
+                    (pid, e, rows)
+                    for (pid, e), rows in sorted(self._limbo_pairs.items())
+                ),
+            ),
+        )
+        # The acting master banked (or deduplicated) every limbo chunk.
+        self._limbo_pairs.clear()
+        self._took_over = True
+        return False
+
+    def _absorb_pending(self, takeover: TakeOver) -> t.Generator:
+        """Drain fatal-round state transfers that may be in flight.
+
+        A supplier that executed its order before the master died is
+        blocked in a rendezvous send towards this node; the matching
+        receive must be posted or that supplier never reaches its own
+        failover receive.  The receive is timed: a supplier that never
+        got the order won't send (it keeps the partition and claims it
+        in its Rejoin), and a dead one yields NodeDown — both leave the
+        group with its pre-plan owner for ordinary recovery to handle.
+        """
+        if self._pending_in_left is not None:
+            # We bailed out mid-consume: only the uninstalled tail of
+            # our own aborted order can still be in flight.
+            left = self._pending_in_left
+        elif takeover.plan_epoch >= 0 and self._last_order_epoch < takeover.plan_epoch:
+            # The fatal round's plan ordered moves to us but we never
+            # received the order; suppliers that did may be mid-send.
+            left = [mv for mv in takeover.pending_in if mv.dst == self.node_id]
+        else:
+            left = []
+        self._pending_in_left = None
+        for mv in left:
+            transfer = yield from self.comm.recv_expect(
+                mv.src, StateTransfer, timeout=self._peer_timeout
+            )
+            if peer_silent(transfer):
+                continue
+            yield from self._install_transfer(mv.src, transfer)
 
     def _trace_move(
         self, phase: str, role: str, pid: int, peer: int, nbytes: int, when: float

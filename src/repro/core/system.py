@@ -218,10 +218,16 @@ class RunResult:
             lines.append(f"  degree-of-declustering trace: {self.dod_trace}")
         if self.degraded:
             latencies = ", ".join(f"{x:.2f}s" for x in self.recovery_latencies)
-            lines.append(
-                f"  DEGRADED: {len(self.faults)} slave failure(s), "
+            unrecovered = sum(
+                1 for f in self.faults if f.get("unrecovered_at_halt")
+            )
+            line = (
+                f"  DEGRADED: {len(self.faults)} failure(s), "
                 f"recovery latency: [{latencies}]"
             )
+            if unrecovered:
+                line += f"  unrecovered at halt: {unrecovered}"
+            lines.append(line)
         return "\n".join(lines)
 
 
@@ -355,6 +361,8 @@ class SimBackend:
                 if name.startswith("slave"):
                     nid = int(name[len("slave"): name.index(".")])
                     by_node.setdefault(nid, []).append(proc)
+                elif name == "master":
+                    by_node.setdefault(MASTER_ID, []).append(proc)
             for nid, crash in injector.crash_targets():
                 sim.process(
                     injector.crash_process(
@@ -437,8 +445,14 @@ register_backend("tcp", _tcp_backend)
 
 def master_snapshot(cluster: "Cluster") -> dict[str, t.Any]:
     """Master-side metric snapshot (shared by every backend; the
-    process backend pickles this dict across the result pipe)."""
-    master_metrics = cluster.master_metrics
+    process backend pickles this dict across the result pipe).
+
+    Reads through :attr:`Cluster.acting_master`: after a standby
+    takeover the authoritative coordinator state — partition mapping,
+    dead set, failure records — lives in the standby's shadow master.
+    """
+    acting = cluster.acting_master
+    master_metrics = acting.metrics
     return {
         "comm_time": master_metrics.comm_time,
         "idle_time": master_metrics.idle_time,
@@ -452,8 +466,8 @@ def master_snapshot(cluster: "Cluster") -> dict[str, t.Any]:
         "moves_ordered": master_metrics.moves_ordered,
         "supplier_counts": master_metrics.supplier_counts,
         "failures": master_metrics.failures,
-        "dead_slaves": sorted(cluster.master.dead),
-        "partition_owners": dict(sorted(cluster.buffer.mapping.items())),
+        "dead_slaves": sorted(acting.dead),
+        "partition_owners": dict(sorted(acting.buffer.mapping.items())),
         "replication_bytes": master_metrics.replication_bytes,
     }
 
@@ -467,6 +481,8 @@ def collect_result(
     for metrics in cluster.slave_metrics:
         merged.merge(metrics.delays)
 
+    acting = cluster.acting_master
+
     pairs: np.ndarray | None = None
     if collect_pairs:
         replicated = cfg.replication != "off"
@@ -476,8 +492,8 @@ def collect_result(
         # keeping them would double-count.  (The process backend cannot
         # read a killed slave's memory at all, so this also makes the
         # sim/thread result match it exactly.)
-        chunks = list(cluster.master.pair_rows) if replicated else []
-        dead = cluster.master.dead if replicated else set()
+        chunks = list(acting.pair_rows) if replicated else []
+        dead = acting.dead if replicated else set()
         for i, m in enumerate(cluster.slave_metrics):
             if slave_node_id(i) in dead:
                 continue
@@ -488,7 +504,7 @@ def collect_result(
             else np.empty((0, 2), dtype=np.int64)
         )
 
-    master_metrics = cluster.master_metrics
+    master_metrics = acting.metrics
 
     trace = cluster.tracer.memory_records()
     series = (
@@ -504,7 +520,7 @@ def collect_result(
     )
     cluster.tracer.close()
 
-    workload = cluster.workload
+    workload = acting.workload
     return RunResult(
         cfg=cfg,
         duration=cfg.run_seconds - cfg.warmup_seconds,

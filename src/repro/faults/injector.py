@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import typing as t
 
+from repro.core.cluster import MASTER_ID
 from repro.faults.plan import CrashFault, FaultPlan, MessageFault, SlowFault
 from repro.obs.events import FaultEvent
 from repro.obs.tracer import NULL_TRACER, Tracer
@@ -38,8 +39,11 @@ class FaultInjector:
         self.detect_timeout: float | None = (
             plan.effective_timeout(dist_epoch) if plan.enabled else None
         )
+        # MASTER_CRASH is a sentinel, not a slave index: naively
+        # indexing slave_ids[-1] would silently target the last slave.
         self._crash_by_node: dict[int, CrashFault] = {
-            slave_ids[c.slave]: c for c in plan.crashes
+            (MASTER_ID if c.targets_master else slave_ids[c.slave]): c
+            for c in plan.crashes
         }
         self._slow_by_node: dict[int, list[SlowFault]] = {}
         for slow in plan.slowdowns:

@@ -24,11 +24,14 @@ no extra events scheduled.
 The CLI spec grammar (``swjoin run --fault SPEC``, repeatable)::
 
     crash:2@35s            crash slave 2 at t=35
+    crash:master@35s       crash the master at t=35 (needs --standby)
     drop:2->0@3            drop the 3rd message slave-node 2 sends node 0
     delay:2->0@3+0.5s      delay that message by 0.5 s instead
     slow:1x4@10-20s        slave 1 runs 4x slower during [10, 20)
 
-Trailing ``s`` on seconds is optional everywhere.
+Trailing ``s`` on seconds is optional everywhere.  ``crash:master``
+kills the coordinator itself (node 0); the run only survives it when a
+standby is configured (``swjoin run --standby``).
 """
 
 from __future__ import annotations
@@ -44,8 +47,14 @@ __all__ = [
     "MessageFault",
     "SlowFault",
     "FaultPlan",
+    "MASTER_CRASH",
     "parse_fault",
 ]
+
+#: Sentinel ``CrashFault.slave`` value naming the *master* (node 0)
+#: rather than a slave index.  Kept out of the non-negative slave-index
+#: space so existing plans never collide with it.
+MASTER_CRASH = -1
 
 
 @dataclass(frozen=True)
@@ -57,10 +66,18 @@ class CrashFault:
     #: Simulated time of the crash, seconds.
     at: float
 
+    @property
+    def targets_master(self) -> bool:
+        return self.slave == MASTER_CRASH
+
     def validated(self, num_slaves: int | None = None) -> "CrashFault":
-        if self.slave < 0:
+        if self.slave < 0 and not self.targets_master:
             raise ConfigError(f"crash slave index must be >= 0: {self.slave}")
-        if num_slaves is not None and self.slave >= num_slaves:
+        if (
+            not self.targets_master
+            and num_slaves is not None
+            and self.slave >= num_slaves
+        ):
             raise ConfigError(
                 f"crash targets slave {self.slave} but the cluster has "
                 f"only {num_slaves} slaves"
@@ -70,7 +87,8 @@ class CrashFault:
         return self
 
     def spec(self) -> str:
-        return f"crash:{self.slave}@{self.at:g}s"
+        target = "master" if self.targets_master else str(self.slave)
+        return f"crash:{target}@{self.at:g}s"
 
 
 @dataclass(frozen=True)
@@ -142,7 +160,7 @@ class SlowFault:
         return f"slow:{self.slave}x{self.factor:g}@{self.start:g}-{self.stop:g}s"
 
 
-_CRASH_RE = re.compile(r"^crash:(\d+)@([0-9.]+)s?$")
+_CRASH_RE = re.compile(r"^crash:(\d+|master)@([0-9.]+)s?$")
 _DROP_RE = re.compile(r"^drop:(\d+)->(\d+)@(\d+)$")
 _DELAY_RE = re.compile(r"^delay:(\d+)->(\d+)@(\d+)\+([0-9.]+)s?$")
 _SLOW_RE = re.compile(r"^slow:(\d+)x([0-9.]+)@([0-9.]+)-([0-9.]+)s?$")
@@ -155,7 +173,10 @@ def parse_fault(spec: str) -> Fault:
     text = spec.strip()
     m = _CRASH_RE.match(text)
     if m:
-        return CrashFault(int(m.group(1)), float(m.group(2))).validated()
+        target = (
+            MASTER_CRASH if m.group(1) == "master" else int(m.group(1))
+        )
+        return CrashFault(target, float(m.group(2))).validated()
     m = _DROP_RE.match(text)
     if m:
         return MessageFault(

@@ -3,12 +3,16 @@
 One entry per line, finding key first, **mandatory** tracking comment
 after ``#``::
 
-    SIM003 src/repro/core/window.py:88  # TODO(repro#7): epoch arithmetic
+    OBS001 src/repro/example/module.py:42  # TODO(repro#99): guard emit
 
 The comment requirement is enforced at parse time: a baseline can only
 hold debt someone has triaged and annotated, never silently accepted
 findings.  Entries that no longer match a finding are *stale* and make
 the run fail, so the file can only shrink as violations are fixed.
+
+The project's own baseline (``lint-baseline.txt``) is empty since its
+last entry — SIM003 float-equality epoch arithmetic in
+``core/window.py`` — was retired; CI keeps it that way.
 """
 
 from __future__ import annotations

@@ -39,6 +39,7 @@ PROTOCOL_SUFFIX = "core/protocol.py"
 HANDLER_SUFFIXES: tuple[str, ...] = (
     "core/master.py",
     "core/slave.py",
+    "core/standby.py",
     "core/collector.py",
     "baselines/framework.py",
 )

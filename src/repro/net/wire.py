@@ -49,13 +49,17 @@ from repro.core.protocol import (
     LoadReport,
     MoveAck,
     MoveDirective,
+    Rejoin,
     ReorgOrder,
     Replicate,
     ResultReport,
     Restore,
     Shipment,
     SlaveSync,
+    StandbyPlan,
+    StandbySync,
     StateTransfer,
+    TakeOver,
 )
 from repro.core.subgroups import SlotSchedule
 from repro.data.tuples import (
@@ -73,7 +77,9 @@ __all__ = ["WIRE_VERSION", "MAGIC", "encode_message", "decode_message"]
 #: v2: ReorgOrder grew ``checkpoint_pids``, MoveAck grew optional
 #: ``pairs``, and the replication messages (Replicate / Checkpoint /
 #: Restore) joined the tag table.
-WIRE_VERSION = 2
+#: v3: master-failover messages (StandbySync / StandbyPlan / TakeOver /
+#: Rejoin) joined the tag table.
+WIRE_VERSION = 3
 MAGIC = b"SJ"
 
 _U8 = struct.Struct("!B")
@@ -489,6 +495,183 @@ def _dec_restore(r: _Reader) -> Restore:
     return Restore(epoch, pids)
 
 
+#: Standby op-log record kinds (see ``StandbySync.ops``).  The scalar
+#: slots are typed per kind: ``gen`` carries two floats, ``drain`` an
+#: int + float, ``remap`` two ints.
+_OP_CODES = {"gen": 0, "drain": 1, "remap": 2}
+_OP_KINDS = {code: kind for kind, code in _OP_CODES.items()}
+_OP_INT_SLOTS = {"gen": (), "drain": (0,), "remap": (0, 1)}
+
+
+def _put_ops(w: _Writer, ops: t.Sequence[tuple]) -> None:
+    w.u32(len(ops))
+    for kind, a, b in ops:
+        code = _OP_CODES.get(kind)
+        if code is None:
+            raise WireError(f"unknown standby op kind: {kind!r}")
+        w.u8(code)
+        w.f64(a)
+        w.f64(b)
+
+
+def _get_ops(r: _Reader) -> tuple[tuple, ...]:
+    ops = []
+    for _ in range(r.u32()):
+        code = r.u8()
+        kind = _OP_KINDS.get(code)
+        if kind is None:
+            raise WireError(f"unknown standby op code: {code}")
+        slots = [r.f64(), r.f64()]
+        for i in _OP_INT_SLOTS[kind]:
+            slots[i] = int(slots[i])
+        ops.append((kind, slots[0], slots[1]))
+    return tuple(ops)
+
+
+def _put_int_seq(w: _Writer, values: t.Sequence[int]) -> None:
+    w.u32(len(values))
+    for v in values:
+        w.i64(v)
+
+
+def _get_int_seq(r: _Reader) -> tuple[int, ...]:
+    return tuple(r.i64() for _ in range(r.u32()))
+
+
+def _enc_standby_sync(w: _Writer, m: StandbySync) -> None:
+    w.i64(m.epoch)
+    _put_ops(w, m.ops)
+    _put_int_seq(w, m.active)
+    _put_int_seq(w, m.dead)
+    w.f64(m.next_gen_time)
+    w.u32(len(m.backup_of))
+    for pid, backup in m.backup_of:
+        w.i64(pid)
+        w.i64(backup)
+    _put_int_seq(w, m.covered)
+    w.u32(len(m.pending))
+    for backup, rep in m.pending:
+        w.i64(backup)
+        _enc_replicate(w, rep)
+    w.str_(m.failures_json)
+    w.u32(len(m.pairs))
+    for slave, pid, epoch, rows in m.pairs:
+        w.i64(slave)
+        w.i64(pid)
+        w.i64(epoch)
+        _put_pairs(w, rows)
+
+
+def _dec_standby_sync(r: _Reader) -> StandbySync:
+    epoch = r.i64()
+    ops = _get_ops(r)
+    active = _get_int_seq(r)
+    dead = _get_int_seq(r)
+    next_gen_time = r.f64()
+    backup_of = tuple((r.i64(), r.i64()) for _ in range(r.u32()))
+    covered = _get_int_seq(r)
+    pending = tuple((r.i64(), _dec_replicate(r)) for _ in range(r.u32()))
+    failures_json = r.str_()
+    pairs = []
+    for _ in range(r.u32()):
+        slave, pid, pepoch = r.i64(), r.i64(), r.i64()
+        rows = _get_pairs(r)
+        if rows is None:
+            raise WireError("standby sync pair chunk without rows")
+        pairs.append((slave, pid, pepoch, rows))
+    return StandbySync(
+        epoch,
+        ops=ops,
+        active=active,
+        dead=dead,
+        next_gen_time=next_gen_time,
+        backup_of=backup_of,
+        covered=covered,
+        pending=pending,
+        failures_json=failures_json,
+        pairs=tuple(pairs),
+    )
+
+
+def _enc_standby_plan(w: _Writer, m: StandbyPlan) -> None:
+    w.i64(m.epoch)
+    _put_moves(w, m.moves)
+    _put_int_seq(w, m.new_active)
+    _put_int_seq(w, m.deactivate)
+    w.u32(len(m.remaps))
+    for pid, dst in m.remaps:
+        w.i64(pid)
+        w.i64(dst)
+    _put_int_seq(w, m.restores)
+
+
+def _dec_standby_plan(r: _Reader) -> StandbyPlan:
+    return StandbyPlan(
+        r.i64(),
+        moves=_get_moves(r),
+        new_active=_get_int_seq(r),
+        deactivate=_get_int_seq(r),
+        remaps=tuple((r.i64(), r.i64()) for _ in range(r.u32())),
+        restores=_get_int_seq(r),
+    )
+
+
+def _enc_take_over(w: _Writer, m: TakeOver) -> None:
+    w.i64(m.epoch)
+    w.f64(m.clock)
+    _put_schedule(w, m.schedule)
+    w.u8(1 if m.active else 0)
+    w.i64(m.plan_epoch)
+    _put_moves(w, m.pending_in)
+
+
+def _dec_take_over(r: _Reader) -> TakeOver:
+    return TakeOver(
+        r.i64(),
+        clock=r.f64(),
+        schedule=_get_schedule(r),
+        active=bool(r.u8()),
+        plan_epoch=r.i64(),
+        pending_in=_get_moves(r),
+    )
+
+
+def _enc_rejoin(w: _Writer, m: Rejoin) -> None:
+    w.i64(m.epoch)
+    _put_int_seq(w, m.owned_pids)
+    w.i64(m.last_shipment_epoch)
+    w.i64(m.last_order_epoch)
+    w.u8(1 if m.active else 0)
+    w.u32(len(m.pairs))
+    for pid, epoch, rows in m.pairs:
+        w.i64(pid)
+        w.i64(epoch)
+        _put_pairs(w, rows)
+
+
+def _dec_rejoin(r: _Reader) -> Rejoin:
+    epoch = r.i64()
+    owned_pids = _get_int_seq(r)
+    last_shipment_epoch = r.i64()
+    last_order_epoch = r.i64()
+    active = bool(r.u8())
+    pairs = []
+    for _ in range(r.u32()):
+        pid, pepoch = r.i64(), r.i64()
+        rows = _get_pairs(r)
+        if rows is None:
+            raise WireError("rejoin pair chunk without rows")
+        pairs.append((pid, pepoch, rows))
+    return Rejoin(
+        epoch,
+        owned_pids=owned_pids,
+        last_shipment_epoch=last_shipment_epoch,
+        last_order_epoch=last_order_epoch,
+        active=active,
+        pairs=tuple(pairs),
+    )
+
+
 #: tag -> (type, encoder, decoder).  Tags are part of the wire format:
 #: never renumber, only append (and bump WIRE_VERSION on change).
 _TAGS: dict[int, tuple[type, t.Any, t.Any]] = {
@@ -504,6 +687,10 @@ _TAGS: dict[int, tuple[type, t.Any, t.Any]] = {
     10: (Replicate, _enc_replicate, _dec_replicate),
     11: (Checkpoint, _enc_checkpoint, _dec_checkpoint),
     12: (Restore, _enc_restore, _dec_restore),
+    13: (StandbySync, _enc_standby_sync, _dec_standby_sync),
+    14: (StandbyPlan, _enc_standby_plan, _dec_standby_plan),
+    15: (TakeOver, _enc_take_over, _dec_take_over),
+    16: (Rejoin, _enc_rejoin, _dec_rejoin),
 }
 _TAG_OF = {tp: tag for tag, (tp, _e, _d) in _TAGS.items()}
 
@@ -532,6 +719,12 @@ _TAG_LEDGER: dict[int, tuple[tuple[int, str], ...]] = {
         (10, "Replicate"),
         (11, "Checkpoint"),
         (12, "Restore"),
+    ),
+    3: (
+        (13, "StandbySync"),
+        (14, "StandbyPlan"),
+        (15, "TakeOver"),
+        (16, "Rejoin"),
     ),
 }
 

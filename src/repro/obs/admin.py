@@ -175,18 +175,38 @@ def cluster_status(
     Reads master-owned state only — partition ownership, load reports,
     the dead set, failure records — all of which live in the same OS
     process as the admin server on every backend.
+
+    All coordinator state is read through :attr:`Cluster.acting_master`
+    so a probe racing a standby election stays coherent: until the
+    takeover completes the master's own (last-known) state answers;
+    after it, the standby's live mirror does.  ``acting_master`` (the
+    node id) says who answered.
     """
-    master = cluster.master
-    mm = cluster.master_metrics
-    owners: dict[int, int] = dict(cluster.buffer.mapping)
+    master = getattr(cluster, "acting_master", None) or cluster.master
+    standby = getattr(cluster, "standby", None)
+    took_over = standby is not None and standby.took_over
+    mm = master.metrics
+    owners: dict[int, int] = dict(master.buffer.mapping)
     owned_count: dict[int, int] = {}
     for owner in owners.values():
         owned_count[owner] = owned_count.get(owner, 0) + 1
 
     nodes: list[dict[str, t.Any]] = [
-        {"node": master.comm.node_id, "role": "master", "alive": True},
+        {
+            "node": cluster.master.comm.node_id,
+            "role": "master",
+            "alive": not took_over,
+        },
         {"node": cluster.collector.node_id, "role": "collector", "alive": True},
     ]
+    if standby is not None:
+        nodes.append(
+            {
+                "node": standby.node_id,
+                "role": "acting-master" if took_over else "standby",
+                "alive": True,
+            }
+        )
     for slave in cluster.slaves:
         nid = slave.node_id
         report = master.latest_reports.get(nid)
@@ -204,6 +224,7 @@ def cluster_status(
         "backend": backend,
         "t": now_fn(),
         "run_seconds": cfg.run_seconds,
+        "acting_master": master.comm.node_id,
         "epochs": mm.epochs,
         "reorgs": mm.reorgs,
         "nodes": nodes,

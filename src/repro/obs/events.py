@@ -26,6 +26,8 @@ kind            meaning
 ``recovery``    the master reassigned a dead slave's partitions
 ``checkpoint``  an owner's replication checkpoint reached the master
 ``restore``     a backup slave rebuilt partitions (checkpoint + replay)
+``election``    the standby detected master death and started its takeover
+``takeover``    the standby finished re-fencing and is the acting master
 ==============  ============================================================
 """
 
@@ -51,6 +53,8 @@ __all__ = [
     "RecoveryEvent",
     "CheckpointEvent",
     "RestoreEvent",
+    "ElectionEvent",
+    "TakeoverEvent",
     "EVENT_KINDS",
 ]
 
@@ -292,6 +296,37 @@ class RestoreEvent(TraceEvent):
     latency: float
 
 
+@dataclasses.dataclass(frozen=True)
+class ElectionEvent(TraceEvent):
+    """The standby observed master death and began its takeover.
+
+    ``node`` is the standby; ``fatal_epoch`` the round the master died
+    in (one past the last synchronized round); ``synced_epoch`` the last
+    round whose :class:`~repro.core.protocol.StandbySync` arrived.
+    """
+
+    kind: t.ClassVar[str] = "election"
+
+    fatal_epoch: int
+    synced_epoch: int
+    plan_epoch: int
+
+
+@dataclasses.dataclass(frozen=True)
+class TakeoverEvent(TraceEvent):
+    """The standby finished re-fencing and became the acting master.
+
+    ``latency`` is election latency: master-death detection to the last
+    slave's :class:`~repro.core.protocol.Rejoin`.
+    """
+
+    kind: t.ClassVar[str] = "takeover"
+
+    epoch: int
+    rejoined: tuple[int, ...]
+    latency: float
+
+
 EVENT_KINDS: tuple[str, ...] = tuple(
     cls.kind
     for cls in (
@@ -310,5 +345,7 @@ EVENT_KINDS: tuple[str, ...] = tuple(
         RecoveryEvent,
         CheckpointEvent,
         RestoreEvent,
+        ElectionEvent,
+        TakeoverEvent,
     )
 )

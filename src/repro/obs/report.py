@@ -266,6 +266,25 @@ def transport_latency(
     return rows
 
 
+def _unrecovered_targets(records: list[dict[str, t.Any]]) -> set[int]:
+    """Nodes whose detected failure never saw a recovery before halt.
+
+    A ``recovery`` event names the dead slaves it recovered; a
+    ``takeover`` recovers the dead master (the standby replayed its
+    round).  Anything detected but covered by neither stayed
+    unrecovered when the run ended.
+    """
+    detected: set[int] = set()
+    recovered: set[int] = set()
+    for record in records:
+        kind = record["kind"]
+        if kind == "fault" and record.get("action") == "detect":
+            detected.add(int(record["target"]))
+        elif kind == "recovery":
+            recovered.update(int(s) for s in record["dead"])
+    return detected - recovered
+
+
 def recovery_timeline(
     records: list[dict[str, t.Any]],
 ) -> list[dict[str, t.Any]]:
@@ -275,8 +294,27 @@ def recovery_timeline(
         kind = record["kind"]
         if kind == "fault":
             detail = f"{record['action']} target={record['target']}"
-            if record.get("info"):
-                detail += f" info={record['info']:g}"
+            info = record.get("info")
+            if info is not None:
+                # ``detect`` encodes an unlimited timeout (silence seen
+                # via NodeDown, not a timer) as -1.0; 0.0 is a real
+                # zero-second timeout and must still render.
+                if record["action"] == "detect" and info == -1.0:
+                    detail += " timeout=unlimited"
+                else:
+                    detail += f" info={info:g}"
+        elif kind == "election":
+            detail = (
+                f"fatal_epoch={record['fatal_epoch']} "
+                f"synced_epoch={record['synced_epoch']} "
+                f"plan={'none' if record['plan_epoch'] < 0 else record['plan_epoch']}"
+            )
+        elif kind == "takeover":
+            detail = (
+                f"epoch={record['epoch']} "
+                f"rejoined={len(record['rejoined'])} "
+                f"latency={record['latency']:.3f}s"
+            )
         elif kind == "recovery":
             detail = (
                 f"dead={record['dead']} pids={len(record['pids'])} "
@@ -393,11 +431,16 @@ def render_report(
 
     recovery = recovery_timeline(records)
     if recovery:
-        sections.append(
-            format_table(
-                recovery,
-                ["t", "node", "kind", "detail"],
-                title="recovery timeline",
-            )
+        section = format_table(
+            recovery,
+            ["t", "node", "kind", "detail"],
+            title="recovery timeline",
         )
+        unrecovered = _unrecovered_targets(records)
+        if unrecovered:
+            section += (
+                f"\nunrecovered at halt: {sorted(unrecovered)} "
+                "(failure detected, no recovery round before the run ended)"
+            )
+        sections.append(section)
     return "\n\n".join(sections)

@@ -38,7 +38,11 @@ class BackupEntry:
         self.log = [(e, b) for e, b in self.log if e >= cp.epoch]
 
     def append(self, epoch: int, batch: TupleBatch) -> None:
-        if epoch >= self.base_epoch:
+        # Idempotent per epoch: a partition drains at most once per
+        # round, so a re-delivered log record (the acting master
+        # re-flushing pending replication it inherited after a master
+        # failover) is a duplicate, not new data.
+        if epoch >= self.base_epoch and all(e != epoch for e, _b in self.log):
             self.log.append((epoch, batch))
 
     @property

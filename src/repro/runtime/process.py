@@ -63,6 +63,7 @@ from repro.core.cluster import (
     Cluster,
     build_cluster,
     slave_node_id,
+    standby_node_id,
     trace_meta,
 )
 from repro.core.metrics import DelayStats, MeasurementWindow, SlaveMetrics
@@ -144,10 +145,14 @@ class PipeExporter(Exporter):
                 pass  # parent gone: nothing left to ship the tail to
 
 
-def _owner_of(name: str) -> int:
+def _owner_of(name: str, standby_id: int | None = None) -> int:
     """Cluster node id owning a generator from ``Cluster.processes()``."""
     if name == "master":
         return MASTER_ID
+    if name == "standby":
+        if standby_id is None:
+            raise RuntimeError("standby generator without a standby node")
+        return standby_id
     if name.startswith("collector"):
         return COLLECTOR_ID
     if name.startswith("slave"):
@@ -159,14 +164,25 @@ def _node_payload(
     node_id: int, cluster: Cluster, collect_pairs: bool
 ) -> dict[str, t.Any]:
     """This node's contribution to the RunResult, pickled to the parent."""
-    if node_id == MASTER_ID:
-        mm = cluster.master_metrics
-        workload = cluster.workload
+    if node_id == MASTER_ID or (
+        cluster.standby is not None and node_id == cluster.standby.node_id
+    ):
+        if node_id != MASTER_ID and not cluster.standby.took_over:
+            # Dormant standby: the master survived, so this node has no
+            # coordinator state worth shipping.
+            return {"took_over": False}
+        # In the standby's own process ``acting_master`` resolves to
+        # the shadow master after a takeover, so a killed master's
+        # payload is reconstructed here, not lost with the process.
+        acting = cluster.acting_master
+        mm = acting.metrics
+        workload = acting.workload
         return {
+            "took_over": node_id != MASTER_ID,
             "master": master_snapshot(cluster),
             "dod_trace": list(mm.dod_changes),
             "faults": list(mm.failures),
-            "pairs": cluster.master.pair_rows if collect_pairs else [],
+            "pairs": acting.pair_rows if collect_pairs else [],
             "tuples_generated": (
                 workload.tuples_generated
                 if hasattr(workload, "tuples_generated")
@@ -259,10 +275,11 @@ def _node_main(
         )
         # The sampler generator is node-local: every child runs one,
         # and ``local_node`` restricts it to this node's gauges.
+        sid = standby_node_id(cfg) if cfg.standby else None
         mine = [
             (name, gen)
             for name, gen in cluster.processes()
-            if name == "sampler" or _owner_of(name) == node_id
+            if name == "sampler" or _owner_of(name, sid) == node_id
         ]
 
         conn.send(("ready", node_id))
@@ -335,6 +352,8 @@ class ProcessBackend:
         node_ids = [MASTER_ID, COLLECTOR_ID] + [
             slave_node_id(i) for i in range(cfg.num_slaves)
         ]
+        if cfg.standby:
+            node_ids.append(standby_node_id(cfg))
         # Full mesh: every unordered node pair shares one socketpair.
         # All fds exist before the first fork so every child can close
         # exactly the foreign ones.
@@ -422,7 +441,11 @@ class ProcessBackend:
         scaled wall time.  EOF on its sockets is the failure signal."""
         timers = []
         for crash in cfg.faults.crashes:
-            nid = slave_node_id(crash.slave)
+            nid = (
+                MASTER_ID
+                if crash.targets_master
+                else slave_node_id(crash.slave)
+            )
             victim = procs[nid]
 
             def fire(nid: int = nid, victim: t.Any = victim,
@@ -527,7 +550,18 @@ class ProcessBackend:
         collect_pairs: bool,
         traces: dict[int, list[dict[str, t.Any]]],
     ) -> RunResult:
-        master = payloads[MASTER_ID]
+        master = payloads.get(MASTER_ID)
+        if cfg.standby:
+            standby_payload = payloads.get(standby_node_id(cfg))
+            if standby_payload is not None and standby_payload.get("took_over"):
+                # The master was killed mid-run; the acting master's
+                # payload carries the authoritative coordinator state.
+                master = standby_payload
+        if master is None:
+            raise RuntimeError(
+                "master process produced no result payload and no standby "
+                "took over"
+            )
         collector = payloads[COLLECTOR_ID]
         gate = MeasurementWindow(cfg.warmup_seconds, cfg.run_seconds)
 

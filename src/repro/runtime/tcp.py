@@ -61,6 +61,7 @@ from repro.core.cluster import (
     MASTER_ID,
     build_cluster,
     slave_node_id,
+    standby_node_id,
 )
 from repro.core.system import RunResult, start_admin_server
 from repro.errors import ConfigError, ConnectError, DeadlockError, WireError
@@ -299,10 +300,11 @@ def worker_main(listen_sock: socket.socket) -> None:
         registry = cluster.registries.get(node_id)
         if registry is not None:
             transport.attach_registry(registry)
+        sid = standby_node_id(cfg) if cfg.standby else None
         mine = [
             (name, gen)
             for name, gen in cluster.processes()
-            if name == "sampler" or _owner_of(name) == node_id
+            if name == "sampler" or _owner_of(name, sid) == node_id
         ]
 
         control.send(("ready", node_id))
@@ -417,6 +419,8 @@ class TcpBackend(ProcessBackend):
         node_ids = [MASTER_ID, COLLECTOR_ID] + [
             slave_node_id(i) for i in range(cfg.num_slaves)
         ]
+        if cfg.standby:
+            node_ids.append(standby_node_id(cfg))
         remote = {
             nid: parse_hostport(addr) for nid, addr in cfg.tcp_peers
         }
@@ -427,11 +431,15 @@ class TcpBackend(ProcessBackend):
                 f"(valid node ids: {node_ids})"
             )
         for crash in cfg.faults.crashes:
-            if slave_node_id(crash.slave) in remote:
+            victim = (
+                MASTER_ID
+                if crash.targets_master
+                else slave_node_id(crash.slave)
+            )
+            if victim in remote:
                 raise ConfigError(
-                    f"crash fault targets remote node "
-                    f"{slave_node_id(crash.slave)}: the launcher can only "
-                    "SIGKILL local workers"
+                    f"crash fault targets remote node {victim}: the "
+                    "launcher can only SIGKILL local workers"
                 )
 
         # Every node without a --peers entry forks locally on an

@@ -43,6 +43,14 @@ class TraceReplayer:
     def from_file(cls, path: str | os.PathLike) -> "TraceReplayer":
         return cls(load_trace(path))
 
+    def replica(self) -> "TraceReplayer":
+        """An independent replayer over the same trace (fresh cursor).
+
+        Used by the standby's shadow master, which replays the exact
+        tuple sequence the real master generates.
+        """
+        return TraceReplayer(self.batch)
+
     def generate(self, t0: float, t1: float) -> TupleBatch:
         """Tuples with ``t0 <= ts < t1`` (must be called in time order)."""
         ts = self.batch.ts

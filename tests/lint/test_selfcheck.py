@@ -25,6 +25,19 @@ def test_src_repro_is_lint_clean():
     assert result.n_files > 50  # sanity: we actually walked the tree
 
 
+def test_lint_baseline_stays_empty():
+    """The SIM003 epoch-arithmetic entry (repro#7) was the baseline's
+    last accepted finding.  With it retired the file is header-only and
+    must stay that way: new findings get fixed, not baselined."""
+    from repro.lint.baseline import Baseline
+
+    path = REPO_ROOT / "lint-baseline.txt"
+    assert path.exists(), "lint-baseline.txt deleted: keep the header file"
+    baseline = Baseline.load(str(path))
+    rendered = "\n".join(e.render() for e in baseline.entries)
+    assert len(baseline) == 0, f"lint-baseline.txt grew entries:\n{rendered}"
+
+
 def test_tcp_modules_are_allowlisted_and_carry_zero_findings():
     """Regression for the PR 9 allowlist widening: the TCP transport
     and backend are wall-clock/socket modules (SIM001/SIM004 allowlist,

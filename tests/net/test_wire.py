@@ -22,13 +22,17 @@ from repro.core.protocol import (
     LoadReport,
     MoveAck,
     MoveDirective,
+    Rejoin,
     ReorgOrder,
     Replicate,
     ResultReport,
     Restore,
     Shipment,
     SlaveSync,
+    StandbyPlan,
+    StandbySync,
     StateTransfer,
+    TakeOver,
 )
 from repro.core.subgroups import SlotSchedule
 from repro.data.tuples import TupleBatch
@@ -170,6 +174,96 @@ def log_entries(draw, max_size=3):
     )
 
 
+replicates = st.builds(
+    Replicate,
+    epochs,
+    log_entries(),
+    st.lists(pids, max_size=4).map(tuple),
+    st.lists(checkpoints, max_size=2).map(tuple),
+)
+
+
+@st.composite
+def standby_ops(draw, max_size=4):
+    """Round-boundary op logs: int-typed slots must hold ints (the
+    codec narrows them back from f64 on decode)."""
+    out = []
+    for _ in range(draw(st.integers(min_value=0, max_value=max_size))):
+        kind = draw(st.sampled_from(["gen", "drain", "remap"]))
+        if kind == "gen":
+            out.append((kind, draw(times), draw(times)))
+        elif kind == "drain":
+            out.append((kind, draw(node_ids), draw(times)))
+        else:
+            out.append((kind, draw(pids), draw(node_ids)))
+    return tuple(out)
+
+
+@st.composite
+def banked_pairs(draw, max_size=3):
+    """StandbySync pair chunks: ``(slave, pid, epoch, rows)``."""
+    return tuple(
+        (draw(node_ids), draw(pids), draw(epochs), draw(pair_matrices()))
+        for _ in range(draw(st.integers(min_value=0, max_value=max_size)))
+    )
+
+
+@st.composite
+def rejoin_pairs(draw, max_size=3):
+    """Rejoin pair chunks: ``(pid, epoch, rows)``."""
+    return tuple(
+        (draw(pids), draw(epochs), draw(pair_matrices()))
+        for _ in range(draw(st.integers(min_value=0, max_value=max_size)))
+    )
+
+
+standby_syncs = st.builds(
+    StandbySync,
+    epochs,
+    standby_ops(),
+    st.lists(node_ids, max_size=6).map(tuple),
+    st.lists(node_ids, max_size=4).map(tuple),
+    times,
+    st.lists(st.tuples(pids, node_ids), max_size=4).map(tuple),
+    st.lists(pids, max_size=4).map(tuple),
+    st.lists(st.tuples(node_ids, replicates), max_size=2).map(tuple),
+    st.sampled_from(
+        ["[]", '[{"slave": 3, "epoch": 2, "recovery_latency": null}]']
+    ),
+    banked_pairs(),
+)
+
+standby_plans = st.builds(
+    StandbyPlan,
+    epochs,
+    st.lists(moves, max_size=4).map(tuple),
+    st.lists(node_ids, max_size=4).map(tuple),
+    st.lists(node_ids, max_size=4).map(tuple),
+    st.lists(st.tuples(pids, node_ids), max_size=4).map(tuple),
+    st.lists(pids, max_size=4).map(tuple),
+)
+
+take_overs = st.builds(
+    TakeOver,
+    epochs,
+    times,
+    schedules,
+    st.booleans(),
+    st.integers(min_value=-1, max_value=2**31),
+    st.lists(moves, max_size=4).map(tuple),
+)
+
+rejoins = st.builds(
+    Rejoin,
+    epochs,
+    st.lists(pids, max_size=6).map(tuple),
+    st.integers(min_value=-1, max_value=2**31),
+    st.integers(min_value=-1, max_value=2**31),
+    st.booleans(),
+    rejoin_pairs(),
+)
+
+
 messages = st.one_of(
     st.builds(Shipment, epochs, times, times, tuple_batches()),
     load_reports,
@@ -196,14 +290,12 @@ messages = st.one_of(
     st.builds(Halt, epochs),
     st.builds(SlaveSync, epochs, load_reports),
     checkpoints,
-    st.builds(
-        Replicate,
-        epochs,
-        log_entries(),
-        st.lists(pids, max_size=4).map(tuple),
-        st.lists(checkpoints, max_size=2).map(tuple),
-    ),
+    replicates,
     st.builds(Restore, epochs, st.lists(pids, max_size=6).map(tuple)),
+    standby_syncs,
+    standby_plans,
+    take_overs,
+    rejoins,
 )
 
 
@@ -291,6 +383,35 @@ def messages_equal(a, b) -> bool:
     if isinstance(a, MoveAck):
         return (a.pid, a.role) == (b.pid, b.role) and pairs_equal(
             a.pairs, b.pairs
+        )
+    if isinstance(a, StandbySync):
+        return (
+            (a.epoch, a.ops, a.active, a.dead, a.next_gen_time)
+            == (b.epoch, b.ops, b.active, b.dead, b.next_gen_time)
+            and (a.backup_of, a.covered, a.failures_json)
+            == (b.backup_of, b.covered, b.failures_json)
+            and len(a.pending) == len(b.pending)
+            and all(
+                na == nb and messages_equal(ra, rb)
+                for (na, ra), (nb, rb) in zip(a.pending, b.pending)
+            )
+            and len(a.pairs) == len(b.pairs)
+            and all(
+                pa[:3] == pb[:3] and pairs_equal(pa[3], pb[3])
+                for pa, pb in zip(a.pairs, b.pairs)
+            )
+        )
+    if isinstance(a, Rejoin):
+        return (
+            (a.epoch, a.owned_pids, a.active)
+            == (b.epoch, b.owned_pids, b.active)
+            and (a.last_shipment_epoch, a.last_order_epoch)
+            == (b.last_shipment_epoch, b.last_order_epoch)
+            and len(a.pairs) == len(b.pairs)
+            and all(
+                pa[:2] == pb[:2] and pairs_equal(pa[2], pb[2])
+                for pa, pb in zip(a.pairs, b.pairs)
+            )
         )
     if isinstance(a, Shipment):
         return (

@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.obs.report import (
+    recovery_timeline,
     epoch_timeline,
     hot_partitions,
     load_trace,
@@ -165,3 +166,91 @@ class TestRenderReport:
         text = render_report(None, [])
         assert "0 events" in text
         assert "no epoch events" in text
+
+
+class TestRecoveryTimeline:
+    def _fault(self, t, action, target, info):
+        return {
+            "kind": "fault",
+            "t": t,
+            "node": 0,
+            "action": action,
+            "target": target,
+            "info": info,
+            "epoch": 1,
+        }
+
+    def test_unlimited_detect_timeout_renders_as_unlimited(self):
+        """An unlimited detection timeout is traced as info=-1.0 (None
+        is not wire-able, 0.0 is a real zero-second timeout): the report
+        must say so instead of printing the sentinel."""
+        rows = recovery_timeline(
+            [
+                self._fault(1.0, "detect", 3, -1.0),
+                self._fault(1.0, "detect", 4, 0.0),
+                self._fault(1.0, "detect", 5, 2.5),
+            ]
+        )
+        details = {r["detail"] for r in rows}
+        assert "detect target=3 timeout=unlimited" in details
+        assert "detect target=4 info=0" in details  # 0.0 must not vanish
+        assert "detect target=5 info=2.5" in details
+
+    def test_election_and_takeover_rows(self):
+        rows = recovery_timeline(
+            [
+                {
+                    "kind": "election",
+                    "t": 5.0,
+                    "node": 5,
+                    "fatal_epoch": 2,
+                    "synced_epoch": 1,
+                    "plan_epoch": -1,
+                },
+                {
+                    "kind": "takeover",
+                    "t": 6.1,
+                    "node": 5,
+                    "epoch": 3,
+                    "rejoined": (2, 3, 4),
+                    "latency": 1.106,
+                },
+            ]
+        )
+        assert [r["kind"] for r in rows] == ["election", "takeover"]
+        assert rows[0]["detail"] == "fatal_epoch=2 synced_epoch=1 plan=none"
+        assert rows[1]["detail"] == "epoch=3 rejoined=3 latency=1.106s"
+
+    def test_unrecovered_at_halt_footer(self):
+        """A failure detected but never recovered before the run ends
+        must be called out below the timeline."""
+        records = [
+            self._fault(1.0, "detect", 3, 2.5),
+            self._fault(2.0, "detect", 4, 2.5),
+            {
+                "kind": "recovery",
+                "t": 3.0,
+                "node": 0,
+                "epoch": 2,
+                "dead": (3,),
+                "pids": (1, 2),
+                "adopters": (2,),
+                "latency": 2.0,
+            },
+        ]
+        text = render_report(None, records)
+        assert "unrecovered at halt: [4]" in text
+        # Once slave 4 recovers too, the footer disappears.
+        records.append(
+            {
+                "kind": "recovery",
+                "t": 4.0,
+                "node": 0,
+                "epoch": 3,
+                "dead": (4,),
+                "pids": (5,),
+                "adopters": (2,),
+                "latency": 2.0,
+            }
+        )
+        assert "unrecovered at halt" not in render_report(None, records)
